@@ -1,0 +1,172 @@
+// Command gridsim runs the full monitoring pipeline end to end: a simulated
+// grid writes per-machine event logs (to files under -logdir, or in memory),
+// a fleet of sniffers loads them into a TRAC database, and monitoring
+// queries with recency reports print as the simulation progresses.
+//
+//	gridsim -machines 50 -ticks 200 -fail Tao7:60 -fail Tao9:100
+//
+// fails Tao7 at tick 60 and Tao9 at tick 100 (they stop logging), which the
+// final report surfaces as exceptional data sources.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"trac"
+	"trac/internal/gridsim"
+	"trac/internal/sniffer"
+)
+
+type failFlag struct {
+	machine string
+	tick    int
+}
+
+type failList []failFlag
+
+func (f *failList) String() string { return fmt.Sprint([]failFlag(*f)) }
+
+func (f *failList) Set(s string) error {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("expected machine:tick, got %q", s)
+	}
+	tick, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return err
+	}
+	*f = append(*f, failFlag{machine: parts[0], tick: tick})
+	return nil
+}
+
+func main() {
+	machines := flag.Int("machines", 20, "number of grid machines")
+	schedulers := flag.Int("schedulers", 2, "number of scheduler machines")
+	ticks := flag.Int("ticks", 120, "virtual ticks to simulate")
+	seed := flag.Int64("seed", 2006, "simulation seed")
+	jobRate := flag.Float64("jobs", 1.0, "expected job submissions per tick")
+	logdir := flag.String("logdir", "", "write machine logs to files in this directory (default: in memory)")
+	wal := flag.String("wal", "", "attach a write-ahead log at this path (replays existing content)")
+	pollEvery := flag.Int("poll", 5, "sniffers poll every N ticks")
+	reportEvery := flag.Int("report", 40, "print a monitoring report every N ticks")
+	var fails failList
+	flag.Var(&fails, "fail", "machine:tick to fail (repeatable)")
+	flag.Parse()
+
+	db := trac.Open()
+	if *wal != "" {
+		if err := db.AttachWAL(*wal); err != nil {
+			fatal(err)
+		}
+		defer db.DetachWAL()
+	}
+	// A replayed WAL may already contain the schema; the source-column and
+	// domain metadata is API-level and must be re-applied either way.
+	if !hasTable(db, "Heartbeat") {
+		if err := sniffer.InstallSchema(db.Engine()); err != nil {
+			fatal(err)
+		}
+	} else if err := sniffer.InstallMetadata(db.Engine()); err != nil {
+		fatal(err)
+	}
+
+	cfg := gridsim.Config{
+		Machines:       *machines,
+		Schedulers:     *schedulers,
+		Seed:           *seed,
+		JobRate:        *jobRate,
+		HeartbeatEvery: 4,
+	}
+	if *logdir != "" {
+		if err := os.MkdirAll(*logdir, 0o755); err != nil {
+			fatal(err)
+		}
+		cfg.NewLog = func(machine string) (gridsim.Log, error) {
+			return gridsim.NewFileLog(*logdir, machine)
+		}
+	}
+	sim, err := gridsim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer sim.Close()
+	fleet := sniffer.NewFleet(db.Engine(), sim)
+
+	failAt := map[int][]string{}
+	for _, f := range fails {
+		failAt[f.tick] = append(failAt[f.tick], f.machine)
+	}
+
+	for tick := 1; tick <= *ticks; tick++ {
+		for _, m := range failAt[tick] {
+			if err := sim.Fail(m); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- tick %d: machine %s FAILED (stops logging)\n", tick, m)
+		}
+		if err := sim.Tick(); err != nil {
+			fatal(err)
+		}
+		if tick%*pollEvery == 0 {
+			if _, err := fleet.PollAll(); err != nil {
+				fatal(err)
+			}
+		}
+		if tick%*reportEvery == 0 {
+			printReport(db, tick)
+		}
+	}
+	if err := fleet.DrainAll(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n=== final state after %d ticks ===\n", *ticks)
+	printReport(db, *ticks)
+
+	// Job accounting.
+	res, err := db.Query(`SELECT COUNT(*) FROM JobLog WHERE event = 'finish'`)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("finished jobs recorded: %v (of %d submitted)\n", res.Rows[0][0], len(sim.Jobs()))
+}
+
+func printReport(db *trac.DB, tick int) {
+	sess := db.NewSession()
+	defer sess.Close()
+	rep, err := sess.RecencyReport(`SELECT mach_id, value FROM Activity WHERE value = 'busy'`,
+		trac.WithoutTempTables())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n--- tick %d: busy machines = %d, relevant sources = %d",
+		tick, len(rep.Result.Rows), len(rep.Normal)+len(rep.Exceptional))
+	if len(rep.Exceptional) > 0 {
+		var ids []string
+		for _, sr := range rep.Exceptional {
+			ids = append(ids, sr.Sid)
+		}
+		fmt.Printf(", EXCEPTIONAL: %v", ids)
+	}
+	if len(rep.Normal) > 0 {
+		fmt.Printf(", bound of inconsistency %v", rep.Bound)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridsim:", err)
+	os.Exit(1)
+}
+
+func hasTable(db *trac.DB, name string) bool {
+	for _, t := range db.Catalog() {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,218 @@
+// Command trac-shell is an interactive SQL shell over a TRAC database with
+// recency reporting built in, in the spirit of the paper's psql session:
+//
+//	trac-shell -demo          # preload the paper's §5.1 fixture
+//
+// Meta commands:
+//
+//	\recency <select>         run a query with its recency report
+//	\naive <select>           same, using the naive all-sources method
+//	\gen <select>             show the generated recency query (not run)
+//	\explain <select>         show the physical plan
+//	\source <table> <column>  mark a table's data source column
+//	\domain <table> <column> v1,v2,...   declare a finite string domain
+//	\save <file> / \load <file>          dump / restore the database
+//	\d                        list tables
+//	\q                        quit
+//
+// Anything else (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/ANALYZE) is
+// executed as SQL. With -f FILE the statements in FILE run first ("--"
+// lines are comments).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"trac"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "preload the paper's example schema and data")
+	script := flag.String("f", "", "execute statements from this file before reading stdin")
+	flag.Parse()
+
+	db := trac.Open()
+	if *demo {
+		loadDemo(db)
+		fmt.Println("demo fixture loaded: Activity, Routing, Heartbeat (sources m1..m11)")
+	}
+	sess := db.NewSession()
+	defer sess.Close()
+
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trac-shell:", err)
+			os.Exit(1)
+		}
+		fsc := bufio.NewScanner(f)
+		fsc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for fsc.Scan() {
+			line := strings.TrimSpace(fsc.Text())
+			if line == "" || strings.HasPrefix(line, "--") {
+				continue
+			}
+			db, sess = dispatch(db, sess, line)
+		}
+		f.Close()
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	fmt.Print("trac=# ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == `\q` {
+			return
+		}
+		db, sess = dispatch(db, sess, line)
+		fmt.Print("trac=# ")
+	}
+}
+
+// dispatch executes one shell line; \load swaps in a new database, so the
+// possibly-replaced handles are returned.
+func dispatch(db *trac.DB, sess *trac.Session, line string) (*trac.DB, *trac.Session) {
+	switch {
+	case line == "" || line == `\q`:
+	case line == `\d`:
+		for _, name := range db.Catalog() {
+			fmt.Println(" ", name)
+		}
+	case strings.HasPrefix(line, `\recency `):
+		runReport(sess, strings.TrimPrefix(line, `\recency `))
+	case strings.HasPrefix(line, `\naive `):
+		runReport(sess, strings.TrimPrefix(line, `\naive `), trac.Naive())
+	case strings.HasPrefix(line, `\gen `):
+		sql, minimal, reasons, err := db.GenerateRecencyQuery(strings.TrimPrefix(line, `\gen `))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if sql == "" {
+			fmt.Println("provably no relevant data sources (unsatisfiable predicates)")
+			break
+		}
+		fmt.Println(sql)
+		fmt.Printf("guaranteed minimal: %v\n", minimal)
+		for _, r := range reasons {
+			fmt.Println("  reason:", r)
+		}
+	case strings.HasPrefix(line, `\explain `):
+		notes, err := db.Explain(strings.TrimPrefix(line, `\explain `))
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println(notes)
+		}
+	case strings.HasPrefix(line, `\source `):
+		parts := strings.Fields(strings.TrimPrefix(line, `\source `))
+		if len(parts) != 2 {
+			fmt.Println("usage: \\source <table> <column>")
+			break
+		}
+		if err := db.SetSourceColumn(parts[0], parts[1]); err != nil {
+			fmt.Println("error:", err)
+		}
+	case strings.HasPrefix(line, `\domain `):
+		parts := strings.Fields(strings.TrimPrefix(line, `\domain `))
+		if len(parts) != 3 {
+			fmt.Println("usage: \\domain <table> <column> v1,v2,...")
+			break
+		}
+		vals := strings.Split(parts[2], ",")
+		if err := db.SetColumnDomain(parts[0], parts[1], trac.StringDomain(vals...)); err != nil {
+			fmt.Println("error:", err)
+		}
+	case strings.HasPrefix(line, `\save `):
+		if err := db.SaveFile(strings.TrimSpace(strings.TrimPrefix(line, `\save `))); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("saved")
+		}
+	case strings.HasPrefix(line, `\load `):
+		loaded, err := trac.OpenFile(strings.TrimSpace(strings.TrimPrefix(line, `\load `)))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		sess.Close()
+		db = loaded
+		sess = db.NewSession()
+		fmt.Println("loaded; tables:", strings.Join(db.Catalog(), ", "))
+	case strings.HasPrefix(line, `\`):
+		fmt.Println("unknown meta command; try \\recency, \\gen, \\explain, \\save, \\load, \\d, \\q")
+	default:
+		runSQL(db, line)
+	}
+	return db, sess
+}
+
+func runSQL(db *trac.DB, sql string) {
+	upper := strings.ToUpper(strings.TrimSpace(sql))
+	if strings.HasPrefix(upper, "SELECT") {
+		res, err := db.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(res.Format())
+		return
+	}
+	n, err := db.Exec(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("OK (%d rows affected)\n", n)
+}
+
+func runReport(sess *trac.Session, sql string, opts ...trac.Option) {
+	rep, err := sess.RecencyReport(sql, opts...)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(rep.Render())
+}
+
+func loadDemo(db *trac.DB) {
+	db.MustExec(`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`)
+	db.MustExec(`CREATE TABLE Routing (mach_id TEXT, neighbor TEXT, event_time TIMESTAMP)`)
+	db.MustExec(`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`)
+	db.MustExec(`CREATE INDEX idx_activity ON Activity (mach_id)`)
+	db.MustExec(`CREATE INDEX idx_routing ON Routing (mach_id)`)
+	if err := db.SetSourceColumn("Activity", "mach_id"); err != nil {
+		panic(err)
+	}
+	if err := db.SetSourceColumn("Routing", "mach_id"); err != nil {
+		panic(err)
+	}
+	if err := db.SetColumnDomain("Activity", "value", trac.StringDomain("idle", "busy")); err != nil {
+		panic(err)
+	}
+	db.MustExec(`INSERT INTO Activity VALUES
+		('m1', 'idle', '2006-03-11 20:37:46'),
+		('m2', 'busy', '2006-02-10 18:22:01'),
+		('m3', 'idle', '2006-03-12 10:23:05')`)
+	db.MustExec(`INSERT INTO Routing VALUES
+		('m1', 'm3', '2006-03-12 23:20:06'),
+		('m2', 'm3', '2006-02-10 03:34:21')`)
+	hbs := map[string]string{
+		"m1": "2006-03-15 14:20:05", "m2": "2006-03-14 17:23:00",
+		"m3": "2006-03-15 14:40:05", "m4": "2006-03-15 14:21:05",
+		"m5": "2006-03-15 14:22:05", "m6": "2006-03-15 14:23:05",
+		"m7": "2006-03-15 14:24:05", "m8": "2006-03-15 14:25:05",
+		"m9": "2006-03-15 14:26:05", "m10": "2006-03-15 14:27:05",
+		"m11": "2006-03-15 14:28:05",
+	}
+	for sid, ts := range hbs {
+		if err := db.Heartbeat(sid, ts); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command p2pneighbors walks through the paper's §4.1.2 worked example: a
+// P2P job scheduling system where Routing records neighbor relationships
+// and Activity records machine state. It shows how the relevant-source set
+// of a join query decomposes per relation (Corollary 4), when the generated
+// recency query is the exact minimum vs an upper bound (Theorem 4 vs
+// Corollary 5), and the paper's subtlety that a *sequence* of updates from
+// an irrelevant source can change a query result even though no single
+// update can.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"trac"
+)
+
+const q2 = `SELECT A.mach_id FROM Routing R, Activity A
+	WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id`
+
+func main() {
+	db := setup()
+
+	fmt.Println("=== Paper §4.1.2: which neighbors of m1 have reported idle? ===")
+	fmt.Println(strings.ReplaceAll(q2, "\t", "  "))
+	fmt.Println()
+
+	recencySQL, minimal, reasons, err := db.GenerateRecencyQuery(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated recency query:")
+	fmt.Println(" ", recencySQL)
+	fmt.Printf("guaranteed minimal: %v\n", minimal)
+	for _, r := range reasons {
+		fmt.Println("  reason:", r)
+	}
+	if minimal {
+		log.Fatal("expected upper bound (the join predicate touches R's regular column)")
+	}
+
+	sess := db.NewSession()
+	defer sess.Close()
+	rep, err := sess.RecencyReport(q2, trac.WithoutTempTables())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nuser result:")
+	fmt.Print(rep.Result.Format())
+	fmt.Println("relevant sources:", sids(rep))
+	if got := sids(rep); got != "m1,m3" {
+		log.Fatalf("expected relevant = m1,m3 (via R and via A), got %s", got)
+	}
+
+	// The paper's modified instance: every machine busy. Now no single
+	// update from m1 can change the result (m1 is irrelevant) — but a
+	// sequence of two can.
+	fmt.Println("\n=== All machines busy: m1 becomes irrelevant ===")
+	db2 := setupAllBusy()
+	sess2 := db2.NewSession()
+	defer sess2.Close()
+	rep2, err := sess2.RecencyReport(q2, trac.WithoutTempTables())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("relevant sources now:", sids(rep2))
+	if got := sids(rep2); got != "m1,m3" && got != "m3" {
+		log.Fatalf("unexpected relevant set %s", got)
+	}
+
+	fmt.Println("\nnow apply two updates from m1 in sequence:")
+	fmt.Println("  1) m1 reports it became idle        (makes m1 relevant via Routing)")
+	db2.MustExec(`UPDATE Activity SET value = 'idle' WHERE mach_id = 'm1'`)
+	fmt.Println("  2) m1 adds itself as its own neighbor (changes the query result)")
+	db2.MustExec(`INSERT INTO Routing VALUES ('m1', 'm1', '2006-03-13 00:00:00')`)
+
+	res, err := db2.Query(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nquery result after the two updates:")
+	fmt.Print(res.Format())
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "m1" {
+		log.Fatalf("expected m1 in the result after the two-update sequence, got %v", res.Rows)
+	}
+	fmt.Println("p2pneighbors OK: sequence of updates from an initially-irrelevant source changed the result")
+}
+
+func setup() *trac.DB {
+	db := trac.Open()
+	db.MustExec(`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`)
+	db.MustExec(`CREATE TABLE Routing (mach_id TEXT, neighbor TEXT, event_time TIMESTAMP)`)
+	db.MustExec(`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`)
+	must(db.SetSourceColumn("Activity", "mach_id"))
+	must(db.SetSourceColumn("Routing", "mach_id"))
+	must(db.SetColumnDomain("Activity", "value", trac.StringDomain("idle", "busy")))
+	// Table 1 and Table 2 of the paper.
+	db.MustExec(`INSERT INTO Activity VALUES
+		('m1', 'idle', '2006-03-11 20:37:46'),
+		('m2', 'busy', '2006-02-10 18:22:01'),
+		('m3', 'idle', '2006-03-12 10:23:05')`)
+	db.MustExec(`INSERT INTO Routing VALUES
+		('m1', 'm3', '2006-03-12 23:20:06'),
+		('m2', 'm3', '2006-02-10 03:34:21')`)
+	for _, hb := range [][2]string{
+		{"m1", "2006-03-15 14:20:05"}, {"m2", "2006-03-14 17:23:00"}, {"m3", "2006-03-15 14:40:05"},
+	} {
+		must(db.Heartbeat(hb[0], hb[1]))
+	}
+	return db
+}
+
+func setupAllBusy() *trac.DB {
+	db := setup()
+	db.MustExec(`UPDATE Activity SET value = 'busy'`)
+	return db
+}
+
+func sids(rep *trac.Report) string {
+	var all []string
+	for _, sr := range rep.Normal {
+		all = append(all, sr.Sid)
+	}
+	for _, sr := range rep.Exceptional {
+		all = append(all, sr.Sid)
+	}
+	// Insertion sort for a stable display.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j] < all[j-1]; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	return strings.Join(all, ",")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module trac
+
+go 1.22

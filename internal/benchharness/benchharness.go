@@ -1,0 +1,391 @@
+// Package benchharness regenerates the paper's evaluation (§5.2): the
+// Figure 1 response-time-overhead sweep, the Figure 2 absolute-response-time
+// zoom, and the false-positive-rate table, over the synthetic workload of
+// package workload.
+//
+// The sweep fixes the total Activity row count and varies the number of
+// data sources and the data ratio in inverse proportion, exactly as the
+// paper does ((data ratio) × (# of data sources) = total). Three methods
+// are measured: Naive (report every source), Focused (generate the recency
+// query from the user query text, the full pipeline), and Focused without
+// generation (recency query prepared once — the paper's "hardcoded" table
+// function variant).
+package benchharness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"trac/internal/core/recgen"
+	"trac/internal/core/report"
+	"trac/internal/engine"
+	"trac/internal/workload"
+)
+
+// Method names measured by the sweep.
+const (
+	MethodNaive        = "naive"
+	MethodFocused      = "focused"
+	MethodFocusedNoGen = "focused-nogen"
+)
+
+// Point is one measured cell of the sweep.
+type Point struct {
+	Query      string
+	Sources    int
+	Ratio      int
+	Method     string
+	UserTime   time.Duration // the bare user query
+	ReportTime time.Duration // user query + recency reporting
+}
+
+// Overhead returns the paper's metric (t2 - t1)/t1 as a percentage.
+func (p Point) Overhead() float64 {
+	if p.UserTime <= 0 {
+		return 0
+	}
+	return 100 * float64(p.ReportTime-p.UserTime) / float64(p.UserTime)
+}
+
+// SweepConfig parameterizes the evaluation.
+type SweepConfig struct {
+	// TotalRows is the fixed Activity size (the paper used 10,000,000; the
+	// default 1,000,000 preserves every crossover at laptop scale).
+	TotalRows int
+	// Ratios lists the data ratios to sweep; sources = TotalRows/ratio.
+	// Default: powers of ten from 10 to TotalRows/10.
+	Ratios []int
+	// Queries defaults to Q1–Q4.
+	Queries []string
+	// Iterations per measurement; the reported time is the average after
+	// one warm-up run (the paper ran 11 and averaged the last 10).
+	Iterations int
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress io.Writer
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.TotalRows == 0 {
+		c.TotalRows = 1_000_000
+	}
+	if len(c.Ratios) == 0 {
+		for r := 10; r <= c.TotalRows/10; r *= 10 {
+			c.Ratios = append(c.Ratios, r)
+		}
+	}
+	if len(c.Queries) == 0 {
+		c.Queries = []string{"Q1", "Q2", "Q3", "Q4"}
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 3
+	}
+	return c
+}
+
+func (c SweepConfig) logf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// RunSweep executes the full measurement matrix and returns every point.
+// The same points feed Figure 1 (overheads) and Figure 2 (absolute times).
+func RunSweep(cfg SweepConfig) ([]Point, error) {
+	cfg = cfg.withDefaults()
+	var points []Point
+	for _, ratio := range cfg.Ratios {
+		if cfg.TotalRows%ratio != 0 {
+			return nil, fmt.Errorf("benchharness: ratio %d does not divide total %d", ratio, cfg.TotalRows)
+		}
+		sources := cfg.TotalRows / ratio
+		cfg.logf("building dataset: %d rows, %d sources (ratio %d)", cfg.TotalRows, sources, ratio)
+		db, err := workload.Build(workload.Spec{TotalRows: cfg.TotalRows, DataSources: sources, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		for _, qname := range cfg.Queries {
+			sql, err := workload.Query(qname)
+			if err != nil {
+				return nil, err
+			}
+			ps, err := measureQuery(db, qname, sql, sources, ratio, cfg)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, ps...)
+		}
+	}
+	return points, nil
+}
+
+func measureQuery(db *engine.DB, qname, sql string, sources, ratio int, cfg SweepConfig) ([]Point, error) {
+	// Bare user query time (t1).
+	userTime, err := timeIt(cfg.Iterations, func() error {
+		_, err := db.Query(sql)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var points []Point
+	run := func(method string, fn func() error) error {
+		d, err := timeIt(cfg.Iterations, fn)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", qname, method, err)
+		}
+		points = append(points, Point{
+			Query: qname, Sources: sources, Ratio: ratio, Method: method,
+			UserTime: userTime, ReportTime: d,
+		})
+		cfg.logf("  %-4s %-14s sources=%-8d user=%-12v report=%-12v overhead=%.1f%%",
+			qname, method, sources, userTime, d, points[len(points)-1].Overhead())
+		return nil
+	}
+
+	// Focused with generation (t2 = parse+generate+user+recency+stats).
+	if err := run(MethodFocused, func() error {
+		sess := db.NewSession()
+		defer sess.Close()
+		_, err := report.Run(sess, sql, report.Config{Method: report.Focused})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Focused without generation: prepare once outside the timed region.
+	prepared, err := report.Prepare(db, sql, report.Config{Method: report.Focused})
+	if err != nil {
+		return nil, err
+	}
+	if err := run(MethodFocusedNoGen, func() error {
+		sess := db.NewSession()
+		defer sess.Close()
+		_, err := prepared.Execute(sess)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Naive.
+	if err := run(MethodNaive, func() error {
+		sess := db.NewSession()
+		defer sess.Close()
+		_, err := report.Run(sess, sql, report.Config{Method: report.Naive})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Re-measure the baseline after the methods and keep the faster of the
+	// two: the first measurement on a big fresh dataset can pay one-time
+	// heap-growth costs that would show up as negative overheads.
+	again, err := timeIt(cfg.Iterations, func() error {
+		_, err := db.Query(sql)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if again < userTime {
+		for i := range points {
+			points[i].UserTime = again
+		}
+	}
+	return points, nil
+}
+
+// timeIt settles the garbage collector (dataset construction leaves GC
+// debt that would otherwise land on whichever measurement runs first), runs
+// fn once as warm-up, and then iterations times, returning the FASTEST run.
+// The minimum is the standard estimator for in-process microbenchmarks:
+// every slowdown source (GC cycles, heap growth, scheduling) is additive
+// noise, so the minimum converges on the true cost.
+func timeIt(iterations int, fn func() error) (time.Duration, error) {
+	runtime.GC()
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	best := time.Duration(0)
+	for i := 0; i < iterations; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// RenderFigure1 prints one panel per query: overhead (%) by data ratio for
+// the three methods, the shape of the paper's Figure 1.
+func RenderFigure1(points []Point) string {
+	var sb strings.Builder
+	for _, q := range queriesOf(points) {
+		fmt.Fprintf(&sb, "Figure 1 — %s: response-time overhead (%%) vs data ratio\n", q)
+		fmt.Fprintf(&sb, "%-12s %-12s %14s %16s %14s\n",
+			"data-ratio", "sources", MethodNaive, MethodFocused, MethodFocusedNoGen)
+		for _, ratio := range ratiosOf(points) {
+			row := map[string]float64{}
+			var sources int
+			for _, p := range points {
+				if p.Query == q && p.Ratio == ratio {
+					row[p.Method] = p.Overhead()
+					sources = p.Sources
+				}
+			}
+			if len(row) == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-12d %-12d %14.1f %16.1f %14.1f\n",
+				ratio, sources, row[MethodNaive], row[MethodFocused], row[MethodFocusedNoGen])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderFigure2 prints the absolute response times for Q1 and Q3 with and
+// without recency reporting at the low-data-ratio end (the paper's zoomed
+// Figure 2; the Focused method with auto generation is used).
+func RenderFigure2(points []Point, maxRatio int) string {
+	if maxRatio == 0 {
+		maxRatio = 10_000
+	}
+	var sb strings.Builder
+	for _, q := range []string{"Q1", "Q3"} {
+		fmt.Fprintf(&sb, "Figure 2 — %s: response time (ms), with vs without recency report\n", q)
+		fmt.Fprintf(&sb, "%-12s %-12s %16s %16s\n", "data-ratio", "sources", "user-only", "with-report")
+		for _, ratio := range ratiosOf(points) {
+			if ratio > maxRatio {
+				continue
+			}
+			for _, p := range points {
+				if p.Query == q && p.Ratio == ratio && p.Method == MethodFocused {
+					fmt.Fprintf(&sb, "%-12d %-12d %16.3f %16.3f\n",
+						ratio, p.Sources, ms(p.UserTime), ms(p.ReportTime))
+				}
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func queriesOf(points []Point) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range points {
+		if !seen[p.Query] {
+			seen[p.Query] = true
+			out = append(out, p.Query)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func ratiosOf(points []Point) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range points {
+		if !seen[p.Ratio] {
+			seen[p.Ratio] = true
+			out = append(out, p.Ratio)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FPRRow is one row of the paper's false-positive-rate table.
+type FPRRow struct {
+	Query        string
+	Sources      int
+	Relevant     int // |S(Q)| (analytic ground truth for this workload)
+	NaiveCount   int // |A| for the naive method
+	FocusedCount int // |A| for the focused method
+	NaiveFPR     float64
+	FocusedFPR   float64
+}
+
+// RunFPRTable measures false positive rates for Q1–Q4 at the given source
+// count, the paper's precision experiment. The workload is sized at
+// rowsPerSource rows per source (the fpr does not depend on it).
+func RunFPRTable(sources, rowsPerSource int) ([]FPRRow, error) {
+	db, err := workload.Build(workload.Spec{
+		TotalRows: sources * rowsPerSource, DataSources: sources, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []FPRRow
+	for _, qname := range []string{"Q1", "Q2", "Q3", "Q4"} {
+		sql, err := workload.Query(qname)
+		if err != nil {
+			return nil, err
+		}
+		expected, err := workload.ExpectedRelevant(qname, sources)
+		if err != nil {
+			return nil, err
+		}
+		focusedCount, err := relevantCount(db, sql)
+		if err != nil {
+			return nil, err
+		}
+		row := FPRRow{
+			Query: qname, Sources: sources, Relevant: expected,
+			NaiveCount: sources, FocusedCount: focusedCount,
+			NaiveFPR:   fpr(sources, expected),
+			FocusedFPR: fpr(focusedCount, expected),
+		}
+		if focusedCount < expected {
+			return nil, fmt.Errorf("benchharness: completeness violated for %s: focused %d < relevant %d",
+				qname, focusedCount, expected)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func relevantCount(db *engine.DB, sql string) (int, error) {
+	sess := db.NewSession()
+	defer sess.Close()
+	rep, err := report.Run(sess, sql, report.Config{Method: report.Focused, SkipTempTables: true})
+	if err != nil {
+		return 0, err
+	}
+	return len(rep.Normal) + len(rep.Exceptional), nil
+}
+
+func fpr(reported, relevant int) float64 {
+	if relevant == 0 {
+		return 0
+	}
+	return float64(reported-relevant) / float64(relevant)
+}
+
+// RenderFPRTable prints the fpr comparison.
+func RenderFPRTable(rows []FPRRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "False positive rates (|A|-|S|)/|S| at %d data sources\n", rows[0].Sources)
+	fmt.Fprintf(&sb, "%-6s %10s %12s %14s %12s %14s\n",
+		"query", "|S(Q)|", "naive |A|", "naive fpr", "focused |A|", "focused fpr")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6s %10d %12d %14.5f %12d %14.5f\n",
+			r.Query, r.Relevant, r.NaiveCount, r.NaiveFPR, r.FocusedCount, r.FocusedFPR)
+	}
+	return sb.String()
+}
+
+// NaiveSQLUsed reports the naive recency query text for documentation.
+func NaiveSQLUsed() string { return recgen.NaiveSQL(recgen.Options{}) }

@@ -1,0 +1,151 @@
+package benchharness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSmallSweepShapes(t *testing.T) {
+	// A miniature sweep: 10,000 rows, ratios 10/100/1000. Checks plumbing
+	// and the qualitative shape, not absolute numbers.
+	points, err := RunSweep(SweepConfig{
+		TotalRows:  10_000,
+		Ratios:     []int{10, 100, 1000},
+		Iterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 ratios × 4 queries × 3 methods.
+	if len(points) != 36 {
+		t.Fatalf("points = %d, want 36", len(points))
+	}
+	for _, p := range points {
+		if p.UserTime <= 0 || p.ReportTime <= 0 {
+			t.Errorf("non-positive timing in %+v", p)
+		}
+		if p.Sources*p.Ratio != 10_000 {
+			t.Errorf("sources×ratio != total: %+v", p)
+		}
+	}
+
+	fig1 := RenderFigure1(points)
+	for _, want := range []string{"Q1", "Q2", "Q3", "Q4", "data-ratio", MethodNaive, MethodFocused} {
+		if !strings.Contains(fig1, want) {
+			t.Errorf("Figure 1 output missing %q:\n%s", want, fig1)
+		}
+	}
+	fig2 := RenderFigure2(points, 0)
+	if !strings.Contains(fig2, "Q1") || !strings.Contains(fig2, "with-report") {
+		t.Errorf("Figure 2 output:\n%s", fig2)
+	}
+}
+
+func TestSweepRejectsBadRatio(t *testing.T) {
+	_, err := RunSweep(SweepConfig{TotalRows: 1000, Ratios: []int{7}, Iterations: 1})
+	if err == nil {
+		t.Error("indivisible ratio should fail")
+	}
+}
+
+func TestOverheadMetric(t *testing.T) {
+	p := Point{UserTime: 100 * time.Millisecond, ReportTime: 150 * time.Millisecond}
+	if math.Abs(p.Overhead()-50) > 1e-9 {
+		t.Errorf("Overhead = %v", p.Overhead())
+	}
+	if (Point{}).Overhead() != 0 {
+		t.Error("zero user time should not divide by zero")
+	}
+}
+
+func TestFPRTableSmall(t *testing.T) {
+	// 1000 sources: probes Tao1, Tao10, Tao100, Tao1000 exist (4 of 6).
+	rows, err := RunFPRTable(1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byQ := map[string]FPRRow{}
+	for _, r := range rows {
+		byQ[r.Query] = r
+	}
+	// Focused is exact on all four queries: fpr = 0.
+	for q, r := range byQ {
+		if r.FocusedFPR != 0 {
+			t.Errorf("%s focused fpr = %v (|A|=%d, |S|=%d)", q, r.FocusedFPR, r.FocusedCount, r.Relevant)
+		}
+	}
+	// Naive fpr for the selective queries: (1000-4)/4 = 249.
+	if math.Abs(byQ["Q1"].NaiveFPR-249) > 1e-9 {
+		t.Errorf("Q1 naive fpr = %v, want 249", byQ["Q1"].NaiveFPR)
+	}
+	if math.Abs(byQ["Q3"].NaiveFPR-249) > 1e-9 {
+		t.Errorf("Q3 naive fpr = %v, want 249", byQ["Q3"].NaiveFPR)
+	}
+	// Non-selective queries: 4/(1000-4) ≈ 0.004.
+	if math.Abs(byQ["Q2"].NaiveFPR-4.0/996.0) > 1e-9 {
+		t.Errorf("Q2 naive fpr = %v", byQ["Q2"].NaiveFPR)
+	}
+	out := RenderFPRTable(rows)
+	if !strings.Contains(out, "focused fpr") || !strings.Contains(out, "Q4") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestNaiveSQLUsed(t *testing.T) {
+	if !strings.Contains(NaiveSQLUsed(), "Heartbeat") {
+		t.Errorf("naive SQL = %q", NaiveSQLUsed())
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	points := []Point{{
+		Query: "Q1", Ratio: 10, Sources: 1000, Method: MethodFocused,
+		UserTime: 100 * time.Millisecond, ReportTime: 150 * time.Millisecond,
+	}}
+	out := CSV(points)
+	if !strings.Contains(out, "query,data_ratio,sources,method,user_ns,report_ns,overhead_pct") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Q1,10,1000,focused,100000000,150000000,50.000") {
+		t.Errorf("row missing:\n%s", out)
+	}
+}
+
+func TestFPRCSVRendering(t *testing.T) {
+	rows := []FPRRow{{Query: "Q1", Sources: 100, Relevant: 5, NaiveCount: 100, FocusedCount: 5, NaiveFPR: 19, FocusedFPR: 0}}
+	out := FPRCSV(rows)
+	if !strings.Contains(out, "Q1,100,5,100,19.000000,5,0.000000") {
+		t.Errorf("csv:\n%s", out)
+	}
+}
+
+func TestFigure1Chart(t *testing.T) {
+	var points []Point
+	for _, ratio := range []int{10, 100, 1000} {
+		for _, m := range []string{MethodNaive, MethodFocused, MethodFocusedNoGen} {
+			points = append(points, Point{
+				Query: "Q1", Ratio: ratio, Sources: 10000 / ratio, Method: m,
+				UserTime:   time.Millisecond,
+				ReportTime: time.Duration(1+ratio) * time.Millisecond,
+			})
+		}
+	}
+	out := RenderFigure1Chart(points)
+	for _, want := range []string{"Figure 1 — Q1", "n=naive", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Marks present (possibly overlapping as '*').
+	if !strings.ContainsAny(out, "nfg*") {
+		t.Errorf("no data marks:\n%s", out)
+	}
+	if RenderFigure1Chart(nil) != "" {
+		t.Error("empty points should render empty chart")
+	}
+}

@@ -1,0 +1,141 @@
+package benchharness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CSV renders the sweep points as a machine-readable table (one row per
+// point) for external plotting.
+func CSV(points []Point) string {
+	var sb strings.Builder
+	sb.WriteString("query,data_ratio,sources,method,user_ns,report_ns,overhead_pct\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%s,%d,%d,%s,%d,%d,%.3f\n",
+			p.Query, p.Ratio, p.Sources, p.Method,
+			p.UserTime.Nanoseconds(), p.ReportTime.Nanoseconds(), p.Overhead())
+	}
+	return sb.String()
+}
+
+// FPRCSV renders the fpr table as CSV.
+func FPRCSV(rows []FPRRow) string {
+	var sb strings.Builder
+	sb.WriteString("query,sources,relevant,naive_count,naive_fpr,focused_count,focused_fpr\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s,%d,%d,%d,%.6f,%d,%.6f\n",
+			r.Query, r.Sources, r.Relevant, r.NaiveCount, r.NaiveFPR, r.FocusedCount, r.FocusedFPR)
+	}
+	return sb.String()
+}
+
+// chart geometry.
+const (
+	chartHeight = 16
+	chartGutter = 10
+)
+
+// RenderFigure1Chart draws the paper's Figure 1 panels as log-log ASCII
+// charts: x = data ratio (decades), y = overhead% (decades, clipped to
+// [0.1, max]). One panel per query, one mark per method:
+//
+//	n = naive, f = focused, g = focused without generation, * = overlap.
+func RenderFigure1Chart(points []Point) string {
+	var sb strings.Builder
+	ratios := ratiosOf(points)
+	if len(ratios) == 0 {
+		return ""
+	}
+	for _, q := range queriesOf(points) {
+		fmt.Fprintf(&sb, "Figure 1 — %s: overhead%% (log) vs data ratio (log)   [n=naive f=focused g=focused-nogen]\n", q)
+		// Collect clipped log10 values per (method, ratio).
+		type cell struct {
+			col  int
+			mark byte
+		}
+		marks := map[string]byte{MethodNaive: 'n', MethodFocused: 'f', MethodFocusedNoGen: 'g'}
+		minLog, maxLog := math.Inf(1), math.Inf(-1)
+		vals := map[string]map[int]float64{} // method -> ratio -> log10(overhead)
+		for _, p := range points {
+			if p.Query != q {
+				continue
+			}
+			ov := p.Overhead()
+			if ov < 0.1 {
+				ov = 0.1 // clip: log axis, and negatives are noise around 0
+			}
+			lg := math.Log10(ov)
+			if vals[p.Method] == nil {
+				vals[p.Method] = map[int]float64{}
+			}
+			vals[p.Method][p.Ratio] = lg
+			minLog = math.Min(minLog, lg)
+			maxLog = math.Max(maxLog, lg)
+		}
+		if minLog == maxLog {
+			maxLog = minLog + 1
+		}
+		width := len(ratios)*8 + 4
+		grid := make([][]byte, chartHeight)
+		for i := range grid {
+			grid[i] = []byte(strings.Repeat(" ", width))
+		}
+		colOf := func(ri int) int { return 4 + ri*8 }
+		rowOf := func(lg float64) int {
+			frac := (lg - minLog) / (maxLog - minLog)
+			r := int(math.Round(float64(chartHeight-1) * (1 - frac)))
+			if r < 0 {
+				r = 0
+			}
+			if r >= chartHeight {
+				r = chartHeight - 1
+			}
+			return r
+		}
+		for method, mk := range marks {
+			for ri, ratio := range ratios {
+				lg, ok := vals[method][ratio]
+				if !ok {
+					continue
+				}
+				row, col := rowOf(lg), colOf(ri)
+				if grid[row][col] != ' ' {
+					grid[row][col] = '*'
+				} else {
+					grid[row][col] = mk
+				}
+			}
+		}
+		// y-axis labels at top/bottom.
+		top := fmt.Sprintf("%.0f%%", math.Pow(10, maxLog))
+		bottom := fmt.Sprintf("%.1f%%", math.Pow(10, minLog))
+		for i, line := range grid {
+			label := strings.Repeat(" ", chartGutter)
+			if i == 0 {
+				label = pad(top, chartGutter)
+			}
+			if i == chartHeight-1 {
+				label = pad(bottom, chartGutter)
+			}
+			sb.WriteString(label)
+			sb.WriteString("|")
+			sb.Write(line)
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(strings.Repeat(" ", chartGutter) + "+" + strings.Repeat("-", width) + "\n")
+		sb.WriteString(strings.Repeat(" ", chartGutter+1))
+		for _, ratio := range ratios {
+			sb.WriteString(pad(fmt.Sprintf("%d", ratio), 8))
+		}
+		sb.WriteString("\n\n")
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

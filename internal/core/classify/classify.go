@@ -1,0 +1,215 @@
+// Package classify organizes the basic terms of a conjunctive query
+// predicate per relation, exactly as Notations 4–7 of the TRAC paper:
+//
+//	Ps  — data source only selection predicates (reference only c_s of R_i)
+//	Pr  — regular column only selection predicates
+//	Pm  — mixed selection predicates (c_s and a regular column of R_i)
+//	Js  — join predicates whose R_i columns are only c_s
+//	Jrm — join predicates touching at least one regular column of R_i
+//	Po  — every predicate of Q not referencing R_i at all
+//
+// The recency-query generator keeps Ps (substituted onto Heartbeat), Js
+// (likewise substituted) and Po in the per-relation recency arm; Pr, Pm and
+// Jrm are dropped, which is what makes the arm an upper bound (Corollary 5)
+// and, when Pm/Jrm are absent and Pr is satisfiable, the exact minimum
+// (Theorems 3 and 4).
+package classify
+
+import (
+	"fmt"
+	"strings"
+
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+)
+
+// Relation is one FROM-list entry of the user query.
+type Relation struct {
+	Binding string // the name expressions refer to it by (alias or name)
+	Table   *storage.Table
+}
+
+// SourceColumn returns the relation's data source column name, or "" when
+// the table is not a monitored table.
+func (r Relation) SourceColumn() string {
+	if r.Table.Schema.SourceColumn < 0 {
+		return ""
+	}
+	return r.Table.Schema.Columns[r.Table.Schema.SourceColumn].Name
+}
+
+// PerRelation is the classification of a conjunct from one relation's
+// point of view.
+type PerRelation struct {
+	Ps  []sqlparser.Expr
+	Pr  []sqlparser.Expr
+	Pm  []sqlparser.Expr
+	Js  []sqlparser.Expr
+	Jrm []sqlparser.Expr
+	Po  []sqlparser.Expr
+}
+
+// Classification is the per-relation breakdown of one conjunct plus the
+// terms that reference no relation at all (constant terms such as 1 = 2).
+type Classification struct {
+	Relations []PerRelation
+	Constants []sqlparser.Expr
+}
+
+// WithChecks implements the paper's §3.4 treatment of predicate-form
+// constraints: "we can take a user query and append the conjunction of
+// predicates defining such constraints. This converts Q to an equivalent
+// expression Q′." Every CHECK constraint of every monitored relation in
+// the query is conjoined onto the WHERE clause, with unqualified (or
+// table-name-qualified) column references rewritten to the relation's
+// binding. Appending is sound because stored rows always satisfy their
+// checks (the engine enforces them on write), so Q′ ≡ Q on legal
+// instances — while the *potential tuples* quantified over by the
+// relevance definitions are now restricted to legal ones, increasing the
+// precision of the relevant-source set.
+func WithChecks(where sqlparser.Expr, rels []Relation) sqlparser.Expr {
+	terms := []sqlparser.Expr{}
+	if where != nil {
+		terms = append(terms, where)
+	}
+	for _, rel := range rels {
+		for _, raw := range rel.Table.Schema.Checks {
+			e, ok := raw.(sqlparser.Expr)
+			if !ok {
+				continue
+			}
+			clone := sqlparser.CloneExpr(e)
+			binding := rel.Binding
+			tableName := rel.Table.Name
+			sqlparser.WalkExpr(clone, func(x sqlparser.Expr) bool {
+				if cr, ok := x.(*sqlparser.ColumnRef); ok {
+					if cr.Table == "" || strings.EqualFold(cr.Table, tableName) {
+						cr.Table = binding
+					}
+				}
+				return true
+			})
+			terms = append(terms, clone)
+		}
+	}
+	return sqlparser.AndAll(terms...)
+}
+
+// termRefs describes which relations a term touches and how.
+type termRefs struct {
+	// sourceCols[i] / regularCols[i]: the term references the source /
+	// a regular column of relation i.
+	sourceCols  map[int]bool
+	regularCols map[int]bool
+}
+
+func (tr termRefs) relations() map[int]bool {
+	out := make(map[int]bool)
+	for i := range tr.sourceCols {
+		out[i] = true
+	}
+	for i := range tr.regularCols {
+		out[i] = true
+	}
+	return out
+}
+
+// Conjunct classifies the basic terms of one conjunct against the query's
+// relations.
+func Conjunct(terms []sqlparser.Expr, rels []Relation) (*Classification, error) {
+	cls := &Classification{Relations: make([]PerRelation, len(rels))}
+	for _, term := range terms {
+		refs, err := analyze(term, rels)
+		if err != nil {
+			return nil, err
+		}
+		touched := refs.relations()
+		if len(touched) == 0 {
+			cls.Constants = append(cls.Constants, term)
+			// A constant term belongs to Po of every relation: it doesn't
+			// reference R_i but constrains Q.
+			for i := range rels {
+				cls.Relations[i].Po = append(cls.Relations[i].Po, term)
+			}
+			continue
+		}
+		for i := range rels {
+			pr := &cls.Relations[i]
+			if !touched[i] {
+				pr.Po = append(pr.Po, term)
+				continue
+			}
+			selection := len(touched) == 1
+			src, reg := refs.sourceCols[i], refs.regularCols[i]
+			switch {
+			case selection && src && !reg:
+				pr.Ps = append(pr.Ps, term)
+			case selection && !src && reg:
+				pr.Pr = append(pr.Pr, term)
+			case selection: // src && reg
+				pr.Pm = append(pr.Pm, term)
+			case src && !reg:
+				pr.Js = append(pr.Js, term)
+			default: // join touching a regular column of R_i
+				pr.Jrm = append(pr.Jrm, term)
+			}
+		}
+	}
+	return cls, nil
+}
+
+// analyze resolves every column reference in a term to (relation,
+// source/regular). Unqualified names are resolved across all relations;
+// ambiguity is an error, mirroring SQL name resolution.
+func analyze(term sqlparser.Expr, rels []Relation) (termRefs, error) {
+	tr := termRefs{sourceCols: make(map[int]bool), regularCols: make(map[int]bool)}
+	var firstErr error
+	sqlparser.WalkExpr(term, func(e sqlparser.Expr) bool {
+		cr, ok := e.(*sqlparser.ColumnRef)
+		if !ok {
+			return true
+		}
+		rel, col, err := resolve(cr, rels)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return false
+		}
+		if col == rels[rel].Table.Schema.SourceColumn {
+			tr.sourceCols[rel] = true
+		} else {
+			tr.regularCols[rel] = true
+		}
+		return true
+	})
+	return tr, firstErr
+}
+
+func resolve(cr *sqlparser.ColumnRef, rels []Relation) (int, int, error) {
+	if cr.Table != "" {
+		for i, r := range rels {
+			if strings.EqualFold(r.Binding, cr.Table) {
+				ci := r.Table.Schema.ColumnIndex(cr.Column)
+				if ci < 0 {
+					return 0, 0, fmt.Errorf("classify: relation %q has no column %q", cr.Table, cr.Column)
+				}
+				return i, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("classify: unknown relation %q", cr.Table)
+	}
+	found, foundCol := -1, -1
+	for i, r := range rels {
+		if ci := r.Table.Schema.ColumnIndex(cr.Column); ci >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("classify: column %q is ambiguous", cr.Column)
+			}
+			found, foundCol = i, ci
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("classify: unknown column %q", cr.Column)
+	}
+	return found, foundCol, nil
+}

@@ -1,0 +1,144 @@
+// Package dnf converts SQL predicates to disjunctive normal form.
+//
+// The TRAC techniques (§4 of the paper) operate on queries whose predicates
+// are conjunctions of "basic terms" — terms free of AND/OR. An arbitrary
+// WHERE clause is first rewritten to negation normal form (NOT pushed onto
+// the basic terms, where the comparison/IN/BETWEEN/LIKE/IS NULL nodes absorb
+// it) and then distributed into a disjunction of conjunctions. Corollary 1
+// of the paper then lets the relevant-source set be computed per disjunct
+// and unioned.
+package dnf
+
+import (
+	"fmt"
+
+	"trac/internal/sqlparser"
+)
+
+// Conjunct is one AND-connected group of basic terms.
+type Conjunct []sqlparser.Expr
+
+// DNF is a disjunction of conjuncts.
+type DNF []Conjunct
+
+// MaxConjuncts bounds the DNF blow-up; conversion fails beyond it rather
+// than consuming unbounded memory (callers fall back to the conservative
+// all-sources upper bound).
+const MaxConjuncts = 1024
+
+// Convert rewrites a predicate into DNF. A nil predicate converts to a
+// single empty conjunct (TRUE).
+func Convert(e sqlparser.Expr) (DNF, error) {
+	if e == nil {
+		return DNF{Conjunct{}}, nil
+	}
+	nnf := pushNot(sqlparser.CloneExpr(e), false)
+	d, err := distribute(nnf)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SQL renders a DNF back to a predicate string (used in tests and
+// diagnostics).
+func (d DNF) SQL() string {
+	var ors []sqlparser.Expr
+	for _, c := range d {
+		ors = append(ors, sqlparser.AndAll([]sqlparser.Expr(c)...))
+	}
+	combined := sqlparser.OrAll(ors...)
+	if combined == nil {
+		return "TRUE"
+	}
+	return combined.SQL()
+}
+
+// pushNot rewrites e into negation normal form. negated tracks whether an
+// odd number of NOTs surround the current node.
+func pushNot(e sqlparser.Expr, negated bool) sqlparser.Expr {
+	switch n := e.(type) {
+	case *sqlparser.Not:
+		return pushNot(n.Expr, !negated)
+	case *sqlparser.Logical:
+		op := n.Op
+		if negated {
+			// De Morgan.
+			if op == sqlparser.LogicAnd {
+				op = sqlparser.LogicOr
+			} else {
+				op = sqlparser.LogicAnd
+			}
+		}
+		return &sqlparser.Logical{Op: op, Left: pushNot(n.Left, negated), Right: pushNot(n.Right, negated)}
+	case *sqlparser.Comparison:
+		if negated {
+			return &sqlparser.Comparison{Op: n.Op.Negate(), Left: n.Left, Right: n.Right}
+		}
+		return n
+	case *sqlparser.In:
+		if negated {
+			return &sqlparser.In{Expr: n.Expr, List: n.List, Negated: !n.Negated}
+		}
+		return n
+	case *sqlparser.Between:
+		if negated {
+			return &sqlparser.Between{Expr: n.Expr, Lo: n.Lo, Hi: n.Hi, Negated: !n.Negated}
+		}
+		return n
+	case *sqlparser.Like:
+		if negated {
+			return &sqlparser.Like{Expr: n.Expr, Pattern: n.Pattern, Negated: !n.Negated}
+		}
+		return n
+	case *sqlparser.IsNull:
+		if negated {
+			return &sqlparser.IsNull{Expr: n.Expr, Negated: !n.Negated}
+		}
+		return n
+	default:
+		// Literals, column refs, arithmetic: negation has no basic-term
+		// absorption; keep an explicit NOT wrapper.
+		if negated {
+			return &sqlparser.Not{Expr: e}
+		}
+		return e
+	}
+}
+
+// distribute converts an NNF expression into DNF.
+func distribute(e sqlparser.Expr) (DNF, error) {
+	switch n := e.(type) {
+	case *sqlparser.Logical:
+		left, err := distribute(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := distribute(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == sqlparser.LogicOr {
+			if len(left)+len(right) > MaxConjuncts {
+				return nil, fmt.Errorf("dnf: predicate expands past %d conjuncts", MaxConjuncts)
+			}
+			return append(left, right...), nil
+		}
+		// AND: cross product of the two disjunctions.
+		if len(left)*len(right) > MaxConjuncts {
+			return nil, fmt.Errorf("dnf: predicate expands past %d conjuncts", MaxConjuncts)
+		}
+		out := make(DNF, 0, len(left)*len(right))
+		for _, lc := range left {
+			for _, rc := range right {
+				merged := make(Conjunct, 0, len(lc)+len(rc))
+				merged = append(merged, lc...)
+				merged = append(merged, rc...)
+				out = append(out, merged)
+			}
+		}
+		return out, nil
+	default:
+		return DNF{Conjunct{e}}, nil
+	}
+}

@@ -1,0 +1,147 @@
+package dnf
+
+import (
+	"strings"
+	"testing"
+
+	"trac/internal/sqlparser"
+)
+
+func convert(t *testing.T, src string) DNF {
+	t.Helper()
+	e, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	d, err := Convert(e)
+	if err != nil {
+		t.Fatalf("convert %q: %v", src, err)
+	}
+	return d
+}
+
+func TestNilPredicateIsTrue(t *testing.T) {
+	d, err := Convert(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || len(d[0]) != 0 {
+		t.Errorf("nil predicate DNF = %v", d)
+	}
+	if d.SQL() != "TRUE" {
+		t.Errorf("SQL = %q", d.SQL())
+	}
+}
+
+func TestAlreadyConjunctive(t *testing.T) {
+	d := convert(t, "a = 1 AND b = 2 AND c = 3")
+	if len(d) != 1 || len(d[0]) != 3 {
+		t.Fatalf("DNF = %v", d)
+	}
+}
+
+func TestSimpleDisjunction(t *testing.T) {
+	d := convert(t, "a = 1 OR b = 2")
+	if len(d) != 2 || len(d[0]) != 1 || len(d[1]) != 1 {
+		t.Fatalf("DNF shape = %v", d)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	// (a OR b) AND (c OR d) -> 4 conjuncts.
+	d := convert(t, "(a = 1 OR b = 2) AND (c = 3 OR d = 4)")
+	if len(d) != 4 {
+		t.Fatalf("got %d conjuncts, want 4", len(d))
+	}
+	for _, c := range d {
+		if len(c) != 2 {
+			t.Errorf("conjunct size = %d, want 2", len(c))
+		}
+	}
+	want := "a = 1 AND c = 3 OR a = 1 AND d = 4 OR b = 2 AND c = 3 OR b = 2 AND d = 4"
+	if got := d.SQL(); got != want {
+		t.Errorf("SQL = %q, want %q", got, want)
+	}
+}
+
+func TestDeMorganAndAbsorption(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"NOT (a = 1 AND b = 2)", "a <> 1 OR b <> 2"},
+		{"NOT (a = 1 OR b = 2)", "a <> 1 AND b <> 2"},
+		{"NOT a < 1", "a >= 1"},
+		{"NOT (a IN (1, 2))", "a NOT IN (1, 2)"},
+		{"NOT (a NOT IN (1, 2))", "a IN (1, 2)"},
+		{"NOT (a BETWEEN 1 AND 2)", "a NOT BETWEEN 1 AND 2"},
+		{"NOT (a LIKE 'x%')", "a NOT LIKE 'x%'"},
+		{"NOT (a IS NULL)", "a IS NOT NULL"},
+		{"NOT NOT a = 1", "a = 1"},
+		{"NOT (NOT (a = 1 OR b = 2))", "a = 1 OR b = 2"},
+	}
+	for _, c := range cases {
+		if got := convert(t, c.src).SQL(); got != c.want {
+			t.Errorf("Convert(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPaperStyleQuery(t *testing.T) {
+	// The paper's Q1 predicate shape: IN plus equality stays one conjunct
+	// of two basic terms.
+	d := convert(t, "mach_id IN ('m1', 'm2') AND value = 'idle'")
+	if len(d) != 1 || len(d[0]) != 2 {
+		t.Fatalf("DNF = %v", d)
+	}
+	if _, ok := d[0][0].(*sqlparser.In); !ok {
+		t.Errorf("term 0 = %T", d[0][0])
+	}
+	if _, ok := d[0][1].(*sqlparser.Comparison); !ok {
+		t.Errorf("term 1 = %T", d[0][1])
+	}
+}
+
+func TestMixedNesting(t *testing.T) {
+	d := convert(t, "a = 1 AND (b = 2 OR (c = 3 AND d = 4))")
+	if len(d) != 2 {
+		t.Fatalf("got %d conjuncts", len(d))
+	}
+	if len(d[0]) != 2 || len(d[1]) != 3 {
+		t.Errorf("conjunct sizes = %d, %d", len(d[0]), len(d[1]))
+	}
+}
+
+func TestBlowUpGuard(t *testing.T) {
+	// 11 ANDed (x OR y) pairs = 2^11 = 2048 conjuncts > MaxConjuncts.
+	var parts []string
+	for i := 0; i < 11; i++ {
+		parts = append(parts, "(a = 1 OR b = 2)")
+	}
+	e, err := sqlparser.ParseExpr(strings.Join(parts, " AND "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Convert(e); err == nil {
+		t.Error("expected blow-up guard error")
+	}
+}
+
+func TestConvertDoesNotMutateInput(t *testing.T) {
+	e, _ := sqlparser.ParseExpr("NOT (a = 1 AND b = 2)")
+	before := e.SQL()
+	if _, err := Convert(e); err != nil {
+		t.Fatal(err)
+	}
+	if e.SQL() != before {
+		t.Errorf("input mutated: %q -> %q", before, e.SQL())
+	}
+}
+
+func TestNotOnNonAbsorbingTerm(t *testing.T) {
+	// NOT over a bare column keeps an explicit NOT wrapper.
+	d := convert(t, "NOT (flag = TRUE OR x > 1) AND y = 2")
+	if len(d) != 1 || len(d[0]) != 3 {
+		t.Fatalf("DNF = %v", d.SQL())
+	}
+}

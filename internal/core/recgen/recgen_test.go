@@ -1,0 +1,426 @@
+package recgen
+
+import (
+	"strings"
+	"testing"
+
+	"trac/internal/engine"
+	"trac/internal/sqlparser"
+	"trac/internal/types"
+)
+
+func mustStringDomain(vals ...string) types.Domain {
+	return types.FiniteStringDomain(vals...)
+}
+
+// paperDB builds the paper's schema with Table 1 / Table 2 data and the
+// example Heartbeat contents, using value's finite domain {idle, busy}.
+func paperDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New()
+	for _, sql := range []string{
+		`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Routing (mach_id TEXT, neighbor TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`,
+		`INSERT INTO Activity VALUES
+			('m1', 'idle', '2006-03-11 20:37:46'),
+			('m2', 'busy', '2006-02-10 18:22:01'),
+			('m3', 'idle', '2006-03-12 10:23:05')`,
+		`INSERT INTO Routing VALUES
+			('m1', 'm3', '2006-03-12 23:20:06'),
+			('m2', 'm3', '2006-02-10 03:34:21')`,
+		`INSERT INTO Heartbeat VALUES
+			('m1', '2006-03-15 14:20:05'),
+			('m2', '2006-03-14 17:23:00'),
+			('m3', '2006-03-15 14:40:05')`,
+	} {
+		db.MustExec(sql)
+	}
+	mark := func(table, col string) {
+		tbl, err := db.Catalog().Get(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Schema.SetSourceColumn(col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mark("Activity", "mach_id")
+	mark("Routing", "mach_id")
+	// Give value its finite domain so satisfiability is decidable.
+	act, _ := db.Catalog().Get("Activity")
+	act.Schema.Columns[1].Domain = mustStringDomain("busy", "idle")
+	return db
+}
+
+func generate(t *testing.T, db *engine.DB, sql string) *Generated {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Generate(sel, db.Catalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// run executes the generated recency query and returns the sorted sids.
+func run(t *testing.T, db *engine.DB, g *Generated) []string {
+	t.Helper()
+	if g.Empty {
+		return nil
+	}
+	res, err := db.QueryStmtAt(g.Stmt, db.Snapshot())
+	if err != nil {
+		t.Fatalf("running %q: %v", g.SQL, err)
+	}
+	var sids []string
+	for _, row := range res.Rows {
+		sids = append(sids, row[0].Str())
+	}
+	sortStrings(sids)
+	return sids
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestPaperQ1Example(t *testing.T) {
+	// §4.1.1: mach_id IN ('m1','m2') AND value = 'idle' over Activity.
+	// Theorem 3 applies: minimal set = {m1, m2}.
+	db := paperDB(t)
+	g := generate(t, db, `SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'`)
+	if !g.Minimal {
+		t.Errorf("should be minimal; reasons: %v", g.Reasons)
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m1,m2" {
+		t.Errorf("relevant = %v, want [m1 m2]", got)
+	}
+	if !strings.Contains(g.SQL, "trac_h.sid IN ('m1', 'm2')") {
+		t.Errorf("Ps not substituted onto Heartbeat: %s", g.SQL)
+	}
+	if strings.Contains(g.SQL, "value") {
+		t.Errorf("Pr should be dropped from the recency query: %s", g.SQL)
+	}
+}
+
+func TestPaperQ2JoinExample(t *testing.T) {
+	// §4.1.2 worked example: S(Q2) = S(Q2,R) ∪ S(Q2,A) = {m1} ∪ {m3}.
+	db := paperDB(t)
+	g := generate(t, db, `
+		SELECT A.mach_id FROM Routing R, Activity A
+		WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id`)
+	if got := run(t, db, g); strings.Join(got, ",") != "m1,m3" {
+		t.Errorf("relevant = %v, want [m1 m3]", got)
+	}
+	// The R arm has a Jrm (R.neighbor = A.mach_id touches R's regular
+	// column), so minimality is lost exactly as the paper notes.
+	if g.Minimal {
+		t.Error("Q2 should not be guaranteed minimal (Jrm on R)")
+	}
+	foundJrmReason := false
+	for _, r := range g.Reasons {
+		if strings.Contains(r, "regular-column join") {
+			foundJrmReason = true
+		}
+	}
+	if !foundJrmReason {
+		t.Errorf("expected Jrm reason, got %v", g.Reasons)
+	}
+	// Two arms: via R and via A.
+	if len(g.Arms) != 2 {
+		t.Fatalf("arms = %d, want 2", len(g.Arms))
+	}
+	// The A arm is minimal (Theorem 4 applies).
+	var armA *ArmInfo
+	for i := range g.Arms {
+		if g.Arms[i].Relation == "A" {
+			armA = &g.Arms[i]
+		}
+	}
+	if armA == nil || !armA.Minimal {
+		t.Errorf("A arm should be minimal: %+v", g.Arms)
+	}
+}
+
+func TestQ2ArmViaAIsSemijoin(t *testing.T) {
+	// The arm via A must read: sources H.sid such that a Routing row with
+	// mach_id='m1' has neighbor = H.sid. Evaluates to {m3} on Table 2.
+	db := paperDB(t)
+	g := generate(t, db, `
+		SELECT A.mach_id FROM Routing R, Activity A
+		WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id`)
+	var armA string
+	for _, a := range g.Arms {
+		if a.Relation == "A" {
+			armA = a.SQL
+		}
+	}
+	if !strings.Contains(armA, "R.neighbor = trac_h.sid") {
+		t.Errorf("A arm should substitute A.mach_id -> trac_h.sid in the join: %s", armA)
+	}
+	if !strings.Contains(armA, "R.mach_id = 'm1'") {
+		t.Errorf("A arm should keep R's selection in Po: %s", armA)
+	}
+	if strings.Contains(armA, "idle") {
+		t.Errorf("A arm must drop A's regular predicate: %s", armA)
+	}
+}
+
+func TestNoWhereReportsAllSources(t *testing.T) {
+	db := paperDB(t)
+	g := generate(t, db, `SELECT mach_id FROM Activity`)
+	if !g.Minimal {
+		t.Errorf("no-WHERE query is trivially minimal; reasons: %v", g.Reasons)
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m1,m2,m3" {
+		t.Errorf("relevant = %v, want all", got)
+	}
+}
+
+func TestUnsatisfiableDisjunctDropped(t *testing.T) {
+	db := paperDB(t)
+	// value = 'down' is outside the finite domain: Corollary 2 -> empty.
+	g := generate(t, db, `SELECT mach_id FROM Activity WHERE value = 'down'`)
+	if !g.Empty {
+		t.Fatalf("expected Empty, got SQL %q", g.SQL)
+	}
+	if g.SkippedDisjuncts != 1 {
+		t.Errorf("SkippedDisjuncts = %d", g.SkippedDisjuncts)
+	}
+	// Constant contradiction too.
+	g = generate(t, db, `SELECT mach_id FROM Activity WHERE 1 = 2 AND mach_id = 'm1'`)
+	if !g.Empty {
+		t.Errorf("constant-false predicate should yield Empty, got %q", g.SQL)
+	}
+}
+
+func TestDisjunctionUnionsArms(t *testing.T) {
+	db := paperDB(t)
+	g := generate(t, db, `SELECT mach_id FROM Activity WHERE (mach_id = 'm1' AND value = 'idle') OR (mach_id = 'm2' AND value = 'busy')`)
+	if !g.Minimal {
+		t.Errorf("both disjuncts meet Theorem 3; reasons: %v", g.Reasons)
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m1,m2" {
+		t.Errorf("relevant = %v", got)
+	}
+	if !strings.Contains(g.SQL, "UNION") {
+		t.Errorf("expected a UNION of arms: %s", g.SQL)
+	}
+}
+
+func TestPartiallyUnsatisfiableDisjunction(t *testing.T) {
+	db := paperDB(t)
+	g := generate(t, db, `SELECT mach_id FROM Activity WHERE (mach_id = 'm1' AND value = 'down') OR (mach_id = 'm2' AND value = 'busy')`)
+	if g.SkippedDisjuncts != 1 {
+		t.Errorf("SkippedDisjuncts = %d, want 1", g.SkippedDisjuncts)
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m2" {
+		t.Errorf("relevant = %v, want [m2]", got)
+	}
+}
+
+func TestMixedPredicateLosesMinimality(t *testing.T) {
+	db := paperDB(t)
+	g := generate(t, db, `SELECT mach_id FROM Activity WHERE mach_id = value`)
+	if g.Minimal {
+		t.Error("mixed predicate must lose the minimality guarantee")
+	}
+	// Still a complete upper bound: all sources.
+	if got := run(t, db, g); strings.Join(got, ",") != "m1,m2,m3" {
+		t.Errorf("upper bound = %v, want all sources", got)
+	}
+}
+
+func TestUnknownSatisfiabilityLosesMinimality(t *testing.T) {
+	db := paperDB(t)
+	// event_time is unbounded; a cross-column regular predicate defeats the
+	// checker -> Unknown -> upper bound.
+	g := generate(t, db, `SELECT mach_id FROM Activity WHERE mach_id = 'm1' AND event_time = event_time`)
+	if g.Minimal {
+		t.Error("unknown satisfiability must lose minimality")
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m1" {
+		t.Errorf("upper bound = %v, want [m1]", got)
+	}
+}
+
+func TestEmptyOtherRelationMakesArmEmpty(t *testing.T) {
+	// Definition 2 requires actual tuples in the other relations: with an
+	// empty Routing table, nothing is relevant via Activity for a join
+	// query (and nothing via Routing either if Activity's predicates use
+	// actual rows... via Routing needs Activity rows, which exist).
+	db := paperDB(t)
+	db.MustExec(`DELETE FROM Routing`)
+	g := generate(t, db, `
+		SELECT A.mach_id FROM Routing R, Activity A
+		WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id`)
+	got := run(t, db, g)
+	// Via A: requires a Routing row -> none. Via R: requires an Activity
+	// row satisfying Po (A.value='idle') -> exists, and Ps(R)={m1}.
+	if strings.Join(got, ",") != "m1" {
+		t.Errorf("relevant = %v, want [m1]", got)
+	}
+}
+
+func TestSelfJoinAliases(t *testing.T) {
+	db := paperDB(t)
+	g := generate(t, db, `
+		SELECT a.mach_id FROM Activity a, Activity b
+		WHERE a.mach_id = 'm1' AND b.mach_id = 'm2' AND a.value = b.value`)
+	// Both arms exist; each loses minimality through the Jrm a.value=b.value.
+	if g.Minimal {
+		t.Error("self-join with value equality is not guaranteed minimal")
+	}
+	got := run(t, db, g)
+	if strings.Join(got, ",") != "m1,m2" {
+		t.Errorf("relevant = %v, want [m1 m2]", got)
+	}
+}
+
+func TestHeartbeatAliasCollision(t *testing.T) {
+	db := paperDB(t)
+	g := generate(t, db, `SELECT trac_h.mach_id FROM Activity trac_h WHERE trac_h.mach_id = 'm1'`)
+	if strings.Contains(g.SQL, "trac_h.sid IN") {
+		t.Errorf("alias should have been renamed: %s", g.SQL)
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m1" {
+		t.Errorf("relevant = %v", got)
+	}
+}
+
+func TestUnionQueryRejected(t *testing.T) {
+	db := paperDB(t)
+	sel, err := sqlparser.ParseSelect(`SELECT mach_id FROM Activity UNION SELECT mach_id FROM Routing`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(sel, db.Catalog(), Options{}); err == nil {
+		t.Error("UNION user queries should be rejected (not a single SPJ block)")
+	}
+}
+
+func TestNaiveSQL(t *testing.T) {
+	sql := NaiveSQL(Options{})
+	if !strings.Contains(sql, "Heartbeat") || !strings.Contains(sql, "sid") {
+		t.Errorf("naive SQL = %q", sql)
+	}
+}
+
+func TestGeneratedSQLReparses(t *testing.T) {
+	db := paperDB(t)
+	queries := []string{
+		`SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'`,
+		`SELECT A.mach_id FROM Routing R, Activity A WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id`,
+		`SELECT mach_id FROM Activity WHERE mach_id = 'm1' OR value = 'busy'`,
+		`SELECT mach_id FROM Activity WHERE NOT (mach_id = 'm1')`,
+		`SELECT mach_id FROM Activity WHERE event_time > '2006-03-01 00:00:00'`,
+	}
+	for _, q := range queries {
+		g := generate(t, db, q)
+		if g.Empty {
+			t.Errorf("unexpected Empty for %q", q)
+			continue
+		}
+		if _, err := sqlparser.ParseSelect(g.SQL); err != nil {
+			t.Errorf("generated SQL for %q does not re-parse: %v\n%s", q, err, g.SQL)
+		}
+	}
+}
+
+func TestDataSourceOnlyDisjunctKeepsMinimality(t *testing.T) {
+	db := paperDB(t)
+	// Pure source-column predicate: trivially minimal, even with LIKE.
+	g := generate(t, db, `SELECT mach_id FROM Activity WHERE mach_id LIKE 'm%'`)
+	if !g.Minimal {
+		t.Errorf("source-only LIKE should be minimal; reasons: %v", g.Reasons)
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m1,m2,m3" {
+		t.Errorf("relevant = %v", got)
+	}
+}
+
+func TestConstantOnlyQuery(t *testing.T) {
+	db := paperDB(t)
+	g := generate(t, db, `SELECT mach_id FROM Activity WHERE 1 = 1`)
+	if got := run(t, db, g); strings.Join(got, ",") != "m1,m2,m3" {
+		t.Errorf("relevant = %v, want all sources", got)
+	}
+}
+
+func TestAggregateQueriesMinimality(t *testing.T) {
+	db := paperDB(t)
+	// COUNT(*) with a source predicate: any qualifying insert changes the
+	// count, so the minimality guarantee survives (the paper's Q1 shape).
+	g := generate(t, db, `SELECT COUNT(*) FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'`)
+	if !g.Minimal {
+		t.Errorf("COUNT(*) query should stay minimal: %v", g.Reasons)
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m1,m2" {
+		t.Errorf("relevant = %v", got)
+	}
+	// MIN-only aggregates can absorb updates: downgraded to upper bound.
+	g = generate(t, db, `SELECT MIN(event_time) FROM Activity WHERE mach_id = 'm1'`)
+	if g.Minimal {
+		t.Error("MIN-only query must be downgraded")
+	}
+	// GROUP BY: downgraded, but still complete.
+	g = generate(t, db, `SELECT value, COUNT(*) FROM Activity WHERE mach_id = 'm1' GROUP BY value`)
+	if g.Minimal {
+		t.Error("GROUP BY query must be downgraded")
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m1" {
+		t.Errorf("relevant = %v", got)
+	}
+	// HAVING: downgraded with a HAVING-specific reason.
+	g = generate(t, db, `SELECT value FROM Activity GROUP BY value HAVING COUNT(*) > 1`)
+	if g.Minimal {
+		t.Error("HAVING query must be downgraded")
+	}
+	foundReason := false
+	for _, r := range g.Reasons {
+		if strings.Contains(r, "SPJ core") {
+			foundReason = true
+		}
+	}
+	if !foundReason {
+		t.Errorf("reasons = %v", g.Reasons)
+	}
+}
+
+func TestDNFBlowUpFallsBackToAllSources(t *testing.T) {
+	db := paperDB(t)
+	// 11 conjoined (a OR b) factors expand to 2^11 conjuncts — beyond the
+	// DNF guard. The generator must fall back to the all-sources upper
+	// bound rather than fail.
+	var parts []string
+	for i := 0; i < 11; i++ {
+		parts = append(parts, "(mach_id = 'm1' OR value = 'idle')")
+	}
+	g := generate(t, db, `SELECT mach_id FROM Activity WHERE `+strings.Join(parts, " AND "))
+	if g.Empty {
+		t.Fatal("fallback must not be empty")
+	}
+	if g.Minimal {
+		t.Error("fallback is an upper bound")
+	}
+	foundReason := false
+	for _, r := range g.Reasons {
+		if strings.Contains(r, "DNF") {
+			foundReason = true
+		}
+	}
+	if !foundReason {
+		t.Errorf("reasons = %v", g.Reasons)
+	}
+	if got := run(t, db, g); strings.Join(got, ",") != "m1,m2,m3" {
+		t.Errorf("fallback should report all sources, got %v", got)
+	}
+}

@@ -1,0 +1,292 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trac/internal/engine"
+	"trac/internal/types"
+)
+
+// sectionDB reproduces the §5.1 scenario: 11 sources m1..m11 where m2 is
+// ~21 hours behind the others, Activity has m1/m3 idle.
+func sectionDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New()
+	for _, sql := range []string{
+		`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`,
+		`CREATE INDEX idx_act ON Activity (mach_id)`,
+		`INSERT INTO Activity VALUES
+			('m1', 'idle', '2006-03-15 14:19:00'),
+			('m2', 'busy', '2006-03-14 17:00:00'),
+			('m3', 'idle', '2006-03-15 14:39:00')`,
+		// m1..m11 heartbeats: m2 exceptional at 2006-03-14 17:23:00, the
+		// rest within 2006-03-15 14:20:05 .. 14:40:05.
+		`INSERT INTO Heartbeat VALUES
+			('m1', '2006-03-15 14:20:05'),
+			('m2', '2006-03-14 17:23:00'),
+			('m3', '2006-03-15 14:40:05'),
+			('m4', '2006-03-15 14:21:05'),
+			('m5', '2006-03-15 14:22:05'),
+			('m6', '2006-03-15 14:23:05'),
+			('m7', '2006-03-15 14:24:05'),
+			('m8', '2006-03-15 14:25:05'),
+			('m9', '2006-03-15 14:26:05'),
+			('m10', '2006-03-15 14:27:05'),
+			('m11', '2006-03-15 14:28:05')`,
+	} {
+		db.MustExec(sql)
+	}
+	act, _ := db.Catalog().Get("Activity")
+	act.Schema.SetSourceColumn("mach_id")
+	act.Schema.Columns[1].Domain = types.FiniteStringDomain("busy", "idle")
+	return db
+}
+
+func TestSection51Transcript(t *testing.T) {
+	db := sectionDB(t)
+	sess := db.NewSession()
+	defer sess.Close()
+
+	rep, err := Run(sess, `SELECT mach_id, value FROM Activity A WHERE value = 'idle'`, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User result: m1 and m3 idle.
+	if len(rep.Result.Rows) != 2 {
+		t.Fatalf("user rows = %v", rep.Result.Rows)
+	}
+	// The query has no source predicate: all 11 sources relevant; m2 is
+	// exceptional (z-score over 3 given ten tight timestamps and one ~21h
+	// behind).
+	if len(rep.Exceptional) != 1 || rep.Exceptional[0].Sid != "m2" {
+		t.Fatalf("exceptional = %+v", rep.Exceptional)
+	}
+	if len(rep.Normal) != 10 {
+		t.Fatalf("normal = %d sources: %+v", len(rep.Normal), rep.Normal)
+	}
+	// Least and most recent normal sources per the paper.
+	if rep.Least.Sid != "m1" || rep.Most.Sid != "m3" {
+		t.Errorf("least/most = %s/%s, want m1/m3", rep.Least.Sid, rep.Most.Sid)
+	}
+	if rep.Bound != 20*time.Minute {
+		t.Errorf("bound = %v, want 20m", rep.Bound)
+	}
+	// Temp tables exist and are queryable.
+	res, err := db.Query(`SELECT COUNT(*) FROM ` + rep.NormalTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 10 {
+		t.Errorf("normal temp rows = %v", res.Rows[0][0])
+	}
+	res, err = db.Query(`SELECT sid FROM ` + rep.ExceptionalTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "m2" {
+		t.Errorf("exceptional temp rows = %v", res.Rows)
+	}
+
+	out := rep.Render()
+	for _, want := range []string{
+		"Exceptional relevant data sources and timestamps are in the temporary table: sys_temp_e",
+		"The least recent data source: m1, 2006-03-15 14:20:05",
+		"The most recent data source: m3, 2006-03-15 14:40:05",
+		"Bound of inconsistency: 00:20:00",
+		"''normal'' relevant data sources and timestamps are in the temporary table: sys_temp_a",
+		"m1",
+		"idle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFocusedRestrictsSources(t *testing.T) {
+	db := sectionDB(t)
+	sess := db.NewSession()
+	defer sess.Close()
+	rep, err := Run(sess, `SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'`, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Minimal {
+		t.Errorf("should be minimal: %v", rep.Reasons)
+	}
+	total := len(rep.Normal) + len(rep.Exceptional)
+	if total != 2 {
+		t.Fatalf("relevant = %d sources, want 2", total)
+	}
+}
+
+func TestNaiveReportsAll(t *testing.T) {
+	db := sectionDB(t)
+	sess := db.NewSession()
+	defer sess.Close()
+	rep, err := Run(sess, `SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'`,
+		Config{Method: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Minimal {
+		t.Error("naive must not claim minimality")
+	}
+	if total := len(rep.Normal) + len(rep.Exceptional); total != 11 {
+		t.Fatalf("naive relevant = %d, want 11", total)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	db := sectionDB(t)
+	sess := db.NewSession()
+	defer sess.Close()
+	rep, err := Run(sess, `SELECT mach_id FROM Activity WHERE value = 'down'`, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Empty {
+		t.Fatal("expected Empty report")
+	}
+	if !strings.Contains(rep.Render(), "No data source is relevant") {
+		t.Errorf("render = %s", rep.Render())
+	}
+}
+
+func TestSkipKnobs(t *testing.T) {
+	db := sectionDB(t)
+	sess := db.NewSession()
+	defer sess.Close()
+	rep, err := Run(sess, `SELECT mach_id FROM Activity WHERE value = 'idle'`,
+		Config{SkipStats: true, SkipTempTables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exceptional) != 0 {
+		t.Error("SkipStats should disable outlier detection")
+	}
+	if len(rep.Normal) != 11 {
+		t.Errorf("normal = %d, want all 11", len(rep.Normal))
+	}
+	if rep.NormalTable != "" || rep.ExceptionalTable != "" {
+		t.Error("SkipTempTables should leave table names empty")
+	}
+	if len(sess.TempTables()) != 0 {
+		t.Error("no temp tables should have been created")
+	}
+}
+
+func TestSnapshotConsistencyUnderConcurrentLoad(t *testing.T) {
+	// Requirement 1 end to end: while loaders update Activity and
+	// Heartbeat, each report's user result and recency rows must come from
+	// one snapshot — the recency of a source must be >= the newest event
+	// we see from it, and the bound/min/max must be internally consistent.
+	db := sectionDB(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		base := time.Date(2006, 3, 16, 0, 0, 0, 0, time.UTC)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Event + heartbeat advance must commit atomically (the Batch
+			// API exists for exactly this): otherwise a snapshot between
+			// the two statements legitimately sees the event with a stale
+			// recency.
+			ts := base.Add(time.Duration(i) * time.Second).Format(types.TimeLayout)
+			b := db.BeginBatch()
+			if _, err := b.Exec(`INSERT INTO Activity VALUES ('m1', 'idle', '` + ts + `')`); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := b.Exec(`UPDATE Heartbeat SET recency = '` + ts + `' WHERE sid = 'm1'`); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+		}
+	}()
+
+	for iter := 0; iter < 30; iter++ {
+		sess := db.NewSession()
+		rep, err := Run(sess, `SELECT mach_id, event_time FROM Activity WHERE mach_id = 'm1'`, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find m1's reported recency.
+		var recency time.Time
+		for _, sr := range append(rep.Normal, rep.Exceptional...) {
+			if sr.Sid == "m1" {
+				recency = sr.Recency
+			}
+		}
+		if recency.IsZero() {
+			t.Fatal("m1 missing from recency report")
+		}
+		// Every m1 event in the result must be <= recency OR belong to the
+		// initial fixture (whose event_time predates the loader's base).
+		for _, row := range rep.Result.Rows {
+			et := row[1].Time()
+			if et.After(recency) {
+				t.Fatalf("snapshot inconsistency: event %v newer than reported recency %v", et, recency)
+			}
+		}
+		sess.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPreparedExecuteReuse(t *testing.T) {
+	db := sectionDB(t)
+	p, err := Prepare(db, `SELECT mach_id FROM Activity WHERE mach_id = 'm1'`, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		sess := db.NewSession()
+		rep, err := p.Execute(sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total := len(rep.Normal) + len(rep.Exceptional); total != 1 {
+			t.Fatalf("relevant = %d, want 1", total)
+		}
+		sess.Close()
+	}
+}
+
+func TestFormatBound(t *testing.T) {
+	cases := map[time.Duration]string{
+		20 * time.Minute:               "00:20:00",
+		0:                              "00:00:00",
+		90*time.Minute + 5*time.Second: "01:30:05",
+		25 * time.Hour:                 "25:00:00",
+		-(10 * time.Minute):            "00:10:00",
+	}
+	for d, want := range cases {
+		if got := formatBound(d); got != want {
+			t.Errorf("formatBound(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Focused.String() != "focused" || Naive.String() != "naive" {
+		t.Error("method names wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestBatchAtomicity(t *testing.T) {
+	db := paperDB(t)
+	snapBefore := db.Snapshot()
+
+	b := db.BeginBatch()
+	if _, err := b.Exec(`INSERT INTO Activity VALUES ('m8', 'idle', '2006-03-16 00:00:00')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Exec(`UPDATE Heartbeat SET recency = '2006-03-16 00:00:00' WHERE sid = 'm1'`); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing visible before commit.
+	res, _ := db.QueryAt(`SELECT COUNT(*) FROM Activity WHERE mach_id = 'm8'`, db.Snapshot())
+	if res.Rows[0][0].Int() != 0 {
+		t.Error("uncommitted batch visible")
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Both visible after commit; old snapshot sees neither.
+	res, _ = db.Query(`SELECT COUNT(*) FROM Activity WHERE mach_id = 'm8'`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Error("batch insert lost")
+	}
+	res, _ = db.QueryAt(`SELECT recency FROM Heartbeat WHERE sid = 'm1'`, snapBefore)
+	if res.Rows[0][0].String() != "2006-03-15 14:20:05" {
+		t.Errorf("old snapshot sees new heartbeat: %v", res.Rows[0][0])
+	}
+	if b.Affected() != 2 {
+		t.Errorf("Affected = %d", b.Affected())
+	}
+}
+
+func TestBatchAbort(t *testing.T) {
+	db := paperDB(t)
+	b := db.BeginBatch()
+	b.Exec(`INSERT INTO Activity VALUES ('m8', 'idle', '2006-03-16 00:00:00')`)
+	if err := b.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query(`SELECT COUNT(*) FROM Activity WHERE mach_id = 'm8'`)
+	if res.Rows[0][0].Int() != 0 {
+		t.Error("aborted batch visible")
+	}
+	if _, err := b.Exec(`DELETE FROM Activity`); err == nil {
+		t.Error("exec after abort should fail")
+	}
+	if err := b.Commit(); err == nil {
+		t.Error("commit after abort should fail")
+	}
+}
+
+func TestBatchReadsOwnWrites(t *testing.T) {
+	db := paperDB(t)
+	b := db.BeginBatch()
+	if _, err := b.Exec(`INSERT INTO Heartbeat VALUES ('mX', '2006-03-16 00:00:00')`); err != nil {
+		t.Fatal(err)
+	}
+	// An UPDATE inside the batch must see the batch's own insert.
+	n, err := b.Exec(`UPDATE Heartbeat SET recency = '2006-03-16 01:00:00' WHERE sid = 'mX'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("update matched %d rows, want 1 (own write invisible)", n)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query(`SELECT recency FROM Heartbeat WHERE sid = 'mX'`)
+	if res.Rows[0][0].String() != "2006-03-16 01:00:00" {
+		t.Errorf("final recency = %v", res.Rows[0][0])
+	}
+}
+
+func TestBatchRejectsDDL(t *testing.T) {
+	db := paperDB(t)
+	b := db.BeginBatch()
+	defer b.Abort()
+	if _, err := b.Exec(`CREATE TABLE t (x TEXT)`); err == nil {
+		t.Error("DDL in batch should fail")
+	}
+	if _, err := b.Exec(`SELECT * FROM Activity`); err == nil {
+		t.Error("SELECT in batch should fail")
+	}
+}

@@ -1,0 +1,415 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/types"
+)
+
+// The dump format is a versioned custom binary encoding:
+//
+//	magic "TRACDB01"
+//	uvarint tableCount
+//	per table:
+//	  string name
+//	  uvarint columnCount
+//	  per column: string name, byte kind, byte pkFlag, domain
+//	  varint sourceColumn (-1 when none)
+//	  uvarint checkCount, per check: string (SQL text)
+//	  uvarint indexedColumnCount, per index: uvarint column position
+//	  uvarint rowCount, per row: one value per column
+//
+// Only versions visible at the save snapshot are written: a dump compacts
+// away MVCC history, which is also the natural vacuum for this engine.
+
+const dumpMagic = "TRACDB01"
+
+// Save writes a snapshot-consistent dump of every table to w.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(dumpMagic); err != nil {
+		return err
+	}
+	snap := db.Snapshot()
+	names := db.catalog.Names()
+	writeUvarint(bw, uint64(len(names)))
+	for _, name := range names {
+		tbl, err := db.catalog.Get(name)
+		if err != nil {
+			return err
+		}
+		if err := saveTable(bw, tbl, snap); err != nil {
+			return fmt.Errorf("engine: saving table %s: %w", name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes a dump to a file.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dump into a fresh database.
+func Load(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(dumpMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != dumpMagic {
+		return nil, fmt.Errorf("engine: not a TRAC dump (magic %q)", magic)
+	}
+	db := New()
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := loadTable(br, db); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// LoadFile reads a dump from a file.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func saveTable(w *bufio.Writer, tbl *storage.Table, snap interface{ Visible(*storage.Row) bool }) error {
+	writeString(w, tbl.Name)
+	schema := tbl.Schema
+	writeUvarint(w, uint64(schema.NumColumns()))
+	for _, col := range schema.Columns {
+		writeString(w, col.Name)
+		w.WriteByte(byte(col.Kind))
+		if col.PrimaryKey {
+			w.WriteByte(1)
+		} else {
+			w.WriteByte(0)
+		}
+		writeDomain(w, col.Domain)
+	}
+	writeVarint(w, int64(schema.SourceColumn))
+	checks := TableChecks(tbl)
+	writeUvarint(w, uint64(len(checks)))
+	for _, c := range checks {
+		writeString(w, c.SQL())
+	}
+	idxCols := tbl.IndexedColumns()
+	writeUvarint(w, uint64(len(idxCols)))
+	for _, c := range idxCols {
+		writeUvarint(w, uint64(c))
+	}
+	// Count visible rows first (two passes keep the format simple).
+	rows := tbl.Rows()
+	count := 0
+	for _, r := range rows {
+		if snap.Visible(r) {
+			count++
+		}
+	}
+	writeUvarint(w, uint64(count))
+	for _, r := range rows {
+		if !snap.Visible(r) {
+			continue
+		}
+		for _, v := range r.Values {
+			if err := writeValue(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func loadTable(r *bufio.Reader, db *DB) error {
+	name, err := readString(r)
+	if err != nil {
+		return err
+	}
+	nCols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	cols := make([]storage.Column, nCols)
+	for i := range cols {
+		cname, err := readString(r)
+		if err != nil {
+			return err
+		}
+		kindB, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		pkB, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		dom, err := readDomain(r)
+		if err != nil {
+			return err
+		}
+		cols[i] = storage.Column{Name: cname, Kind: types.Kind(kindB), PrimaryKey: pkB == 1, Domain: dom}
+	}
+	schema, err := storage.NewSchema(cols)
+	if err != nil {
+		return err
+	}
+	srcCol, err := readVarint(r)
+	if err != nil {
+		return err
+	}
+	if srcCol >= 0 {
+		schema.SourceColumn = int(srcCol)
+	}
+	nChecks, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nChecks; i++ {
+		src, err := readString(r)
+		if err != nil {
+			return err
+		}
+		e, err := sqlparser.ParseExpr(src)
+		if err != nil {
+			return fmt.Errorf("engine: bad CHECK in dump: %w", err)
+		}
+		schema.Checks = append(schema.Checks, e)
+	}
+	tbl := storage.NewTable(name, schema)
+	if err := db.catalog.Create(tbl); err != nil {
+		return err
+	}
+
+	nIdx, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	idxCols := make([]int, nIdx)
+	for i := range idxCols {
+		c, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		idxCols[i] = int(c)
+	}
+
+	nRows, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	tx := db.mgr.Begin()
+	for i := uint64(0); i < nRows; i++ {
+		vals := make([]types.Value, nCols)
+		for j := range vals {
+			v, err := readValue(r)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			vals[j] = v
+		}
+		if err := tx.InsertRow(tbl, storage.NewRow(vals, 0)); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	// Indexes are rebuilt after loading (backfill is cheaper than
+	// per-insert maintenance).
+	for _, c := range idxCols {
+		if c < 0 || c >= int(nCols) {
+			return fmt.Errorf("engine: dump index column %d out of range", c)
+		}
+		if err := tbl.CreateIndex(schema.Columns[c].Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// primitive encoders
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func readVarint(r *bufio.Reader) (int64, error) { return binary.ReadVarint(r) }
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("engine: corrupt dump (string length %d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeValue(w *bufio.Writer, v types.Value) error {
+	w.WriteByte(byte(v.Kind()))
+	switch v.Kind() {
+	case types.KindNull:
+	case types.KindBool:
+		if v.Bool() {
+			w.WriteByte(1)
+		} else {
+			w.WriteByte(0)
+		}
+	case types.KindInt:
+		writeVarint(w, v.Int())
+	case types.KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float()))
+		w.Write(buf[:])
+	case types.KindString:
+		writeString(w, v.Str())
+	case types.KindTime:
+		writeVarint(w, v.TimeNanos())
+	default:
+		return fmt.Errorf("engine: cannot persist value kind %v", v.Kind())
+	}
+	return nil
+}
+
+func readValue(r *bufio.Reader) (types.Value, error) {
+	kindB, err := r.ReadByte()
+	if err != nil {
+		return types.Null, err
+	}
+	switch types.Kind(kindB) {
+	case types.KindNull:
+		return types.Null, nil
+	case types.KindBool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(b == 1), nil
+	case types.KindInt:
+		i, err := binary.ReadVarint(r)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewInt(i), nil
+	case types.KindFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return types.Null, err
+		}
+		return types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case types.KindString:
+		s, err := readString(r)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewString(s), nil
+	case types.KindTime:
+		ns, err := binary.ReadVarint(r)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewTimeNanos(ns), nil
+	default:
+		return types.Null, fmt.Errorf("engine: corrupt dump (value kind %d)", kindB)
+	}
+}
+
+func writeDomain(w *bufio.Writer, d types.Domain) {
+	w.WriteByte(byte(d.Kind))
+	w.WriteByte(byte(d.ValueKind))
+	switch d.Kind {
+	case types.DomainFinite:
+		writeUvarint(w, uint64(len(d.Values)))
+		for _, v := range d.Values {
+			writeValue(w, v)
+		}
+	case types.DomainIntRange:
+		writeVarint(w, d.MinInt)
+		writeVarint(w, d.MaxInt)
+	}
+}
+
+func readDomain(r *bufio.Reader) (types.Domain, error) {
+	kindB, err := r.ReadByte()
+	if err != nil {
+		return types.Domain{}, err
+	}
+	vkB, err := r.ReadByte()
+	if err != nil {
+		return types.Domain{}, err
+	}
+	d := types.Domain{Kind: types.DomainKind(kindB), ValueKind: types.Kind(vkB)}
+	switch d.Kind {
+	case types.DomainFinite:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return types.Domain{}, err
+		}
+		vals := make([]types.Value, n)
+		for i := range vals {
+			vals[i], err = readValue(r)
+			if err != nil {
+				return types.Domain{}, err
+			}
+		}
+		return types.FiniteDomain(vals...)
+	case types.DomainIntRange:
+		min, err := binary.ReadVarint(r)
+		if err != nil {
+			return types.Domain{}, err
+		}
+		max, err := binary.ReadVarint(r)
+		if err != nil {
+			return types.Domain{}, err
+		}
+		return types.IntRangeDomain(min, max)
+	default:
+		return d, nil
+	}
+}

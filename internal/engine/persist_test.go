@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trac/internal/types"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := paperDB(t)
+	// Add a check, a domain, and some MVCC churn (update + delete) so the
+	// dump must compact history.
+	if err := db.AddCheck("Routing", `neighbor <> mach_id`); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`UPDATE Heartbeat SET recency = '2006-03-16 00:00:00' WHERE sid = 'm1'`)
+	db.MustExec(`INSERT INTO Activity VALUES ('m9', 'idle', '2006-03-13 00:00:00')`)
+	db.MustExec(`DELETE FROM Activity WHERE mach_id = 'm9'`)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same visible data.
+	for _, q := range []string{
+		`SELECT COUNT(*) FROM Activity`,
+		`SELECT COUNT(*) FROM Routing`,
+		`SELECT COUNT(*) FROM Heartbeat`,
+		`SELECT recency FROM Heartbeat WHERE sid = 'm1'`,
+		`SELECT mach_id FROM Activity WHERE value = 'idle' ORDER BY mach_id`,
+	} {
+		a, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := db2.Query(q)
+		if err != nil {
+			t.Fatalf("loaded DB query %q: %v", q, err)
+		}
+		if a.Format() != b.Format() {
+			t.Errorf("query %q differs:\noriginal:\n%s\nloaded:\n%s", q, a.Format(), b.Format())
+		}
+	}
+
+	// MVCC history was compacted: loaded Activity heap has exactly the
+	// visible versions (3), not the insert+delete churn.
+	act2, _ := db2.Catalog().Get("Activity")
+	if act2.NumVersions() != 3 {
+		t.Errorf("loaded heap has %d versions, want 3 (compacted)", act2.NumVersions())
+	}
+
+	// Metadata survived: source column, checks, indexes, PK.
+	if act2.Schema.SourceColumn != -1 {
+		// paperDB does not set a source column on Activity in the engine
+		// fixture; adjust if it ever does.
+		t.Logf("source column = %d", act2.Schema.SourceColumn)
+	}
+	rout2, _ := db2.Catalog().Get("Routing")
+	if len(rout2.Schema.Checks) != 1 {
+		t.Errorf("checks lost: %d", len(rout2.Schema.Checks))
+	}
+	if _, err := db2.Exec(`INSERT INTO Routing VALUES ('mX', 'mX', '2006-03-16 00:00:00')`); err == nil {
+		t.Error("check not enforced after load")
+	}
+	if act2.Index(0) == nil {
+		t.Error("Activity index lost")
+	}
+	hb2, _ := db2.Catalog().Get("Heartbeat")
+	if !hb2.Schema.Columns[0].PrimaryKey {
+		t.Error("primary key flag lost")
+	}
+	if _, err := db2.Exec(`INSERT INTO Heartbeat VALUES ('m1', '2006-03-17 00:00:00')`); err == nil {
+		t.Error("PK not enforced after load")
+	}
+
+	// The loaded DB keeps working: inserts, updates, queries.
+	db2.MustExec(`INSERT INTO Activity VALUES ('m7', 'busy', '2006-03-14 00:00:00')`)
+	res, _ := db2.Query(`SELECT COUNT(*) FROM Activity`)
+	if res.Rows[0][0].Int() != 4 {
+		t.Errorf("post-load insert: %v", res.Rows[0][0])
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := paperDB(t)
+	path := filepath.Join(t.TempDir(), "trac.dump")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db2.Query(`SELECT COUNT(*) FROM Heartbeat`)
+	if res.Rows[0][0].Int() != 3 {
+		t.Errorf("rows = %v", res.Rows[0][0])
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("NOTADUMP")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := Load(strings.NewReader("TRACDB01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")); err == nil {
+		t.Error("corrupt table count should fail")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestSaveIsSnapshotConsistent(t *testing.T) {
+	// Concurrent writers during Save must not tear the dump: every table is
+	// written under one snapshot taken at the start.
+	db := paperDB(t)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := db.BeginBatch()
+			b.Exec(`INSERT INTO Activity VALUES ('mw', 'busy', '2006-03-17 00:00:00')`)
+			b.Exec(`UPDATE Heartbeat SET recency = '2006-03-17 00:00:00' WHERE sid = 'm2'`)
+			b.Commit()
+			i++
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		db2, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Heartbeat must still have exactly 3 rows (updates never add).
+		res, _ := db2.Query(`SELECT COUNT(*) FROM Heartbeat`)
+		if res.Rows[0][0].Int() != 3 {
+			t.Fatalf("torn dump: %v heartbeat rows", res.Rows[0][0])
+		}
+	}
+	close(stop)
+	<-done
+}
+
+func TestPersistAllValueKindsAndDomains(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE K (b BOOLEAN, i BIGINT, f DOUBLE, s TEXT, ts TIMESTAMP)`)
+	db.MustExec(`INSERT INTO K VALUES (TRUE, -42, 2.5, 'it''s', '2006-03-15 14:20:05')`)
+	db.MustExec(`INSERT INTO K VALUES (FALSE, 9223372036854775807, -0.125, '', '1970-01-01 00:00:00')`)
+	db.MustExec(`INSERT INTO K (i) VALUES (1)`) // NULLs in every other column
+
+	// Domains of every kind on the schema.
+	tbl, _ := db.Catalog().Get("K")
+	tbl.Schema.Columns[3].Domain = types.FiniteStringDomain("", "it's", "x")
+	rng, err := types.IntRangeDomain(-100, 9223372036854775807)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Schema.Columns[1].Domain = rng
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Query(`SELECT b, i, f, s, ts FROM K ORDER BY i`)
+	b, err := db2.Query(`SELECT b, i, f, s, ts FROM K ORDER BY i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Errorf("value round trip differs:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+	tbl2, _ := db2.Catalog().Get("K")
+	if tbl2.Schema.Columns[3].Domain.Kind != types.DomainFinite {
+		t.Error("finite domain lost")
+	}
+	if tbl2.Schema.Columns[1].Domain.Kind != types.DomainIntRange {
+		t.Error("int-range domain lost")
+	}
+	if !tbl2.Schema.Columns[3].Domain.Contains(types.NewString("it's")) {
+		t.Error("finite domain members lost")
+	}
+}
+
+func TestSaveFileErrorPaths(t *testing.T) {
+	db := New()
+	if err := db.SaveFile("/no/such/dir/x.dump"); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	db := New()
+	if db.Manager() == nil || db.Planner() == nil {
+		t.Error("accessors returned nil")
+	}
+	sess := db.NewSession()
+	if sess.DB() != db {
+		t.Error("Session.DB() wrong")
+	}
+	sess.Close()
+}
+
+func TestCoerceToColumnMore(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE C (i BIGINT, f DOUBLE, b BOOLEAN)`)
+	// Float literal with integral value into BIGINT.
+	if _, err := db.Exec(`INSERT INTO C VALUES (3.0, 2, TRUE)`); err != nil {
+		t.Fatalf("integral float into BIGINT: %v", err)
+	}
+	// Non-integral float into BIGINT rejected.
+	if _, err := db.Exec(`INSERT INTO C VALUES (3.5, 2, TRUE)`); err == nil {
+		t.Error("non-integral float into BIGINT should fail")
+	}
+	// Bool into BIGINT rejected.
+	if _, err := db.Exec(`INSERT INTO C VALUES (TRUE, 2, TRUE)`); err == nil {
+		t.Error("bool into BIGINT should fail")
+	}
+	res, _ := db.Query(`SELECT i, f FROM C`)
+	if res.Rows[0][0].Int() != 3 || res.Rows[0][1].Float() != 2 {
+		t.Errorf("coerced row = %v", res.Rows[0])
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"trac/internal/storage"
+	"trac/internal/types"
+)
+
+// Session scopes temp tables to a user interaction, matching the paper's
+// behaviour: "The temporary table persists until the end of a user session.
+// The user can decide whether to copy it to a permanent table before the
+// end of a session or to allow it to be discarded automatically."
+type Session struct {
+	db *DB
+
+	mu    sync.Mutex
+	temps []string
+}
+
+// NewSession opens a session.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// DB returns the owning database.
+func (s *Session) DB() *DB { return s.db }
+
+// CreateTempTable materializes rows into a fresh catalog-registered table
+// named with the given prefix (e.g. "sys_temp_a"), and returns its full
+// name. The table is queryable with ordinary SQL until the session closes.
+func (s *Session) CreateTempTable(prefix string, cols []storage.Column, rows [][]types.Value) (string, error) {
+	name := fmt.Sprintf("%s%d", prefix, s.db.tempSeq.Add(1))
+	schema, err := storage.NewSchema(cols)
+	if err != nil {
+		return "", err
+	}
+	tbl := storage.NewTable(name, schema)
+	if err := s.db.catalog.Create(tbl); err != nil {
+		return "", err
+	}
+	tx := s.db.mgr.Begin()
+	for _, r := range rows {
+		if err := tx.InsertRow(tbl, storage.NewRow(r, 0)); err != nil {
+			tx.Abort()
+			_ = s.db.catalog.Drop(name)
+			return "", err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.temps = append(s.temps, name)
+	s.mu.Unlock()
+	return name, nil
+}
+
+// Persist renames a temp table's contents into a permanent table (the
+// "copy to a permanent table" option from the paper). The temp table
+// remains until the session closes.
+func (s *Session) Persist(tempName, permanentName string) error {
+	src, err := s.db.catalog.Get(tempName)
+	if err != nil {
+		return err
+	}
+	dst := storage.NewTable(permanentName, src.Schema)
+	if err := s.db.catalog.Create(dst); err != nil {
+		return err
+	}
+	snap := s.db.Snapshot()
+	tx := s.db.mgr.Begin()
+	for _, r := range src.Rows() {
+		if !snap.Visible(r) {
+			continue
+		}
+		if err := tx.InsertRow(dst, storage.NewRow(r.Values, 0)); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// TempTables lists the session's temp table names in creation order.
+func (s *Session) TempTables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.temps...)
+}
+
+// Close drops all session temp tables.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	temps := s.temps
+	s.temps = nil
+	s.mu.Unlock()
+	var firstErr error
+	for _, name := range temps {
+		if err := s.db.catalog.Drop(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"trac/internal/storage"
+	"trac/internal/types"
+)
+
+func tsv(t *testing.T, s string) types.Value {
+	t.Helper()
+	ts, err := types.ParseTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return types.NewTime(ts)
+}
+
+func TestSessionTempTableLifecycle(t *testing.T) {
+	db := New()
+	sess := db.NewSession()
+
+	cols := []storage.Column{
+		{Name: "sid", Kind: types.KindString},
+		{Name: "recency", Kind: types.KindTime},
+	}
+	rows := [][]types.Value{
+		{types.NewString("m1"), tsv(t, "2006-03-15 14:20:05")},
+		{types.NewString("m3"), tsv(t, "2006-03-15 14:40:05")},
+	}
+	name, err := sess.CreateTempTable("sys_temp_a", cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(name, "sys_temp_a") {
+		t.Errorf("name = %q", name)
+	}
+	// Queryable with plain SQL, as the paper's session transcript shows.
+	res, err := db.Query(`SELECT sid, recency FROM ` + name + ` ORDER BY sid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Str() != "m1" {
+		t.Errorf("temp rows = %v", res.Rows)
+	}
+
+	if got := sess.TempTables(); len(got) != 1 || got[0] != name {
+		t.Errorf("TempTables = %v", got)
+	}
+
+	// Persist survives session close.
+	if err := sess.Persist(name, "saved_recency"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT * FROM ` + name); err == nil {
+		t.Error("temp table should be dropped after Close")
+	}
+	res, err = db.Query(`SELECT COUNT(*) FROM saved_recency`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("persisted rows = %v", res.Rows)
+	}
+}
+
+func TestTempTableNamesAreUnique(t *testing.T) {
+	db := New()
+	sess := db.NewSession()
+	defer sess.Close()
+	cols := []storage.Column{{Name: "x", Kind: types.KindInt}}
+	a, err := sess.CreateTempTable("sys_temp_e", cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.CreateTempTable("sys_temp_e", cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Errorf("names collide: %q", a)
+	}
+}
+
+func TestSessionCloseIsIdempotent(t *testing.T) {
+	db := New()
+	sess := db.NewSession()
+	cols := []storage.Column{{Name: "x", Kind: types.KindInt}}
+	if _, err := sess.CreateTempTable("sys_temp_a", cols, [][]types.Value{{types.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

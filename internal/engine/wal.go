@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"trac/internal/sqlparser"
+)
+
+// WAL is a logical write-ahead log: every SQL mutation that commits through
+// the engine (Exec autocommits and Batches) is appended as its SQL text,
+// with an explicit commit marker terminating each transaction. Recovery
+// replays complete transactions and discards a torn tail.
+//
+// The intended durability story is checkpoint + log: SaveFile writes a
+// snapshot-consistent dump, Checkpoint additionally truncates the log, and
+// AttachWAL replays whatever the log holds before new writes append. For a
+// monitoring database this covers the loader path exactly: sniffers write
+// through Batch, so each event batch (rows + heartbeat advance) is one
+// atomic WAL transaction.
+//
+// Scope: only SQL-level mutations are logged. Direct transaction-manager
+// inserts (bulk loaders, session temp tables) and API-level metadata
+// changes (SetSourceColumn, domains) bypass the log by design — they belong
+// in the checkpoint dump.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	// Sync forces an fsync after every commit marker (durability over
+	// throughput; off by default for simulation workloads).
+	Sync bool
+}
+
+// commitMarker terminates one transaction's records.
+const commitMarker = "\x00COMMIT"
+
+// AttachWAL replays any complete transactions already in the file at path
+// (creating it if absent) and then routes every subsequent committed SQL
+// mutation through it. Attach before writing; attaching twice is an error.
+func (db *DB) AttachWAL(path string) error {
+	db.walMu.Lock()
+	attached := db.wal != nil
+	db.walMu.Unlock()
+	if attached {
+		return errors.New("engine: WAL already attached")
+	}
+	// Replay outside the lock: replayed statements run through the normal
+	// Exec/Batch paths, which consult the (still-nil) WAL pointer.
+	if err := db.replayWAL(path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.wal != nil {
+		f.Close()
+		return errors.New("engine: WAL already attached")
+	}
+	db.wal = &WAL{f: f, w: bufio.NewWriter(f), path: path}
+	return nil
+}
+
+// DetachWAL stops logging and closes the file.
+func (db *DB) DetachWAL() error {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	w := db.wal
+	db.wal = nil
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Checkpoint writes a full dump to dumpPath and truncates the WAL: the pair
+// (dump, empty log) is equivalent to the pre-checkpoint (old dump, long
+// log), but recovery becomes O(data) instead of O(history).
+func (db *DB) Checkpoint(dumpPath string) error {
+	db.walMu.Lock()
+	w := db.wal
+	db.walMu.Unlock()
+	if w == nil {
+		return errors.New("engine: no WAL attached")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// The dump snapshot is taken under the WAL lock, so no commit can slip
+	// between the dump and the truncation.
+	if err := db.SaveFile(dumpPath); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.w.Reset(w.f)
+	return w.f.Sync()
+}
+
+// logCommitted appends one committed transaction's statements. Called with
+// the statements that actually executed, after the engine commit succeeded.
+func (db *DB) logCommitted(stmts []string) error {
+	db.walMu.Lock()
+	w := db.wal
+	db.walMu.Unlock()
+	if w == nil || len(stmts) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, s := range stmts {
+		if err := writeWALRecord(w.w, s); err != nil {
+			return err
+		}
+	}
+	if err := writeWALRecord(w.w, commitMarker); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.Sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func writeWALRecord(w *bufio.Writer, s string) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+// replayWAL applies every complete transaction found at path. A torn tail
+// (incomplete record or missing commit marker) is discarded, matching
+// crash-recovery semantics.
+func (db *DB) replayWAL(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	var pending []string
+	for {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			break // clean EOF or torn length: discard pending
+		}
+		if n > 1<<26 {
+			return fmt.Errorf("engine: corrupt WAL record length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			break // torn record: discard pending
+		}
+		rec := string(buf)
+		if rec == commitMarker {
+			if err := db.applyReplayed(pending); err != nil {
+				return fmt.Errorf("engine: WAL replay: %w", err)
+			}
+			pending = pending[:0]
+			continue
+		}
+		pending = append(pending, rec)
+	}
+	return nil
+}
+
+// applyReplayed executes one recovered transaction.
+func (db *DB) applyReplayed(stmts []string) error {
+	if len(stmts) == 0 {
+		return nil
+	}
+	// DDL executes standalone; DML groups into one atomic batch. A WAL
+	// transaction is either one DDL statement or a group of DML.
+	first, err := sqlparser.Parse(stmts[0])
+	if err != nil {
+		return err
+	}
+	switch first.(type) {
+	case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
+		b := db.BeginBatch()
+		defer b.Abort()
+		for _, s := range stmts {
+			if _, err := b.Exec(s); err != nil {
+				return err
+			}
+		}
+		return b.Commit()
+	default:
+		for _, s := range stmts {
+			if _, err := db.Exec(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

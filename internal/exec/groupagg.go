@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"trac/internal/sqlparser"
+	"trac/internal/types"
+)
+
+// GroupAggregate implements hash aggregation with GROUP BY. Its output
+// tuple is [key values..., aggregate values...]; a projection above maps
+// select items onto those positions. With no keys it behaves like SQL's
+// global aggregation: exactly one output row even for empty input.
+type GroupAggregate struct {
+	Child Operator
+	Keys  []Evaluator
+	Specs []AggSpec
+
+	out [][]types.Value
+	pos int
+}
+
+// aggState accumulates one group.
+type aggState struct {
+	keys    []types.Value
+	counts  []int64
+	sums    []float64
+	intSums []int64
+	intOnly []bool
+	mins    []types.Value
+	maxs    []types.Value
+	order   int // first-seen order for deterministic output
+}
+
+// Open consumes the child and computes all groups.
+func (g *GroupAggregate) Open() error {
+	if err := g.Child.Open(); err != nil {
+		return err
+	}
+	defer g.Child.Close()
+
+	groups := make(map[string]*aggState)
+	newState := func(keys []types.Value) *aggState {
+		st := &aggState{
+			keys:    keys,
+			counts:  make([]int64, len(g.Specs)),
+			sums:    make([]float64, len(g.Specs)),
+			intSums: make([]int64, len(g.Specs)),
+			intOnly: make([]bool, len(g.Specs)),
+			mins:    make([]types.Value, len(g.Specs)),
+			maxs:    make([]types.Value, len(g.Specs)),
+			order:   len(groups),
+		}
+		for i := range st.intOnly {
+			st.intOnly[i] = true
+			st.mins[i] = types.Null
+			st.maxs[i] = types.Null
+		}
+		return st
+	}
+
+	for {
+		row, ok, err := g.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keys := make([]types.Value, len(g.Keys))
+		for i, k := range g.Keys {
+			keys[i], err = k(row)
+			if err != nil {
+				return err
+			}
+		}
+		kid := RowKey(keys)
+		st, exists := groups[kid]
+		if !exists {
+			st = newState(keys)
+			groups[kid] = st
+		}
+		for i, spec := range g.Specs {
+			if spec.Star {
+				st.counts[i]++
+				continue
+			}
+			v, err := spec.Arg(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			st.counts[i]++
+			switch spec.Func {
+			case sqlparser.FuncSum, sqlparser.FuncAvg:
+				f, ok := v.AsFloat()
+				if !ok {
+					return fmt.Errorf("exec: %s over non-numeric %s", spec.Func, v.Kind())
+				}
+				st.sums[i] += f
+				if v.Kind() == types.KindInt {
+					st.intSums[i] += v.Int()
+				} else {
+					st.intOnly[i] = false
+				}
+			case sqlparser.FuncMin:
+				if st.mins[i].IsNull() || types.Less(v, st.mins[i]) {
+					st.mins[i] = v
+				}
+			case sqlparser.FuncMax:
+				if st.maxs[i].IsNull() || types.Less(st.maxs[i], v) {
+					st.maxs[i] = v
+				}
+			}
+		}
+	}
+
+	// Global aggregation over empty input still yields one row.
+	if len(groups) == 0 && len(g.Keys) == 0 {
+		groups[""] = newState(nil)
+	}
+
+	ordered := make([]*aggState, 0, len(groups))
+	for _, st := range groups {
+		ordered = append(ordered, st)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+
+	g.out = make([][]types.Value, 0, len(ordered))
+	for _, st := range ordered {
+		row := make([]types.Value, 0, len(g.Keys)+len(g.Specs))
+		row = append(row, st.keys...)
+		for i, spec := range g.Specs {
+			switch spec.Func {
+			case sqlparser.FuncCount:
+				row = append(row, types.NewInt(st.counts[i]))
+			case sqlparser.FuncSum:
+				switch {
+				case st.counts[i] == 0:
+					row = append(row, types.Null)
+				case st.intOnly[i]:
+					row = append(row, types.NewInt(st.intSums[i]))
+				default:
+					row = append(row, types.NewFloat(st.sums[i]))
+				}
+			case sqlparser.FuncAvg:
+				if st.counts[i] == 0 {
+					row = append(row, types.Null)
+				} else {
+					row = append(row, types.NewFloat(st.sums[i]/float64(st.counts[i])))
+				}
+			case sqlparser.FuncMin:
+				row = append(row, st.mins[i])
+			case sqlparser.FuncMax:
+				row = append(row, st.maxs[i])
+			default:
+				return fmt.Errorf("exec: unknown aggregate %s", spec.Func)
+			}
+		}
+		g.out = append(g.out, row)
+	}
+	g.pos = 0
+	return nil
+}
+
+// Next emits the next group row.
+func (g *GroupAggregate) Next() ([]types.Value, bool, error) {
+	if g.pos >= len(g.out) {
+		return nil, false, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close releases group state.
+func (g *GroupAggregate) Close() error {
+	g.out = nil
+	return nil
+}

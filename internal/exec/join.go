@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"strings"
+
+	"trac/internal/types"
+)
+
+// HashJoin is an inner equijoin: it materializes and hashes the build side,
+// then streams the probe side. Both inputs produce tuples of the SAME final
+// width (each scan pads to the joined layout), so joining is a merge of the
+// non-overlapping column regions rather than a concatenation.
+type HashJoin struct {
+	Build, Probe         Operator
+	BuildKeys, ProbeKeys []Evaluator // compiled key expressions, same arity
+	Residual             Evaluator   // extra predicate after merge, may be nil
+
+	table   map[string][][]types.Value
+	current [][]types.Value // pending matches for the current probe row
+	probed  []types.Value
+	curIdx  int
+}
+
+// Open materializes the build side into the hash table.
+func (j *HashJoin) Open() error {
+	if err := j.Probe.Open(); err != nil {
+		return err
+	}
+	rows, err := Drain(j.Build)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][][]types.Value, len(rows))
+	var sb strings.Builder
+	for _, row := range rows {
+		key, null, err := evalKeys(j.BuildKeys, row, &sb)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		j.table[key] = append(j.table[key], row)
+	}
+	j.current = nil
+	j.curIdx = 0
+	return nil
+}
+
+// Next emits the next joined tuple.
+func (j *HashJoin) Next() ([]types.Value, bool, error) {
+	var sb strings.Builder
+	for {
+		for j.curIdx < len(j.current) {
+			build := j.current[j.curIdx]
+			j.curIdx++
+			merged := mergeTuples(build, j.probed)
+			ok, err := EvalPredicate(j.Residual, merged)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return merged, true, nil
+			}
+		}
+		probe, ok, err := j.Probe.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key, null, err := evalKeys(j.ProbeKeys, probe, &sb)
+		if err != nil {
+			return nil, false, err
+		}
+		if null {
+			continue
+		}
+		j.probed = probe
+		j.current = j.table[key]
+		j.curIdx = 0
+	}
+}
+
+// Close releases both sides.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.current = nil
+	return j.Probe.Close()
+}
+
+func evalKeys(keys []Evaluator, row []types.Value, sb *strings.Builder) (string, bool, error) {
+	sb.Reset()
+	for _, k := range keys {
+		v, err := k(row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		EncodeKey(sb, v)
+	}
+	return sb.String(), false, nil
+}
+
+// mergeTuples overlays the non-NULL regions of two same-width padded tuples.
+// Tuple regions are disjoint by construction (each base table owns a column
+// range), so a plain position-wise overlay is correct.
+func mergeTuples(a, b []types.Value) []types.Value {
+	out := make([]types.Value, len(a))
+	copy(out, a)
+	for i, v := range b {
+		if !v.IsNull() {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// NestedLoopJoin materializes the inner side and runs the (smaller) loop for
+// every outer tuple, applying an arbitrary join predicate. It is the
+// fallback for non-equijoin predicates and cross products.
+type NestedLoopJoin struct {
+	Outer, Inner Operator
+	Pred         Evaluator // may be nil for a pure cross product
+
+	inner    [][]types.Value
+	outerRow []types.Value
+	idx      int
+	open     bool
+}
+
+// Open materializes the inner side.
+func (j *NestedLoopJoin) Open() error {
+	if err := j.Outer.Open(); err != nil {
+		return err
+	}
+	rows, err := Drain(j.Inner)
+	if err != nil {
+		return err
+	}
+	j.inner = rows
+	j.outerRow = nil
+	j.idx = 0
+	j.open = true
+	return nil
+}
+
+// Next emits the next qualifying pair.
+func (j *NestedLoopJoin) Next() ([]types.Value, bool, error) {
+	for {
+		if j.outerRow == nil {
+			row, ok, err := j.Outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.outerRow = row
+			j.idx = 0
+		}
+		for j.idx < len(j.inner) {
+			inner := j.inner[j.idx]
+			j.idx++
+			merged := mergeTuples(j.outerRow, inner)
+			ok, err := EvalPredicate(j.Pred, merged)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return merged, true, nil
+			}
+		}
+		j.outerRow = nil
+	}
+}
+
+// Close releases both sides.
+func (j *NestedLoopJoin) Close() error {
+	j.inner = nil
+	if !j.open {
+		return nil
+	}
+	j.open = false
+	return j.Outer.Close()
+}

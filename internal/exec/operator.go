@@ -1,0 +1,88 @@
+package exec
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"trac/internal/types"
+)
+
+// Operator is the iterator-model interface every physical operator
+// implements. The contract is Open, then Next until ok=false, then Close.
+type Operator interface {
+	// Open prepares the operator for iteration.
+	Open() error
+	// Next produces the next tuple; ok=false signals exhaustion.
+	Next() (row []types.Value, ok bool, err error)
+	// Close releases resources. It is safe to call after exhaustion.
+	Close() error
+}
+
+// Drain runs an operator to completion and collects its output.
+func Drain(op Operator) ([][]types.Value, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out [][]types.Value
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// EncodeKey appends a canonical, collision-free encoding of the values to
+// sb. It is used for hash-join keys, DISTINCT, and UNION deduplication.
+func EncodeKey(sb *strings.Builder, vals ...types.Value) {
+	for _, v := range vals {
+		switch v.Kind() {
+		case types.KindNull:
+			sb.WriteByte('n')
+		case types.KindBool:
+			sb.WriteByte('b')
+			if v.Bool() {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		case types.KindInt:
+			sb.WriteByte('i')
+			sb.WriteString(strconv.FormatInt(v.Int(), 10))
+		case types.KindFloat:
+			// Integral floats encode like ints so 3 and 3.0 hash equal,
+			// matching their comparison behaviour, without losing int64
+			// precision on large values.
+			f := v.Float()
+			if f == math.Trunc(f) && f >= -9.007199254740992e15 && f <= 9.007199254740992e15 {
+				sb.WriteByte('i')
+				sb.WriteString(strconv.FormatInt(int64(f), 10))
+			} else {
+				sb.WriteByte('f')
+				sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+			}
+		case types.KindString:
+			sb.WriteByte('s')
+			sb.WriteString(strconv.Itoa(len(v.Str())))
+			sb.WriteByte(':')
+			sb.WriteString(v.Str())
+		case types.KindTime:
+			sb.WriteByte('t')
+			sb.WriteString(strconv.FormatInt(v.TimeNanos(), 10))
+		}
+		sb.WriteByte('|')
+	}
+}
+
+// RowKey returns the canonical encoding of a full row.
+func RowKey(vals []types.Value) string {
+	var sb strings.Builder
+	EncodeKey(&sb, vals...)
+	return sb.String()
+}

@@ -1,0 +1,359 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+func compileOn(t *testing.T, layout *Layout, src string) Evaluator {
+	t.Helper()
+	e, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Compile(e, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestSeqScanVisibilityAndFilter(t *testing.T) {
+	tbl, m := testActivity(t)
+	layout := layoutFor(tbl, "a")
+
+	// Insert an uncommitted row: must not be visible.
+	pending := m.Begin()
+	ts, _ := types.ParseTime("2006-03-13 00:00:00")
+	pending.InsertRow(tbl, storage.NewRow([]types.Value{
+		types.NewString("m9"), types.NewString("idle"), types.NewTime(ts), types.NewFloat(0),
+	}, 0))
+
+	scan := &SeqScan{Table: tbl, Snap: m.ReadSnapshot(), Filter: compileOn(t, layout, "value = 'idle'")}
+	rows, err := Drain(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (m1, m3): %v", len(rows), rows)
+	}
+	pending.Commit()
+	rows, _ = Drain(&SeqScan{Table: tbl, Snap: m.ReadSnapshot(), Filter: compileOn(t, layout, "value = 'idle'")})
+	if len(rows) != 3 {
+		t.Fatalf("after commit got %d rows, want 3", len(rows))
+	}
+}
+
+func TestSeqScanPadding(t *testing.T) {
+	tbl, m := testActivity(t)
+	scan := &SeqScan{Table: tbl, Snap: m.ReadSnapshot(), Offset: 2, Width: 6}
+	rows, err := Drain(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 6 {
+		t.Fatalf("width = %d", len(rows[0]))
+	}
+	if !rows[0][0].IsNull() || !rows[0][1].IsNull() {
+		t.Error("padding should be NULL")
+	}
+	if rows[0][2].Kind() != types.KindString {
+		t.Error("values should start at offset 2")
+	}
+}
+
+func TestIndexScanKeys(t *testing.T) {
+	tbl, m := testActivity(t)
+	tbl.CreateIndex("mach_id")
+	scan := &IndexScan{
+		Table: tbl, Index: tbl.Index(0), Snap: m.ReadSnapshot(),
+		Keys: []types.Value{types.NewString("m1"), types.NewString("m3")},
+	}
+	rows, err := Drain(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+}
+
+func TestIndexScanRange(t *testing.T) {
+	tbl, m := testActivity(t)
+	tbl.CreateIndex("mach_id")
+	scan := &IndexScan{
+		Table: tbl, Index: tbl.Index(0), Snap: m.ReadSnapshot(),
+		Lo: storage.Incl(types.NewString("m2")), Hi: storage.Unbounded,
+	}
+	rows, err := Drain(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // m2, m3
+		t.Fatalf("got %d rows", len(rows))
+	}
+}
+
+func TestIndexScanRespectsMVCC(t *testing.T) {
+	tbl, m := testActivity(t)
+	tbl.CreateIndex("mach_id")
+	// Delete m1 and verify the index scan stops returning it, while an old
+	// snapshot still sees it.
+	oldSnap := m.ReadSnapshot()
+	var victim *storage.Row
+	for _, r := range tbl.Rows() {
+		if r.Values[0].Str() == "m1" {
+			victim = r
+		}
+	}
+	tx := m.Begin()
+	if err := tx.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	scanNew := &IndexScan{Table: tbl, Index: tbl.Index(0), Snap: m.ReadSnapshot(), Keys: []types.Value{types.NewString("m1")}}
+	rows, _ := Drain(scanNew)
+	if len(rows) != 0 {
+		t.Errorf("new snapshot sees deleted row: %v", rows)
+	}
+	scanOld := &IndexScan{Table: tbl, Index: tbl.Index(0), Snap: oldSnap, Keys: []types.Value{types.NewString("m1")}}
+	rows, _ = Drain(scanOld)
+	if len(rows) != 1 {
+		t.Errorf("old snapshot lost row: %v", rows)
+	}
+}
+
+func routingTable(t *testing.T, m *txn.Manager) *storage.Table {
+	t.Helper()
+	schema, err := storage.NewSchema([]storage.Column{
+		{Name: "mach_id", Kind: types.KindString},
+		{Name: "neighbor", Kind: types.KindString},
+		{Name: "event_time", Kind: types.KindTime},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema.SetSourceColumn("mach_id")
+	tbl := storage.NewTable("Routing", schema)
+	tx := m.Begin()
+	for _, r := range [][2]string{{"m1", "m3"}, {"m2", "m3"}} {
+		ts, _ := types.ParseTime("2006-03-12 23:20:06")
+		tx.InsertRow(tbl, storage.NewRow([]types.Value{
+			types.NewString(r[0]), types.NewString(r[1]), types.NewTime(ts),
+		}, 0))
+	}
+	tx.Commit()
+	return tbl
+}
+
+func TestHashJoinPaperQ2(t *testing.T) {
+	// Reproduces the paper's Q2: Routing R joins Activity A on
+	// R.neighbor = A.mach_id with R.mach_id = 'm1' AND A.value = 'idle'.
+	act, m := testActivity(t)
+	rout := routingTable(t, m)
+	layout := NewLayout([]Binding{{Name: "r", Table: rout}, {Name: "a", Table: act}})
+	width := layout.Width()
+	actOffset := layout.Bindings[1].Offset
+
+	snap := m.ReadSnapshot()
+	buildScan := &SeqScan{Table: rout, Snap: snap, Width: width,
+		Filter: compileOn(t, layout, "r.mach_id = 'm1'")}
+	probeScan := &SeqScan{Table: act, Snap: snap, Offset: actOffset, Width: width,
+		Filter: compileOn(t, layout, "a.value = 'idle'")}
+
+	join := &HashJoin{
+		Build: buildScan, Probe: probeScan,
+		BuildKeys: []Evaluator{compileOn(t, layout, "r.neighbor")},
+		ProbeKeys: []Evaluator{compileOn(t, layout, "a.mach_id")},
+	}
+	rows, err := Drain(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d joined rows, want 1: %v", len(rows), rows)
+	}
+	// The joined row should have r.mach_id=m1 and a.mach_id=m3.
+	if rows[0][0].Str() != "m1" || rows[0][actOffset].Str() != "m3" {
+		t.Errorf("joined row = %v", rows[0])
+	}
+}
+
+func TestNestedLoopJoinCrossAndPred(t *testing.T) {
+	act, m := testActivity(t)
+	rout := routingTable(t, m)
+	layout := NewLayout([]Binding{{Name: "r", Table: rout}, {Name: "a", Table: act}})
+	width := layout.Width()
+	snap := m.ReadSnapshot()
+
+	cross := &NestedLoopJoin{
+		Outer: &SeqScan{Table: rout, Snap: snap, Width: width},
+		Inner: &SeqScan{Table: act, Snap: snap, Offset: layout.Bindings[1].Offset, Width: width},
+	}
+	rows, err := Drain(cross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*3 {
+		t.Fatalf("cross product = %d rows, want 6", len(rows))
+	}
+
+	pred := &NestedLoopJoin{
+		Outer: &SeqScan{Table: rout, Snap: snap, Width: width},
+		Inner: &SeqScan{Table: act, Snap: snap, Offset: layout.Bindings[1].Offset, Width: width},
+		Pred:  compileOn(t, layout, "r.neighbor = a.mach_id"),
+	}
+	rows, err = Drain(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // both routing rows join to m3
+		t.Fatalf("theta join = %d rows, want 2", len(rows))
+	}
+}
+
+func TestAggregateOperator(t *testing.T) {
+	tbl, m := testActivity(t)
+	layout := layoutFor(tbl, "a")
+	agg := &Aggregate{
+		Child: &SeqScan{Table: tbl, Snap: m.ReadSnapshot()},
+		Specs: []AggSpec{
+			{Func: sqlparser.FuncCount, Star: true},
+			{Func: sqlparser.FuncMin, Arg: compileOn(t, layout, "load")},
+			{Func: sqlparser.FuncMax, Arg: compileOn(t, layout, "load")},
+			{Func: sqlparser.FuncSum, Arg: compileOn(t, layout, "load")},
+			{Func: sqlparser.FuncAvg, Arg: compileOn(t, layout, "load")},
+			{Func: sqlparser.FuncCount, Arg: compileOn(t, layout, "mach_id")},
+		},
+	}
+	rows, err := Drain(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("aggregate emitted %d rows", len(rows))
+	}
+	r := rows[0]
+	if r[0].Int() != 3 {
+		t.Errorf("COUNT(*) = %v", r[0])
+	}
+	if r[1].Float() != 0.1 || r[2].Float() != 0.9 {
+		t.Errorf("MIN/MAX = %v/%v", r[1], r[2])
+	}
+	if diff := r[3].Float() - 1.2; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("SUM = %v", r[3])
+	}
+	if diff := r[4].Float() - 0.4; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("AVG = %v", r[4])
+	}
+	if r[5].Int() != 3 {
+		t.Errorf("COUNT(col) = %v", r[5])
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	tbl, m := testActivity(t)
+	layout := layoutFor(tbl, "a")
+	agg := &Aggregate{
+		Child: &SeqScan{Table: tbl, Snap: m.ReadSnapshot(), Filter: compileOn(t, layout, "mach_id = 'none'")},
+		Specs: []AggSpec{
+			{Func: sqlparser.FuncCount, Star: true},
+			{Func: sqlparser.FuncMin, Arg: compileOn(t, layout, "load")},
+			{Func: sqlparser.FuncSum, Arg: compileOn(t, layout, "load")},
+		},
+	}
+	rows, err := Drain(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int() != 0 {
+		t.Errorf("COUNT over empty = %v", rows[0][0])
+	}
+	if !rows[0][1].IsNull() || !rows[0][2].IsNull() {
+		t.Errorf("MIN/SUM over empty should be NULL: %v", rows[0])
+	}
+}
+
+func TestSortLimitDistinct(t *testing.T) {
+	data := [][]types.Value{
+		{types.NewInt(3)}, {types.NewInt(1)}, {types.NewInt(2)},
+		{types.NewInt(1)}, {types.NewInt(3)},
+	}
+	id := func(row []types.Value) (types.Value, error) { return row[0], nil }
+
+	sorted, err := Drain(&Sort{Child: &ValuesOp{RowsData: data}, Keys: []SortKey{{Expr: id}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 1, 2, 3, 3}
+	for i, r := range sorted {
+		if r[0].Int() != want[i] {
+			t.Fatalf("sorted = %v", sorted)
+		}
+	}
+
+	desc, _ := Drain(&Sort{Child: &ValuesOp{RowsData: data}, Keys: []SortKey{{Expr: id, Desc: true}}})
+	if desc[0][0].Int() != 3 || desc[4][0].Int() != 1 {
+		t.Errorf("desc = %v", desc)
+	}
+
+	limited, _ := Drain(&Limit{Child: &ValuesOp{RowsData: data}, N: 2})
+	if len(limited) != 2 {
+		t.Errorf("limit = %d rows", len(limited))
+	}
+
+	distinct, _ := Drain(&Distinct{Child: &ValuesOp{RowsData: data}})
+	if len(distinct) != 3 {
+		t.Errorf("distinct = %d rows", len(distinct))
+	}
+}
+
+func TestUnionSetSemantics(t *testing.T) {
+	mk := func(vals ...int64) Operator {
+		var rows [][]types.Value
+		for _, v := range vals {
+			rows = append(rows, []types.Value{types.NewInt(v)})
+		}
+		return &ValuesOp{RowsData: rows}
+	}
+	u := &Union{Children: []Operator{mk(1, 2, 2), mk(2, 3), mk()}}
+	rows, err := Drain(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("union = %v", rows)
+	}
+	got := fmt.Sprint(rows[0][0].Int(), rows[1][0].Int(), rows[2][0].Int())
+	if got != "1 2 3" {
+		t.Errorf("union values = %v", got)
+	}
+}
+
+func TestProjectAndFilter(t *testing.T) {
+	tbl, m := testActivity(t)
+	layout := layoutFor(tbl, "a")
+	proj := &Project{
+		Child: &Filter{
+			Child: &SeqScan{Table: tbl, Snap: m.ReadSnapshot()},
+			Pred:  compileOn(t, layout, "value = 'idle'"),
+		},
+		Exprs: []Evaluator{compileOn(t, layout, "mach_id"), compileOn(t, layout, "load * 10")},
+	}
+	rows, err := Drain(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rows[0]) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Str() != "m1" || rows[0][1].Float() != 1.0 {
+		t.Errorf("row0 = %v", rows[0])
+	}
+}

@@ -1,0 +1,435 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"trac/internal/sqlparser"
+	"trac/internal/types"
+)
+
+// Filter drops tuples whose predicate is not TRUE.
+type Filter struct {
+	Child Operator
+	Pred  Evaluator
+}
+
+// Open opens the child.
+func (f *Filter) Open() error { return f.Child.Open() }
+
+// Next emits the next passing tuple.
+func (f *Filter) Next() ([]types.Value, bool, error) {
+	for {
+		row, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := EvalPredicate(f.Pred, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+// Close closes the child.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Project computes output expressions from input tuples.
+type Project struct {
+	Child Operator
+	Exprs []Evaluator
+}
+
+// Open opens the child.
+func (p *Project) Open() error { return p.Child.Open() }
+
+// Next emits the next projected tuple.
+func (p *Project) Next() ([]types.Value, bool, error) {
+	row, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make([]types.Value, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i], err = e(row)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	return out, true, nil
+}
+
+// Close closes the child.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// AggSpec describes one aggregate output.
+type AggSpec struct {
+	Func sqlparser.FuncName
+	Star bool      // COUNT(*)
+	Arg  Evaluator // nil when Star
+}
+
+// Aggregate computes ungrouped aggregates over its entire input, emitting
+// exactly one row. (The TRAC query model — single SPJ block — needs no
+// GROUP BY; recency statistics are computed by the report layer.)
+type Aggregate struct {
+	Child Operator
+	Specs []AggSpec
+
+	done bool
+}
+
+// Open opens the child.
+func (a *Aggregate) Open() error {
+	a.done = false
+	return a.Child.Open()
+}
+
+// Next computes and emits the single aggregate row.
+func (a *Aggregate) Next() ([]types.Value, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	a.done = true
+
+	counts := make([]int64, len(a.Specs))
+	sums := make([]float64, len(a.Specs))
+	intSums := make([]int64, len(a.Specs))
+	intOnly := make([]bool, len(a.Specs))
+	mins := make([]types.Value, len(a.Specs))
+	maxs := make([]types.Value, len(a.Specs))
+	for i := range intOnly {
+		intOnly[i] = true
+		mins[i] = types.Null
+		maxs[i] = types.Null
+	}
+
+	for {
+		row, ok, err := a.Child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		for i, spec := range a.Specs {
+			if spec.Star {
+				counts[i]++
+				continue
+			}
+			v, err := spec.Arg(row)
+			if err != nil {
+				return nil, false, err
+			}
+			if v.IsNull() {
+				continue // aggregates skip NULLs
+			}
+			counts[i]++
+			switch spec.Func {
+			case sqlparser.FuncSum, sqlparser.FuncAvg:
+				f, ok := v.AsFloat()
+				if !ok {
+					return nil, false, fmt.Errorf("exec: %s over non-numeric %s", spec.Func, v.Kind())
+				}
+				sums[i] += f
+				if v.Kind() == types.KindInt {
+					intSums[i] += v.Int()
+				} else {
+					intOnly[i] = false
+				}
+			case sqlparser.FuncMin:
+				if mins[i].IsNull() || types.Less(v, mins[i]) {
+					mins[i] = v
+				}
+			case sqlparser.FuncMax:
+				if maxs[i].IsNull() || types.Less(maxs[i], v) {
+					maxs[i] = v
+				}
+			}
+		}
+	}
+
+	out := make([]types.Value, len(a.Specs))
+	for i, spec := range a.Specs {
+		switch spec.Func {
+		case sqlparser.FuncCount:
+			out[i] = types.NewInt(counts[i])
+		case sqlparser.FuncSum:
+			if counts[i] == 0 {
+				out[i] = types.Null
+			} else if intOnly[i] {
+				out[i] = types.NewInt(intSums[i])
+			} else {
+				out[i] = types.NewFloat(sums[i])
+			}
+		case sqlparser.FuncAvg:
+			if counts[i] == 0 {
+				out[i] = types.Null
+			} else {
+				out[i] = types.NewFloat(sums[i] / float64(counts[i]))
+			}
+		case sqlparser.FuncMin:
+			out[i] = mins[i]
+		case sqlparser.FuncMax:
+			out[i] = maxs[i]
+		default:
+			return nil, false, fmt.Errorf("exec: unknown aggregate %s", spec.Func)
+		}
+	}
+	return out, true, nil
+}
+
+// Close closes the child.
+func (a *Aggregate) Close() error { return a.Child.Close() }
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Expr Evaluator
+	Desc bool
+}
+
+// Sort materializes and orders its input.
+type Sort struct {
+	Child Operator
+	Keys  []SortKey
+
+	rows [][]types.Value
+	pos  int
+}
+
+// Open materializes and sorts the input.
+func (s *Sort) Open() error {
+	rows, err := Drain(s.Child)
+	if err != nil {
+		return err
+	}
+	type keyed struct {
+		row  []types.Value
+		keys []types.Value
+	}
+	ks := make([]keyed, len(rows))
+	for i, row := range rows {
+		keys := make([]types.Value, len(s.Keys))
+		for j, k := range s.Keys {
+			keys[j], err = k.Expr(row)
+			if err != nil {
+				return err
+			}
+		}
+		ks[i] = keyed{row: row, keys: keys}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		for k := range s.Keys {
+			a, b := ks[i].keys[k], ks[j].keys[k]
+			if types.Less(a, b) {
+				return !s.Keys[k].Desc
+			}
+			if types.Less(b, a) {
+				return s.Keys[k].Desc
+			}
+		}
+		return false
+	})
+	s.rows = make([][]types.Value, len(ks))
+	for i := range ks {
+		s.rows[i] = ks[i].row
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next emits rows in sorted order.
+func (s *Sort) Next() ([]types.Value, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close releases the sorted buffer.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Limit caps output cardinality.
+type Limit struct {
+	Child Operator
+	N     int64
+
+	emitted int64
+}
+
+// Open opens the child.
+func (l *Limit) Open() error {
+	l.emitted = 0
+	return l.Child.Open()
+}
+
+// Next emits up to N rows.
+func (l *Limit) Next() ([]types.Value, bool, error) {
+	if l.emitted >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.emitted++
+	return row, true, nil
+}
+
+// Close closes the child.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// Distinct suppresses duplicate rows using the canonical row encoding.
+type Distinct struct {
+	Child Operator
+
+	seen map[string]struct{}
+}
+
+// Open opens the child and resets the seen set.
+func (d *Distinct) Open() error {
+	d.seen = make(map[string]struct{})
+	return d.Child.Open()
+}
+
+// Next emits the next previously-unseen row.
+func (d *Distinct) Next() ([]types.Value, bool, error) {
+	for {
+		row, ok, err := d.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := RowKey(row)
+		if _, dup := d.seen[key]; dup {
+			continue
+		}
+		d.seen[key] = struct{}{}
+		return row, true, nil
+	}
+}
+
+// Close closes the child.
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.Child.Close()
+}
+
+// Gate emits its child's rows only if every probe produces at least one
+// row. The planner uses it for the existence reduction of disconnected
+// join-graph components under DISTINCT: a component contributing no output
+// columns and no join predicate only matters for whether it is empty
+// (a recency-query arm per the paper's Theorem 4 has exactly this shape —
+// Heartbeat × R_j with only single-relation filters on R_j).
+type Gate struct {
+	Child  Operator
+	Probes []Operator
+
+	empty bool
+}
+
+// Open runs the probes; if any probe is empty the gate output is empty.
+func (g *Gate) Open() error {
+	g.empty = false
+	for _, p := range g.Probes {
+		if err := p.Open(); err != nil {
+			return err
+		}
+		_, ok, err := p.Next()
+		cerr := p.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+		if !ok {
+			g.empty = true
+			break
+		}
+	}
+	if g.empty {
+		return nil
+	}
+	return g.Child.Open()
+}
+
+// Next forwards the child unless a probe was empty.
+func (g *Gate) Next() ([]types.Value, bool, error) {
+	if g.empty {
+		return nil, false, nil
+	}
+	return g.Child.Next()
+}
+
+// Close closes the child (probes are closed in Open).
+func (g *Gate) Close() error {
+	if g.empty {
+		return nil
+	}
+	return g.Child.Close()
+}
+
+// Union concatenates children with set semantics (duplicates across and
+// within children are suppressed). Children must have equal arity.
+type Union struct {
+	Children []Operator
+
+	cur  int
+	seen map[string]struct{}
+}
+
+// Open opens the first child.
+func (u *Union) Open() error {
+	u.cur = 0
+	u.seen = make(map[string]struct{})
+	if len(u.Children) == 0 {
+		return nil
+	}
+	return u.Children[0].Open()
+}
+
+// Next emits the next distinct row across all children.
+func (u *Union) Next() ([]types.Value, bool, error) {
+	for u.cur < len(u.Children) {
+		row, ok, err := u.Children[u.cur].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if err := u.Children[u.cur].Close(); err != nil {
+				return nil, false, err
+			}
+			u.cur++
+			if u.cur < len(u.Children) {
+				if err := u.Children[u.cur].Open(); err != nil {
+					return nil, false, err
+				}
+			}
+			continue
+		}
+		key := RowKey(row)
+		if _, dup := u.seen[key]; dup {
+			continue
+		}
+		u.seen[key] = struct{}{}
+		return row, true, nil
+	}
+	return nil, false, nil
+}
+
+// Close closes any child still open.
+func (u *Union) Close() error {
+	u.seen = nil
+	if u.cur < len(u.Children) {
+		return u.Children[u.cur].Close()
+	}
+	return nil
+}

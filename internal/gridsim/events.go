@@ -1,0 +1,181 @@
+// Package gridsim simulates the distributed system the paper monitors: a
+// computational grid of machines running a job scheduling and execution
+// system in the style of Condor. Each machine appends status records to its
+// own event log — exactly the logs that the sniffer processes (package
+// sniffer) later transform and load into the central database.
+//
+// The simulator is deterministic under a seed and runs on a virtual clock,
+// so tests can reproduce the paper's introduction scenario (job j submitted
+// at m1, executed at m2, with the four observable database states) without
+// real sleeps.
+package gridsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EventType enumerates the log record types a machine can emit.
+type EventType string
+
+// Event types. Status/Neighbor events feed the Activity/Routing tables of
+// the paper's running examples; Submit/Route/Start/Finish feed the S and R
+// tables of §4.2; HeartbeatEvent is the "nothing to report" record of §3.1.
+const (
+	StatusEvent    EventType = "status"    // machine became idle/busy
+	NeighborEvent  EventType = "neighbor"  // machine gained a neighbor
+	SubmitEvent    EventType = "submit"    // job submitted to a scheduler
+	RouteEvent     EventType = "route"     // scheduler routed job to a remote
+	StartEvent     EventType = "start"     // remote started running the job
+	FinishEvent    EventType = "finish"    // remote finished the job
+	HeartbeatEvent EventType = "heartbeat" // nothing to report
+)
+
+// Event is one log record. Fields not applicable to a type are zero.
+type Event struct {
+	Time    time.Time
+	Machine string // emitting machine = data source
+	Type    EventType
+
+	Value    string // StatusEvent: "idle" or "busy"
+	Neighbor string // NeighborEvent
+	JobID    string // Submit/Route/Start/Finish
+	Remote   string // RouteEvent: execution machine
+	User     string // SubmitEvent
+}
+
+// Marshal renders the event as one log line:
+//
+//	2006-03-15 14:20:05|m1|route|job=j42,remote=m2
+func (e Event) Marshal() string {
+	var attrs []string
+	add := func(k, v string) {
+		if v != "" {
+			attrs = append(attrs, k+"="+escape(v))
+		}
+	}
+	add("value", e.Value)
+	add("neighbor", e.Neighbor)
+	add("job", e.JobID)
+	add("remote", e.Remote)
+	add("user", e.User)
+	return fmt.Sprintf("%s|%s|%s|%s",
+		e.Time.UTC().Format(timeLayoutNanos), e.Machine, e.Type, strings.Join(attrs, ","))
+}
+
+const timeLayoutNanos = "2006-01-02 15:04:05.000000000"
+
+// ParseEvent parses a marshalled log line.
+func ParseEvent(line string) (Event, error) {
+	parts := strings.SplitN(line, "|", 4)
+	if len(parts) != 4 {
+		return Event{}, fmt.Errorf("gridsim: malformed event line %q", line)
+	}
+	ts, err := time.Parse(timeLayoutNanos, parts[0])
+	if err != nil {
+		return Event{}, fmt.Errorf("gridsim: bad timestamp in %q: %v", line, err)
+	}
+	e := Event{Time: ts.UTC(), Machine: parts[1], Type: EventType(parts[2])}
+	if parts[3] != "" {
+		for _, attr := range splitAttrs(parts[3]) {
+			kv := strings.SplitN(attr, "=", 2)
+			if len(kv) != 2 {
+				return Event{}, fmt.Errorf("gridsim: bad attribute %q in %q", attr, line)
+			}
+			val := unescape(kv[1])
+			switch kv[0] {
+			case "value":
+				e.Value = val
+			case "neighbor":
+				e.Neighbor = val
+			case "job":
+				e.JobID = val
+			case "remote":
+				e.Remote = val
+			case "user":
+				e.User = val
+			default:
+				return Event{}, fmt.Errorf("gridsim: unknown attribute %q in %q", kv[0], line)
+			}
+		}
+	}
+	return e, nil
+}
+
+// escape protects separators inside attribute values.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, ",", `\c`)
+	s = strings.ReplaceAll(s, "=", `\e`)
+	s = strings.ReplaceAll(s, "|", `\p`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func unescape(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case '\\':
+				sb.WriteByte('\\')
+			case 'c':
+				sb.WriteByte(',')
+			case 'e':
+				sb.WriteByte('=')
+			case 'p':
+				sb.WriteByte('|')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(s[i])
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// splitAttrs splits on unescaped commas.
+func splitAttrs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && i+1 < len(s):
+			cur.WriteByte(s[i])
+			cur.WriteByte(s[i+1])
+			i++
+		case s[i] == ',':
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(s[i])
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// MachineName formats the canonical machine id used across the simulation
+// ("Tao1" .. "TaoN", matching the paper's test data naming).
+func MachineName(i int) string { return "Tao" + strconv.Itoa(i) }
+
+// SortEvents orders events by time, then machine (stable tie-break for
+// deterministic tests).
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if !events[i].Time.Equal(events[j].Time) {
+			return events[i].Time.Before(events[j].Time)
+		}
+		return events[i].Machine < events[j].Machine
+	})
+}

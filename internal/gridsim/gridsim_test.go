@@ -1,0 +1,292 @@
+package gridsim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventMarshalRoundTrip(t *testing.T) {
+	ts := time.Date(2006, 3, 15, 14, 20, 5, 123456789, time.UTC)
+	events := []Event{
+		{Time: ts, Machine: "m1", Type: StatusEvent, Value: "idle"},
+		{Time: ts, Machine: "m1", Type: NeighborEvent, Neighbor: "m3"},
+		{Time: ts, Machine: "m1", Type: SubmitEvent, JobID: "j42", User: "alice"},
+		{Time: ts, Machine: "m1", Type: RouteEvent, JobID: "j42", Remote: "m2"},
+		{Time: ts, Machine: "m2", Type: StartEvent, JobID: "j42"},
+		{Time: ts, Machine: "m2", Type: FinishEvent, JobID: "j42"},
+		{Time: ts, Machine: "m9", Type: HeartbeatEvent},
+	}
+	for _, e := range events {
+		line := e.Marshal()
+		got, err := ParseEvent(line)
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", line, err)
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Errorf("round trip changed event:\n in: %+v\nout: %+v\nline: %q", e, got, line)
+		}
+	}
+}
+
+func TestEventEscaping(t *testing.T) {
+	ts := time.Date(2006, 3, 15, 0, 0, 0, 0, time.UTC)
+	e := Event{Time: ts, Machine: "m1", Type: SubmitEvent,
+		JobID: "weird,=|job\\name", User: "line\nbreak"}
+	got, err := ParseEvent(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != e.JobID || got.User != e.User {
+		t.Errorf("escaping lost data: %+v", got)
+	}
+}
+
+func TestEventEscapingProperty(t *testing.T) {
+	ts := time.Date(2006, 3, 15, 0, 0, 0, 0, time.UTC)
+	f := func(job, user string) bool {
+		e := Event{Time: ts, Machine: "m1", Type: SubmitEvent, JobID: job, User: user}
+		got, err := ParseEvent(e.Marshal())
+		return err == nil && got.JobID == job && got.User == user
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"no separators",
+		"2006-01-02 15:04:05.000000000|m1|status", // missing attrs part
+		"not-a-time|m1|status|value=idle",
+		"2006-01-02 15:04:05.000000000|m1|status|novalue",
+		"2006-01-02 15:04:05.000000000|m1|status|bogus=1",
+	}
+	for _, line := range bad {
+		if _, err := ParseEvent(line); err == nil {
+			t.Errorf("ParseEvent(%q) should fail", line)
+		}
+	}
+}
+
+func TestMemoryLogTailing(t *testing.T) {
+	l := NewMemoryLog()
+	ts := time.Date(2006, 3, 15, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{Time: ts, Machine: "m1", Type: HeartbeatEvent})
+	}
+	got, next, err := l.ReadFrom(0)
+	if err != nil || len(got) != 5 || next != 5 {
+		t.Fatalf("ReadFrom(0) = %d events, next %d, err %v", len(got), next, err)
+	}
+	got, next, err = l.ReadFrom(3)
+	if err != nil || len(got) != 2 || next != 5 {
+		t.Fatalf("ReadFrom(3) = %d events, next %d, err %v", len(got), next, err)
+	}
+	if _, _, err := l.ReadFrom(9); err == nil {
+		t.Error("out-of-range offset should fail")
+	}
+	if n, _ := l.Len(); n != 5 {
+		t.Errorf("Len = %d", n)
+	}
+}
+
+func TestFileLogTailing(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewFileLog(dir, "Tao1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ts := time.Date(2006, 3, 15, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 4; i++ {
+		if err := l.Append(Event{Time: ts.Add(time.Duration(i) * time.Second), Machine: "Tao1", Type: StatusEvent, Value: "idle"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, next, err := l.ReadFrom(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || next != 4 {
+		t.Fatalf("ReadFrom(2) = %d events, next = %d", len(got), next)
+	}
+	if got[0].Time.Second() != 2 {
+		t.Errorf("wrong event order: %+v", got[0])
+	}
+	if n, _ := l.Len(); n != 4 {
+		t.Errorf("Len = %d", n)
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	run := func() []string {
+		sim, err := New(Config{Machines: 6, Seed: 7, JobRate: 1.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(30); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for _, m := range sim.Machines() {
+			evs, _, _ := m.Log.ReadFrom(0)
+			for _, e := range evs {
+				lines = append(lines, e.Marshal())
+			}
+		}
+		return lines
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must produce identical event streams")
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	sim, err := New(Config{Machines: 5, Seed: 1, JobRate: 0.5, RunTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	jobs := sim.Jobs()
+	if len(jobs) == 0 {
+		t.Fatal("no jobs were created")
+	}
+	doneSeen := false
+	for _, j := range jobs {
+		if j.State == JobDone {
+			doneSeen = true
+			if j.Remote == "" || j.Scheduler == "" {
+				t.Errorf("done job missing fields: %+v", j)
+			}
+		}
+	}
+	if !doneSeen {
+		t.Error("no job completed in 60 ticks")
+	}
+
+	// Per-machine event ordering: submit before route on the scheduler;
+	// start before finish on the remote, with monotone timestamps.
+	for _, m := range sim.Machines() {
+		evs, _, _ := m.Log.ReadFrom(0)
+		var last time.Time
+		started := make(map[string]bool)
+		submitted := make(map[string]bool)
+		for _, e := range evs {
+			if e.Time.Before(last) {
+				t.Fatalf("timestamps went backwards on %s", m.Name)
+			}
+			last = e.Time
+			switch e.Type {
+			case SubmitEvent:
+				submitted[e.JobID] = true
+			case RouteEvent:
+				if !submitted[e.JobID] {
+					t.Errorf("route before submit for %s on %s", e.JobID, m.Name)
+				}
+			case StartEvent:
+				started[e.JobID] = true
+			case FinishEvent:
+				if !started[e.JobID] {
+					t.Errorf("finish before start for %s on %s", e.JobID, m.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestFailedMachineGoesSilent(t *testing.T) {
+	sim, err := New(Config{Machines: 4, Seed: 3, JobRate: 2, HeartbeatEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sim.Machines()[2].Name
+	if err := sim.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sim.Machine(victim)
+	before, _ := m.Log.Len()
+	if err := sim.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.Log.Len()
+	if after != before {
+		t.Errorf("failed machine logged %d new events", after-before)
+	}
+	if !m.Failed() {
+		t.Error("Failed() should be true")
+	}
+	// Others kept logging (heartbeats at minimum).
+	other, _ := sim.Machines()[0].Log.Len()
+	if other == 0 {
+		t.Error("healthy machines should log")
+	}
+	// Recovery resumes logging.
+	sim.Recover(victim)
+	sim.Run(5)
+	recovered, _ := m.Log.Len()
+	if recovered == before {
+		t.Error("recovered machine should log again")
+	}
+}
+
+func TestHeartbeatProtocol(t *testing.T) {
+	sim, err := New(Config{Machines: 3, Seed: 5, JobRate: -1, HeartbeatEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// With no jobs, quiet machines must emit heartbeats.
+	for _, m := range sim.Machines() {
+		evs, _, _ := m.Log.ReadFrom(0)
+		hb := 0
+		for _, e := range evs {
+			if e.Type == HeartbeatEvent {
+				hb++
+			}
+		}
+		if hb == 0 {
+			t.Errorf("%s emitted no heartbeats", m.Name)
+		}
+	}
+}
+
+func TestUnknownMachine(t *testing.T) {
+	sim, err := New(Config{Machines: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Machine("nope"); err == nil {
+		t.Error("unknown machine should error")
+	}
+	if err := sim.Fail("nope"); err == nil {
+		t.Error("failing unknown machine should error")
+	}
+}
+
+func TestSortEvents(t *testing.T) {
+	t1 := time.Date(2006, 3, 15, 0, 0, 1, 0, time.UTC)
+	t2 := time.Date(2006, 3, 15, 0, 0, 2, 0, time.UTC)
+	evs := []Event{
+		{Time: t2, Machine: "b"},
+		{Time: t1, Machine: "z"},
+		{Time: t2, Machine: "a"},
+	}
+	SortEvents(evs)
+	if evs[0].Machine != "z" || evs[1].Machine != "a" || evs[2].Machine != "b" {
+		t.Errorf("sorted = %+v", evs)
+	}
+}
+
+func TestMachineName(t *testing.T) {
+	if MachineName(1) != "Tao1" || MachineName(100000) != "Tao100000" {
+		t.Error("MachineName format wrong")
+	}
+}

@@ -1,0 +1,145 @@
+package gridsim
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Log is a per-machine append-only event log: the unit the monitoring
+// system "sniffs". ReadFrom supports incremental tailing by record offset,
+// which is how a sniffer resumes where it left off.
+type Log interface {
+	// Append adds one event record.
+	Append(e Event) error
+	// ReadFrom returns records starting at the given record offset and the
+	// next offset to resume from.
+	ReadFrom(offset int) ([]Event, int, error)
+	// Len returns the current number of records.
+	Len() (int, error)
+	// Close releases resources.
+	Close() error
+}
+
+// MemoryLog is an in-process log, used by simulations and benchmarks where
+// file I/O would only add noise.
+type MemoryLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemoryLog returns an empty in-memory log.
+func NewMemoryLog() *MemoryLog { return &MemoryLog{} }
+
+// Append adds one event.
+func (l *MemoryLog) Append(e Event) error {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+	return nil
+}
+
+// ReadFrom returns events[offset:] and the new offset.
+func (l *MemoryLog) ReadFrom(offset int) ([]Event, int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset < 0 || offset > len(l.events) {
+		return nil, 0, fmt.Errorf("gridsim: offset %d out of range [0,%d]", offset, len(l.events))
+	}
+	out := make([]Event, len(l.events)-offset)
+	copy(out, l.events[offset:])
+	return out, len(l.events), nil
+}
+
+// Len returns the record count.
+func (l *MemoryLog) Len() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events), nil
+}
+
+// Close is a no-op.
+func (l *MemoryLog) Close() error { return nil }
+
+// FileLog persists events to a text file, one marshalled record per line —
+// the literal "status records to files on the processors" of the paper.
+// Reading re-scans the file; sniffers poll infrequently enough that the
+// simplicity is worth it for a simulation substrate.
+type FileLog struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	n    int
+}
+
+// NewFileLog creates (or truncates) a log file at dir/<machine>.log.
+func NewFileLog(dir, machine string) (*FileLog, error) {
+	path := filepath.Join(dir, machine+".log")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileLog{path: path, f: f}, nil
+}
+
+// Path returns the underlying file path.
+func (l *FileLog) Path() string { return l.path }
+
+// Append writes one record line and syncs it to the OS.
+func (l *FileLog) Append(e Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.WriteString(e.Marshal() + "\n"); err != nil {
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// ReadFrom scans the file and returns records from the given offset.
+func (l *FileLog) ReadFrom(offset int) ([]Event, int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, err := os.Open(l.path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var out []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	i := 0
+	for sc.Scan() {
+		if i >= offset {
+			e, err := ParseEvent(sc.Text())
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, e)
+		}
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if offset > i {
+		return nil, 0, fmt.Errorf("gridsim: offset %d beyond log length %d", offset, i)
+	}
+	return out, i, nil
+}
+
+// Len returns the record count.
+func (l *FileLog) Len() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n, nil
+}
+
+// Close closes the file handle.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -1,0 +1,350 @@
+package gridsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Config parameterizes a simulated grid.
+type Config struct {
+	// Machines is the number of grid machines (data sources).
+	Machines int
+	// Schedulers is how many of the machines accept job submissions
+	// (machines 1..Schedulers). Zero defaults to max(1, Machines/10).
+	Schedulers int
+	// NeighborsPerMachine is the out-degree of the routing topology.
+	NeighborsPerMachine int
+	// JobRate is the expected number of new jobs per tick. Zero defaults
+	// to 1; a negative rate disables job arrivals entirely.
+	JobRate float64
+	// RunTicks is how many ticks a job runs once started.
+	RunTicks int
+	// HeartbeatEvery emits a "nothing to report" heartbeat record after
+	// this many quiet ticks (0 disables the protocol, leaving recency to
+	// the last real event — the trade-off §3.1 discusses).
+	HeartbeatEvery int
+	// Seed makes the simulation deterministic.
+	Seed int64
+	// Start is the virtual start time.
+	Start time.Time
+	// Tick is the virtual duration of one tick (default 1s).
+	Tick time.Duration
+	// NewLog constructs the per-machine log (default in-memory).
+	NewLog func(machine string) (Log, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 4
+	}
+	if c.Schedulers <= 0 {
+		c.Schedulers = c.Machines / 10
+		if c.Schedulers == 0 {
+			c.Schedulers = 1
+		}
+	}
+	if c.NeighborsPerMachine <= 0 {
+		c.NeighborsPerMachine = 2
+	}
+	if c.JobRate == 0 {
+		c.JobRate = 1
+	}
+	if c.RunTicks <= 0 {
+		c.RunTicks = 3
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2006, 3, 15, 12, 0, 0, 0, time.UTC)
+	}
+	if c.Tick == 0 {
+		c.Tick = time.Second
+	}
+	if c.NewLog == nil {
+		c.NewLog = func(string) (Log, error) { return NewMemoryLog(), nil }
+	}
+	return c
+}
+
+// JobState tracks one job through the lifecycle.
+type JobState int
+
+// Job lifecycle states.
+const (
+	JobSubmitted JobState = iota
+	JobRouted
+	JobRunning
+	JobDone
+)
+
+// Job is one simulated grid job.
+type Job struct {
+	ID        string
+	User      string
+	Scheduler string
+	Remote    string
+	State     JobState
+	ticksLeft int
+}
+
+// Machine is one simulated grid node.
+type Machine struct {
+	Name      string
+	Log       Log
+	Neighbors []string
+
+	busy       bool
+	failed     bool
+	quietTicks int
+}
+
+// Failed reports whether the machine is currently failed (emitting nothing).
+func (m *Machine) Failed() bool { return m.failed }
+
+// Simulator drives the virtual grid.
+type Simulator struct {
+	cfg      Config
+	rng      *rand.Rand
+	machines []*Machine
+	byName   map[string]*Machine
+	jobs     []*Job
+	now      time.Time
+	jobSeq   int
+}
+
+// New builds a simulator: machines are created, the neighbor topology is
+// wired (and logged as NeighborEvents), and every machine logs an initial
+// idle status.
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	s := &Simulator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		byName: make(map[string]*Machine, cfg.Machines),
+		now:    cfg.Start,
+	}
+	for i := 1; i <= cfg.Machines; i++ {
+		name := MachineName(i)
+		log, err := cfg.NewLog(name)
+		if err != nil {
+			return nil, err
+		}
+		m := &Machine{Name: name, Log: log}
+		s.machines = append(s.machines, m)
+		s.byName[name] = m
+	}
+	// Ring-plus-random topology: neighbor i+1 plus random extras.
+	for i, m := range s.machines {
+		next := s.machines[(i+1)%len(s.machines)]
+		if next != m {
+			m.Neighbors = append(m.Neighbors, next.Name)
+		}
+		for len(m.Neighbors) < cfg.NeighborsPerMachine && len(m.Neighbors) < cfg.Machines-1 {
+			cand := s.machines[s.rng.Intn(len(s.machines))]
+			if cand == m || contains(m.Neighbors, cand.Name) {
+				continue
+			}
+			m.Neighbors = append(m.Neighbors, cand.Name)
+		}
+		for _, n := range m.Neighbors {
+			if err := s.emit(m, Event{Type: NeighborEvent, Neighbor: n}); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.emit(m, Event{Type: StatusEvent, Value: "idle"}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Time { return s.now }
+
+// Machines lists the simulated machines.
+func (s *Simulator) Machines() []*Machine { return s.machines }
+
+// Machine resolves a machine by name.
+func (s *Simulator) Machine(name string) (*Machine, error) {
+	m, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("gridsim: unknown machine %q", name)
+	}
+	return m, nil
+}
+
+// Jobs returns all jobs ever created.
+func (s *Simulator) Jobs() []*Job { return s.jobs }
+
+// Fail marks a machine failed: it stops logging entirely, which makes its
+// data source go stale — the scenario that exceptional-source detection
+// (§4.3) exists for.
+func (s *Simulator) Fail(name string) error {
+	m, err := s.Machine(name)
+	if err != nil {
+		return err
+	}
+	m.failed = true
+	return nil
+}
+
+// Recover brings a failed machine back.
+func (s *Simulator) Recover(name string) error {
+	m, err := s.Machine(name)
+	if err != nil {
+		return err
+	}
+	m.failed = false
+	return nil
+}
+
+// emit appends an event stamped with the current time to m's log, unless m
+// is failed.
+func (s *Simulator) emit(m *Machine, e Event) error {
+	if m.failed {
+		return nil
+	}
+	e.Time = s.now
+	e.Machine = m.Name
+	m.quietTicks = 0
+	return m.Log.Append(e)
+}
+
+// Tick advances the virtual clock one step: jobs progress through their
+// lifecycle, new jobs arrive, statuses flip, quiet machines heartbeat.
+func (s *Simulator) Tick() error {
+	s.now = s.now.Add(s.cfg.Tick)
+	for _, m := range s.machines {
+		m.quietTicks++
+	}
+
+	// Progress existing jobs.
+	for _, j := range s.jobs {
+		switch j.State {
+		case JobSubmitted:
+			sched := s.byName[j.Scheduler]
+			if sched.failed {
+				continue // scheduler down: job stalls
+			}
+			remote := s.pickRemote(sched)
+			j.Remote = remote
+			j.State = JobRouted
+			if err := s.emit(sched, Event{Type: RouteEvent, JobID: j.ID, Remote: remote}); err != nil {
+				return err
+			}
+		case JobRouted:
+			remote := s.byName[j.Remote]
+			if remote.failed {
+				continue
+			}
+			j.State = JobRunning
+			j.ticksLeft = s.cfg.RunTicks
+			if err := s.emit(remote, Event{Type: StartEvent, JobID: j.ID}); err != nil {
+				return err
+			}
+			if !remote.busy {
+				remote.busy = true
+				if err := s.emit(remote, Event{Type: StatusEvent, Value: "busy"}); err != nil {
+					return err
+				}
+			}
+		case JobRunning:
+			j.ticksLeft--
+			if j.ticksLeft > 0 {
+				continue
+			}
+			remote := s.byName[j.Remote]
+			j.State = JobDone
+			if err := s.emit(remote, Event{Type: FinishEvent, JobID: j.ID}); err != nil {
+				return err
+			}
+			if remote.busy && !s.machineHasRunningJob(remote.Name) {
+				remote.busy = false
+				if err := s.emit(remote, Event{Type: StatusEvent, Value: "idle"}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// New arrivals (Poisson-ish: floor + Bernoulli remainder). A negative
+	// rate disables arrivals.
+	n := 0
+	if s.cfg.JobRate > 0 {
+		n = int(s.cfg.JobRate)
+		if s.rng.Float64() < s.cfg.JobRate-float64(n) {
+			n++
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.jobSeq++
+		sched := s.machines[s.rng.Intn(s.cfg.Schedulers)]
+		j := &Job{
+			ID:        fmt.Sprintf("j%d", s.jobSeq),
+			User:      fmt.Sprintf("user%d", 1+s.rng.Intn(5)),
+			Scheduler: sched.Name,
+			State:     JobSubmitted,
+		}
+		s.jobs = append(s.jobs, j)
+		if err := s.emit(sched, Event{Type: SubmitEvent, JobID: j.ID, User: j.User}); err != nil {
+			return err
+		}
+	}
+
+	// Heartbeats from quiet machines.
+	if s.cfg.HeartbeatEvery > 0 {
+		for _, m := range s.machines {
+			if !m.failed && m.quietTicks >= s.cfg.HeartbeatEvery {
+				if err := s.emit(m, Event{Type: HeartbeatEvent}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Run advances n ticks.
+func (s *Simulator) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) machineHasRunningJob(name string) bool {
+	for _, j := range s.jobs {
+		if j.State == JobRunning && j.Remote == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Simulator) pickRemote(m *Machine) string {
+	if len(m.Neighbors) == 0 {
+		return m.Name
+	}
+	return m.Neighbors[s.rng.Intn(len(m.Neighbors))]
+}
+
+// Close closes every machine log.
+func (s *Simulator) Close() error {
+	var firstErr error
+	for _, m := range s.machines {
+		if err := m.Log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,151 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"trac/internal/exec"
+	"trac/internal/sqlparser"
+	"trac/internal/types"
+)
+
+// finishGrouped builds the aggregation tail of a plan: a hash
+// GroupAggregate producing [group keys..., aggregates...], an optional
+// HAVING filter, the ORDER BY sort, and the final projection. Select items,
+// HAVING and ORDER BY are compiled against the grouped intermediate tuple
+// via a compile hook that maps GROUP BY expressions and aggregate calls to
+// intermediate positions; a bare column that is neither grouped nor inside
+// an aggregate is rejected, per SQL semantics.
+func (p *Planner) finishGrouped(sel *sqlparser.SelectStmt, input exec.Operator, layout *exec.Layout, items []sqlparser.Expr) (exec.Operator, error) {
+	// Group keys: evaluator over base rows + canonical text for matching.
+	keyEvals := make([]exec.Evaluator, len(sel.GroupBy))
+	keySQL := make([]string, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		// A bare alias in GROUP BY resolves to its select-list expression.
+		ge := g
+		if cr, ok := g.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			for j, it := range sel.Items {
+				if strings.EqualFold(it.Alias, cr.Column) && !it.Star {
+					ge = sel.Items[j].Expr
+					break
+				}
+			}
+		}
+		ev, err := exec.Compile(ge, layout)
+		if err != nil {
+			return nil, err
+		}
+		keyEvals[i] = ev
+		keySQL[i] = ge.SQL()
+	}
+
+	// Aggregate specs are discovered lazily while compiling items/HAVING/
+	// ORDER BY; identical calls share one accumulator.
+	var specs []exec.AggSpec
+	var specSQL []string
+	addSpec := func(fc *sqlparser.FuncCall) (int, error) {
+		key := fc.SQL()
+		for i, s := range specSQL {
+			if s == key {
+				return i, nil
+			}
+		}
+		spec := exec.AggSpec{Func: fc.Name, Star: fc.Star}
+		if !fc.Star {
+			arg, err := exec.Compile(fc.Arg, layout)
+			if err != nil {
+				return 0, err
+			}
+			spec.Arg = arg
+		}
+		specs = append(specs, spec)
+		specSQL = append(specSQL, key)
+		return len(specs) - 1, nil
+	}
+
+	nKeys := len(keyEvals)
+	hook := func(e sqlparser.Expr) (exec.Evaluator, bool, error) {
+		if fc, ok := e.(*sqlparser.FuncCall); ok {
+			idx, err := addSpec(fc)
+			if err != nil {
+				return nil, false, err
+			}
+			pos := nKeys + idx
+			return func(row []types.Value) (types.Value, error) { return row[pos], nil }, true, nil
+		}
+		text := e.SQL()
+		for i, k := range keySQL {
+			if k == text {
+				pos := i
+				return func(row []types.Value) (types.Value, error) { return row[pos], nil }, true, nil
+			}
+		}
+		if cr, ok := e.(*sqlparser.ColumnRef); ok {
+			// Also accept an unqualified/qualified mismatch against a key
+			// (e.g. GROUP BY A.user vs SELECT user).
+			for i, k := range keySQL {
+				if kr, err := sqlparser.ParseExpr(k); err == nil {
+					if kcr, ok := kr.(*sqlparser.ColumnRef); ok && strings.EqualFold(kcr.Column, cr.Column) {
+						pos := i
+						return func(row []types.Value) (types.Value, error) { return row[pos], nil }, true, nil
+					}
+				}
+			}
+			return nil, false, fmt.Errorf("planner: column %q must appear in GROUP BY or inside an aggregate", cr.SQL())
+		}
+		return nil, false, nil
+	}
+
+	// The grouped layout has no base-table columns; hooks must intercept
+	// every column reference. An empty layout enforces that.
+	groupedLayout := exec.NewLayout(nil)
+
+	itemEvals := make([]exec.Evaluator, len(items))
+	for i, it := range items {
+		ev, err := exec.CompileWith(it, groupedLayout, hook)
+		if err != nil {
+			return nil, err
+		}
+		itemEvals[i] = ev
+	}
+	var having exec.Evaluator
+	if sel.Having != nil {
+		ev, err := exec.CompileWith(sel.Having, groupedLayout, hook)
+		if err != nil {
+			return nil, err
+		}
+		having = ev
+	}
+	var sortKeys []exec.SortKey
+	for _, o := range sel.OrderBy {
+		oe := o.Expr
+		if lit, ok := oe.(*sqlparser.Literal); ok && lit.Val.Kind() == types.KindInt {
+			pos := int(lit.Val.Int()) - 1
+			if pos < 0 || pos >= len(items) {
+				return nil, fmt.Errorf("planner: ORDER BY position %d out of range", pos+1)
+			}
+			oe = items[pos]
+		} else if cr, ok := oe.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			for i, it := range sel.Items {
+				if strings.EqualFold(it.Alias, cr.Column) {
+					oe = items[i]
+					break
+				}
+			}
+		}
+		ev, err := exec.CompileWith(oe, groupedLayout, hook)
+		if err != nil {
+			return nil, err
+		}
+		sortKeys = append(sortKeys, exec.SortKey{Expr: ev, Desc: o.Desc})
+	}
+
+	var root exec.Operator = &exec.GroupAggregate{Child: input, Keys: keyEvals, Specs: specs}
+	if having != nil {
+		root = &exec.Filter{Child: root, Pred: having}
+	}
+	if len(sortKeys) > 0 {
+		root = &exec.Sort{Child: root, Keys: sortKeys}
+	}
+	return &exec.Project{Child: root, Exprs: itemEvals}, nil
+}

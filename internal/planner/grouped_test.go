@@ -1,0 +1,209 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"trac/internal/exec"
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+// jobsFixture builds JobLog(mach_id, user, cpu_seconds) with known sums —
+// the intro's "how many CPU seconds have my jobs used" workload.
+func jobsFixture(t *testing.T) (*Planner, *txn.Manager) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	mgr := txn.NewManager()
+	s, err := storage.NewSchema([]storage.Column{
+		{Name: "mach_id", Kind: types.KindString},
+		{Name: "job_user", Kind: types.KindString},
+		{Name: "cpu_seconds", Kind: types.KindInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSourceColumn("mach_id")
+	tbl := storage.NewTable("JobLog", s)
+	if err := cat.Create(tbl); err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		mach, user string
+		cpu        int64
+	}{
+		{"m1", "alice", 10}, {"m1", "bob", 20}, {"m2", "alice", 30},
+		{"m2", "alice", 5}, {"m3", "carol", 7}, {"m3", "bob", 1},
+	}
+	tx := mgr.Begin()
+	for _, r := range rows {
+		tx.InsertRow(tbl, storage.NewRow([]types.Value{
+			types.NewString(r.mach), types.NewString(r.user), types.NewInt(r.cpu),
+		}, 0))
+	}
+	tx.Commit()
+	return New(cat), mgr
+}
+
+func rowsOf(t *testing.T, p *Planner, mgr *txn.Manager, sql string) []string {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.PlanSelect(sel, mgr.ReadSnapshot())
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	rows, err := exec.Drain(pl.Root)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	var out []string
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		out = append(out, strings.Join(parts, ","))
+	}
+	return out
+}
+
+func TestGroupBySum(t *testing.T) {
+	p, mgr := jobsFixture(t)
+	got := rowsOf(t, p, mgr, `SELECT job_user, SUM(cpu_seconds) FROM JobLog GROUP BY job_user ORDER BY job_user`)
+	want := []string{"alice,45", "bob,21", "carol,7"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestGroupByMultipleAggs(t *testing.T) {
+	p, mgr := jobsFixture(t)
+	got := rowsOf(t, p, mgr, `SELECT mach_id, COUNT(*), MIN(cpu_seconds), MAX(cpu_seconds), AVG(cpu_seconds)
+		FROM JobLog GROUP BY mach_id ORDER BY mach_id`)
+	want := []string{"m1,2,10,20,15", "m2,2,5,30,17.5", "m3,2,1,7,4"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	p, mgr := jobsFixture(t)
+	got := rowsOf(t, p, mgr, `SELECT job_user, SUM(cpu_seconds) FROM JobLog
+		GROUP BY job_user HAVING SUM(cpu_seconds) > 10 ORDER BY 2 DESC`)
+	want := []string{"alice,45", "bob,21"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// HAVING referencing an aggregate not in the select list.
+	got = rowsOf(t, p, mgr, `SELECT job_user FROM JobLog GROUP BY job_user HAVING COUNT(*) >= 3`)
+	want = []string{"alice"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestGroupByWithWhere(t *testing.T) {
+	p, mgr := jobsFixture(t)
+	got := rowsOf(t, p, mgr, `SELECT job_user, SUM(cpu_seconds) FROM JobLog
+		WHERE mach_id <> 'm2' GROUP BY job_user ORDER BY job_user`)
+	want := []string{"alice,10", "bob,21", "carol,7"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	p, mgr := jobsFixture(t)
+	// Grouping by a computed expression, selecting the same expression.
+	got := rowsOf(t, p, mgr, `SELECT cpu_seconds / 10, COUNT(*) FROM JobLog GROUP BY cpu_seconds / 10 ORDER BY 1`)
+	want := []string{"0,3", "1,1", "2,1", "3,1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestGroupByAlias(t *testing.T) {
+	p, mgr := jobsFixture(t)
+	got := rowsOf(t, p, mgr, `SELECT job_user AS u, COUNT(*) AS n FROM JobLog GROUP BY u ORDER BY n DESC, u`)
+	if len(got) != 3 || got[0] != "alice,3" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestGlobalAggregateStillWorks(t *testing.T) {
+	p, mgr := jobsFixture(t)
+	got := rowsOf(t, p, mgr, `SELECT COUNT(*), SUM(cpu_seconds) FROM JobLog`)
+	if fmt.Sprint(got) != fmt.Sprint([]string{"6,73"}) {
+		t.Errorf("got %v", got)
+	}
+	// Empty input still yields one row.
+	got = rowsOf(t, p, mgr, `SELECT COUNT(*) FROM JobLog WHERE mach_id = 'none'`)
+	if fmt.Sprint(got) != fmt.Sprint([]string{"0"}) {
+		t.Errorf("got %v", got)
+	}
+	// But grouped aggregation over empty input yields no rows.
+	got = rowsOf(t, p, mgr, `SELECT job_user, COUNT(*) FROM JobLog WHERE mach_id = 'none' GROUP BY job_user`)
+	if len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestUngroupedColumnRejected(t *testing.T) {
+	p, mgr := jobsFixture(t)
+	for _, sql := range []string{
+		`SELECT mach_id, COUNT(*) FROM JobLog GROUP BY job_user`,
+		`SELECT COUNT(*), mach_id FROM JobLog`,
+		`SELECT job_user FROM JobLog GROUP BY job_user HAVING cpu_seconds > 1`,
+	} {
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.PlanSelect(sel, mgr.ReadSnapshot()); err == nil {
+			t.Errorf("PlanSelect(%q) should fail", sql)
+		}
+	}
+}
+
+func TestGroupByJoin(t *testing.T) {
+	// Add a Machines table and group a join result.
+	p, mgr := jobsFixture(t)
+	s, _ := storage.NewSchema([]storage.Column{
+		{Name: "name", Kind: types.KindString},
+		{Name: "pool", Kind: types.KindString},
+	})
+	m := storage.NewTable("Machines", s)
+	p.Catalog.Create(m)
+	tx := mgr.Begin()
+	for _, r := range [][2]string{{"m1", "poolA"}, {"m2", "poolA"}, {"m3", "poolB"}} {
+		tx.InsertRow(m, storage.NewRow([]types.Value{types.NewString(r[0]), types.NewString(r[1])}, 0))
+	}
+	tx.Commit()
+	got := rowsOf(t, p, mgr, `SELECT M.pool, SUM(J.cpu_seconds) FROM JobLog J, Machines M
+		WHERE J.mach_id = M.name GROUP BY M.pool ORDER BY M.pool`)
+	want := []string{"poolA,65", "poolB,8"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestGroupByRoundTripSQL(t *testing.T) {
+	src := `SELECT job_user, SUM(cpu_seconds) AS total FROM JobLog WHERE mach_id <> 'm9' GROUP BY job_user HAVING COUNT(*) > 1 ORDER BY total DESC LIMIT 2`
+	stmt, err := sqlparser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := stmt.SQL()
+	if !strings.Contains(rendered, "GROUP BY job_user") || !strings.Contains(rendered, "HAVING COUNT(*) > 1") {
+		t.Errorf("rendered = %s", rendered)
+	}
+	if _, err := sqlparser.Parse(rendered); err != nil {
+		t.Errorf("re-parse failed: %v", err)
+	}
+}

@@ -1,0 +1,648 @@
+// Package planner turns parsed SELECT statements into physical operator
+// trees. It performs name binding, predicate pushdown, index selection on
+// equality/IN/range/LIKE-prefix predicates, greedy join ordering with hash
+// joins for equijoins, and handles aggregation, DISTINCT, ORDER BY, LIMIT
+// and UNION.
+//
+// The recency queries the TRAC core generates are ordinary SELECTs, so they
+// flow through this same planner — matching the paper's prototype, where
+// generated recency queries were executed by PostgreSQL like any other SQL.
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"trac/internal/exec"
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+// Planner plans statements against a catalog.
+type Planner struct {
+	Catalog *storage.Catalog
+}
+
+// New returns a planner over the catalog.
+func New(catalog *storage.Catalog) *Planner {
+	return &Planner{Catalog: catalog}
+}
+
+// Plan is an executable plan plus its output description.
+type Plan struct {
+	Root    exec.Operator
+	Columns []string
+	// Notes records planning decisions (access paths, join order) for
+	// EXPLAIN-style diagnostics and for the ablation benchmarks.
+	Notes []string
+}
+
+// Describe renders the planning notes.
+func (p *Plan) Describe() string { return strings.Join(p.Notes, "\n") }
+
+// PlanSelect builds a plan for a SELECT against the given snapshot.
+func (p *Planner) PlanSelect(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Plan, error) {
+	if len(sel.Union) > 0 {
+		return p.planUnion(sel, snap)
+	}
+	return p.planBlock(sel, snap)
+}
+
+func (p *Planner) planUnion(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Plan, error) {
+	blocks := make([]*sqlparser.SelectStmt, 0, 1+len(sel.Union))
+	head := *sel
+	head.Union = nil
+	head.OrderBy = nil
+	head.Limit = nil
+	blocks = append(blocks, &head)
+	blocks = append(blocks, sel.Union...)
+
+	var children []exec.Operator
+	var first *Plan
+	var notes []string
+	for i, b := range blocks {
+		bp, err := p.planBlock(b, snap)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			first = bp
+		} else if len(bp.Columns) != len(first.Columns) {
+			return nil, fmt.Errorf("planner: UNION blocks have different arity (%d vs %d)",
+				len(first.Columns), len(bp.Columns))
+		}
+		children = append(children, bp.Root)
+		notes = append(notes, fmt.Sprintf("union block %d:", i))
+		notes = append(notes, bp.Notes...)
+	}
+	var root exec.Operator = &exec.Union{Children: children}
+	root, err := p.applyOutputOrderLimit(root, sel, first.Columns)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, Columns: first.Columns, Notes: notes}, nil
+}
+
+// applyOutputOrderLimit handles ORDER BY/LIMIT over a plan whose tuples are
+// already output-shaped (e.g. a UNION). ORDER BY may reference output
+// columns by name or 1-based position.
+func (p *Planner) applyOutputOrderLimit(root exec.Operator, sel *sqlparser.SelectStmt, columns []string) (exec.Operator, error) {
+	if len(sel.OrderBy) > 0 {
+		var keys []exec.SortKey
+		for _, o := range sel.OrderBy {
+			idx := -1
+			switch e := o.Expr.(type) {
+			case *sqlparser.Literal:
+				if e.Val.Kind() == types.KindInt {
+					idx = int(e.Val.Int()) - 1
+				}
+			case *sqlparser.ColumnRef:
+				for i, c := range columns {
+					if strings.EqualFold(c, e.Column) {
+						idx = i
+						break
+					}
+				}
+			}
+			if idx < 0 || idx >= len(columns) {
+				return nil, fmt.Errorf("planner: ORDER BY over a UNION must reference an output column")
+			}
+			i := idx
+			keys = append(keys, exec.SortKey{
+				Expr: func(row []types.Value) (types.Value, error) { return row[i], nil },
+				Desc: o.Desc,
+			})
+		}
+		root = &exec.Sort{Child: root, Keys: keys}
+	}
+	if sel.Limit != nil {
+		root = &exec.Limit{Child: root, N: *sel.Limit}
+	}
+	return root, nil
+}
+
+// conjunct is one AND-connected predicate with the set of bindings it
+// references.
+type conjunct struct {
+	expr     sqlparser.Expr
+	bindings map[int]bool
+	used     bool
+}
+
+func (p *Planner) planBlock(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Plan, error) {
+	// SELECT with no FROM: evaluate items against an empty tuple.
+	if len(sel.From) == 0 {
+		return p.planConstant(sel)
+	}
+
+	// Bind FROM.
+	bindings := make([]exec.Binding, 0, len(sel.From))
+	seen := make(map[string]bool)
+	for _, ref := range sel.From {
+		tbl, err := p.Catalog.Get(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.ToLower(ref.Binding())
+		if seen[name] {
+			return nil, fmt.Errorf("planner: duplicate table binding %q", ref.Binding())
+		}
+		seen[name] = true
+		bindings = append(bindings, exec.Binding{Name: ref.Binding(), Table: tbl})
+	}
+	layout := exec.NewLayout(bindings)
+
+	var notes []string
+
+	// Split WHERE into conjuncts and attribute each to its bindings.
+	var conjuncts []*conjunct
+	for _, e := range splitAnd(sel.Where) {
+		refs, err := p.bindingsOf(e, layout)
+		if err != nil {
+			return nil, err
+		}
+		conjuncts = append(conjuncts, &conjunct{expr: e, bindings: refs})
+	}
+
+	// Select list: aggregates vs plain projection.
+	items, columns, err := p.expandItems(sel, layout)
+	if err != nil {
+		return nil, err
+	}
+	hasAgg := false
+	for _, it := range items {
+		if _, ok := it.(*sqlparser.FuncCall); ok {
+			hasAgg = true
+		}
+	}
+
+	// Join-graph components: bindings connected by multi-binding conjuncts.
+	comps := components(len(layout.Bindings), conjuncts)
+
+	// Existence reduction: under DISTINCT (set semantics), a component
+	// that contributes no output/order columns only matters for whether it
+	// is empty, so it is planned as a LIMIT-1 existence probe instead of a
+	// cross product. This is the shape of the generated recency arms
+	// (Heartbeat crossed with the user query's other relations).
+	var root exec.Operator
+	if sel.Distinct && !hasAgg && componentCount(comps) > 1 {
+		needed, ok, err := p.outputComponent(sel, items, layout, comps)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			var mainIdx, probeComps []int
+			seenComp := make(map[int]bool)
+			for i := range layout.Bindings {
+				if comps[i] == needed {
+					mainIdx = append(mainIdx, i)
+				} else if !seenComp[comps[i]] {
+					seenComp[comps[i]] = true
+					probeComps = append(probeComps, comps[i])
+				}
+			}
+			main, err := p.joinTree(layout, mainIdx, conjuncts, snap, &notes)
+			if err != nil {
+				return nil, err
+			}
+			var probes []exec.Operator
+			for _, pc := range probeComps {
+				var idx []int
+				for i := range layout.Bindings {
+					if comps[i] == pc {
+						idx = append(idx, i)
+					}
+				}
+				sub, err := p.joinTree(layout, idx, conjuncts, snap, &notes)
+				if err != nil {
+					return nil, err
+				}
+				probes = append(probes, &exec.Limit{Child: sub, N: 1})
+				notes = append(notes, fmt.Sprintf("existence probe over component %v", bindingNames(layout, idx)))
+			}
+			root = &exec.Gate{Child: main, Probes: probes}
+		}
+	}
+	if root == nil {
+		all := make([]int, len(layout.Bindings))
+		for i := range all {
+			all[i] = i
+		}
+		root, err = p.joinTree(layout, all, conjuncts, snap, &notes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Defensive: any conjunct not yet applied.
+	joinedAll := make(map[int]bool, len(layout.Bindings))
+	for i := range layout.Bindings {
+		joinedAll[i] = true
+	}
+	if filt, err := p.residualFilter(conjuncts, layout, joinedAll); err != nil {
+		return nil, err
+	} else if filt != nil {
+		root = &exec.Filter{Child: root, Pred: filt}
+	}
+
+	if hasAgg || len(sel.GroupBy) > 0 || sel.Having != nil {
+		// Aggregation never retains its input rows.
+		markScanReuse(root)
+		root, err = p.finishGrouped(sel, root, layout, items)
+		if err != nil {
+			return nil, err
+		}
+		if sel.Distinct {
+			root = &exec.Distinct{Child: root}
+		}
+		if sel.Limit != nil {
+			root = &exec.Limit{Child: root, N: *sel.Limit}
+		}
+		return &Plan{Root: root, Columns: columns, Notes: notes}, nil
+	}
+
+	// ORDER BY runs on source tuples (before projection); aliases and
+	// 1-based positions resolve to their select-list expressions.
+	if len(sel.OrderBy) > 0 {
+		var keys []exec.SortKey
+		for _, o := range sel.OrderBy {
+			oe := o.Expr
+			if lit, ok := oe.(*sqlparser.Literal); ok && lit.Val.Kind() == types.KindInt {
+				pos := int(lit.Val.Int()) - 1
+				if pos < 0 || pos >= len(items) {
+					return nil, fmt.Errorf("planner: ORDER BY position %d out of range", pos+1)
+				}
+				oe = items[pos]
+			} else if cr, ok := oe.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+				for i, it := range sel.Items {
+					if strings.EqualFold(it.Alias, cr.Column) {
+						oe = items[i]
+						break
+					}
+				}
+			}
+			ev, err := exec.Compile(oe, layout)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, exec.SortKey{Expr: ev, Desc: o.Desc})
+		}
+		root = &exec.Sort{Child: root, Keys: keys}
+	}
+
+	evals := make([]exec.Evaluator, len(items))
+	for i, it := range items {
+		evals[i], err = exec.Compile(it, layout)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(sel.OrderBy) == 0 {
+		// Projection copies values out; without a pre-projection Sort
+		// (which retains raw tuples) a scan feeding it may reuse buffers.
+		markScanReuse(root)
+	}
+	root = &exec.Project{Child: root, Exprs: evals}
+	if sel.Distinct {
+		root = &exec.Distinct{Child: root}
+	}
+	if sel.Limit != nil {
+		root = &exec.Limit{Child: root, N: *sel.Limit}
+	}
+	return &Plan{Root: root, Columns: columns, Notes: notes}, nil
+}
+
+// joinTree plans the scans and joins for a subset of bindings: access path
+// per member, greedy equijoin-first join ordering, residual filters as soon
+// as their bindings are joined.
+func (p *Planner) joinTree(layout *exec.Layout, members []int, conjuncts []*conjunct, snap txn.Snapshot, notes *[]string) (exec.Operator, error) {
+	type node struct {
+		op  exec.Operator
+		est float64
+	}
+	nodes := make(map[int]*node, len(members))
+	for _, i := range members {
+		op, est, note, err := p.accessPath(layout, i, conjuncts, snap)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = &node{op: op, est: est}
+		*notes = append(*notes, note)
+	}
+
+	joined := make(map[int]bool, len(members))
+	var root exec.Operator
+	var rootEst float64
+	{
+		best := -1
+		for _, i := range members {
+			if best < 0 || nodes[i].est < nodes[best].est {
+				best = i
+			}
+		}
+		root = nodes[best].op
+		rootEst = nodes[best].est
+		joined[best] = true
+	}
+	if filt, err := p.residualFilter(conjuncts, layout, joined); err != nil {
+		return nil, err
+	} else if filt != nil {
+		root = &exec.Filter{Child: root, Pred: filt}
+	}
+	for len(joined) < len(members) {
+		// Find candidate: prefer equijoin-connected, then cheapest.
+		cand, isEqui := -1, false
+		for _, i := range members {
+			if joined[i] {
+				continue
+			}
+			connected := p.equijoinKeys(conjuncts, layout, joined, i) != nil
+			switch {
+			case connected && (!isEqui || nodes[i].est < nodes[cand].est):
+				cand, isEqui = i, true
+			case !connected && !isEqui && (cand < 0 || nodes[i].est < nodes[cand].est):
+				cand = i
+			}
+		}
+		n := nodes[cand]
+		if keys := p.equijoinKeys(conjuncts, layout, joined, cand); keys != nil {
+			var buildKeys, probeKeys []exec.Evaluator
+			for _, k := range keys {
+				newSide, err := exec.Compile(k.newExpr, layout)
+				if err != nil {
+					return nil, err
+				}
+				curSide, err := exec.Compile(k.curExpr, layout)
+				if err != nil {
+					return nil, err
+				}
+				k.conj.used = true
+				// Build on the smaller input.
+				if n.est <= rootEst {
+					buildKeys = append(buildKeys, newSide)
+					probeKeys = append(probeKeys, curSide)
+				} else {
+					buildKeys = append(buildKeys, curSide)
+					probeKeys = append(probeKeys, newSide)
+				}
+			}
+			if n.est <= rootEst {
+				markScanReuse(root) // probe side: rows are merged, not retained
+				root = &exec.HashJoin{Build: n.op, Probe: root, BuildKeys: buildKeys, ProbeKeys: probeKeys}
+				*notes = append(*notes, fmt.Sprintf("hash join: build %s (est %.0f), probe so-far (est %.0f)",
+					layout.Bindings[cand].Name, n.est, rootEst))
+			} else {
+				markScanReuse(n.op)
+				root = &exec.HashJoin{Build: root, Probe: n.op, BuildKeys: buildKeys, ProbeKeys: probeKeys}
+				*notes = append(*notes, fmt.Sprintf("hash join: build so-far (est %.0f), probe %s (est %.0f)",
+					rootEst, layout.Bindings[cand].Name, n.est))
+			}
+			rootEst = rootEst * n.est / 10 // crude equijoin output estimate
+		} else {
+			markScanReuse(root) // outer side: rows are merged, not retained
+			root = &exec.NestedLoopJoin{Outer: root, Inner: n.op}
+			*notes = append(*notes, fmt.Sprintf("nested loop: %s (est %.0f)", layout.Bindings[cand].Name, n.est))
+			rootEst = rootEst * n.est
+		}
+		joined[cand] = true
+		// Apply any now-eligible residual conjuncts.
+		if filt, err := p.residualFilter(conjuncts, layout, joined); err != nil {
+			return nil, err
+		} else if filt != nil {
+			root = &exec.Filter{Child: root, Pred: filt}
+		}
+	}
+	return root, nil
+}
+
+// markScanReuse enables scan-buffer reuse on a direct scan (possibly under
+// pass-through Filters). It is called only where the consumer provably does
+// not retain the scan's output slice: hash-join probe sides, nested-loop
+// outer sides, and scan-fed aggregation/projection (see planBlock).
+func markScanReuse(op exec.Operator) {
+	switch n := op.(type) {
+	case *exec.SeqScan:
+		n.Reuse = true
+	case *exec.IndexScan:
+		n.Reuse = true
+	case *exec.Filter:
+		markScanReuse(n.Child)
+	case *exec.Gate:
+		markScanReuse(n.Child)
+	}
+}
+
+// components assigns each binding a component id: bindings referenced by a
+// common conjunct share a component (union-find).
+func components(n int, conjuncts []*conjunct) []int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, c := range conjuncts {
+		first := -1
+		for b := range c.bindings {
+			if first < 0 {
+				first = b
+			} else {
+				union(first, b)
+			}
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = find(i)
+	}
+	return out
+}
+
+func componentCount(comps []int) int {
+	seen := make(map[int]bool)
+	for _, c := range comps {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// outputComponent returns the single component that the select items and
+// ORDER BY reference, or ok=false when they span components (or reference
+// none).
+func (p *Planner) outputComponent(sel *sqlparser.SelectStmt, items []sqlparser.Expr, layout *exec.Layout, comps []int) (int, bool, error) {
+	comp := -1
+	ok := true
+	consider := func(e sqlparser.Expr) error {
+		refs, err := p.bindingsOf(e, layout)
+		if err != nil {
+			return err
+		}
+		for b := range refs {
+			if comp < 0 {
+				comp = comps[b]
+			} else if comps[b] != comp {
+				ok = false
+			}
+		}
+		return nil
+	}
+	for _, it := range items {
+		if err := consider(it); err != nil {
+			return 0, false, err
+		}
+	}
+	for _, o := range sel.OrderBy {
+		// Positional/alias forms resolve within items; direct column refs
+		// must stay in the same component.
+		if _, isLit := o.Expr.(*sqlparser.Literal); isLit {
+			continue
+		}
+		if err := consider(o.Expr); err != nil {
+			// An alias reference fails bindingsOf; it resolves to an item,
+			// which was already considered.
+			continue
+		}
+	}
+	if comp < 0 {
+		return 0, false, nil
+	}
+	return comp, ok, nil
+}
+
+func bindingNames(layout *exec.Layout, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, b := range idx {
+		out[i] = layout.Bindings[b].Name
+	}
+	return out
+}
+
+func (p *Planner) planConstant(sel *sqlparser.SelectStmt) (*Plan, error) {
+	layout := exec.NewLayout(nil)
+	var exprs []exec.Evaluator
+	var columns []string
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, fmt.Errorf("planner: SELECT * requires a FROM clause")
+		}
+		ev, err := exec.Compile(it.Expr, layout)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, ev)
+		columns = append(columns, itemName(it))
+	}
+	root := exec.Operator(&exec.Project{
+		Child: &exec.ValuesOp{RowsData: [][]types.Value{{}}},
+		Exprs: exprs,
+	})
+	if sel.Limit != nil {
+		root = &exec.Limit{Child: root, N: *sel.Limit}
+	}
+	return &Plan{Root: root, Columns: columns, Notes: []string{"constant select"}}, nil
+}
+
+// expandItems resolves stars and returns one expression per output column
+// plus the output column names.
+func (p *Planner) expandItems(sel *sqlparser.SelectStmt, layout *exec.Layout) ([]sqlparser.Expr, []string, error) {
+	var items []sqlparser.Expr
+	var columns []string
+	for _, it := range sel.Items {
+		if !it.Star {
+			items = append(items, it.Expr)
+			columns = append(columns, itemName(it))
+			continue
+		}
+		for _, b := range layout.Bindings {
+			if it.Table != "" && !strings.EqualFold(it.Table, b.Name) {
+				continue
+			}
+			for _, col := range b.Table.Schema.Columns {
+				items = append(items, &sqlparser.ColumnRef{Table: b.Name, Column: col.Name})
+				columns = append(columns, col.Name)
+			}
+		}
+	}
+	if len(items) == 0 {
+		return nil, nil, fmt.Errorf("planner: empty select list")
+	}
+	return items, columns, nil
+}
+
+func itemName(it sqlparser.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+		return cr.Column
+	}
+	if fc, ok := it.Expr.(*sqlparser.FuncCall); ok {
+		return strings.ToLower(string(fc.Name))
+	}
+	return it.Expr.SQL()
+}
+
+// bindingsOf returns the set of binding indexes an expression references.
+func (p *Planner) bindingsOf(e sqlparser.Expr, layout *exec.Layout) (map[int]bool, error) {
+	out := make(map[int]bool)
+	var firstErr error
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if cr, ok := x.(*sqlparser.ColumnRef); ok {
+			off, err := layout.Resolve(cr.Table, cr.Column)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return false
+			}
+			out[layout.BindingOf(off)] = true
+		}
+		return true
+	})
+	return out, firstErr
+}
+
+// splitAnd flattens the AND-tree of an expression into conjuncts.
+func splitAnd(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if l, ok := e.(*sqlparser.Logical); ok && l.Op == sqlparser.LogicAnd {
+		return append(splitAnd(l.Left), splitAnd(l.Right)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// residualFilter compiles the conjunction of all unused conjuncts whose
+// bindings are fully joined, marking them used.
+func (p *Planner) residualFilter(conjuncts []*conjunct, layout *exec.Layout, joined map[int]bool) (exec.Evaluator, error) {
+	var exprs []sqlparser.Expr
+	for _, c := range conjuncts {
+		if c.used {
+			continue
+		}
+		all := true
+		for b := range c.bindings {
+			if !joined[b] {
+				all = false
+				break
+			}
+		}
+		if all {
+			exprs = append(exprs, c.expr)
+			c.used = true
+		}
+	}
+	if len(exprs) == 0 {
+		return nil, nil
+	}
+	return exec.Compile(sqlparser.AndAll(exprs...), layout)
+}

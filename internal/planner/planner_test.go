@@ -1,0 +1,330 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"trac/internal/exec"
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+// fixture builds a catalog with Activity, Routing and Heartbeat and some
+// data, returning (planner, manager).
+func fixture(t *testing.T) (*Planner, *txn.Manager) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	mgr := txn.NewManager()
+
+	mk := func(name string, cols []storage.Column, srcCol string) *storage.Table {
+		s, err := storage.NewSchema(cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srcCol != "" {
+			s.SetSourceColumn(srcCol)
+		}
+		tbl := storage.NewTable(name, s)
+		if err := cat.Create(tbl); err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	act := mk("Activity", []storage.Column{
+		{Name: "mach_id", Kind: types.KindString},
+		{Name: "value", Kind: types.KindString},
+		{Name: "event_time", Kind: types.KindTime},
+	}, "mach_id")
+	rout := mk("Routing", []storage.Column{
+		{Name: "mach_id", Kind: types.KindString},
+		{Name: "neighbor", Kind: types.KindString},
+	}, "mach_id")
+	hb := mk("Heartbeat", []storage.Column{
+		{Name: "sid", Kind: types.KindString},
+		{Name: "recency", Kind: types.KindTime},
+	}, "")
+
+	tx := mgr.Begin()
+	ts, _ := types.ParseTime("2006-03-15 12:00:00")
+	for i := 1; i <= 20; i++ {
+		val := "busy"
+		if i%2 == 0 {
+			val = "idle"
+		}
+		name := fmt.Sprintf("m%d", i)
+		tx.InsertRow(act, storage.NewRow([]types.Value{
+			types.NewString(name), types.NewString(val), types.NewTimeNanos(int64(i) * 1e9),
+		}, 0))
+		tx.InsertRow(rout, storage.NewRow([]types.Value{
+			types.NewString(name), types.NewString(fmt.Sprintf("m%d", i%20+1)),
+		}, 0))
+		tx.InsertRow(hb, storage.NewRow([]types.Value{
+			types.NewString(name), types.NewTime(ts),
+		}, 0))
+	}
+	tx.Commit()
+	act.CreateIndex("mach_id")
+	rout.CreateIndex("mach_id")
+	hb.CreateIndex("sid")
+	return New(cat), mgr
+}
+
+func plan(t *testing.T, p *Planner, mgr *txn.Manager, sql string) *Plan {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.PlanSelect(sel, mgr.ReadSnapshot())
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	return pl
+}
+
+func runPlan(t *testing.T, p *Planner, mgr *txn.Manager, sql string) [][]types.Value {
+	t.Helper()
+	pl := plan(t, p, mgr, sql)
+	rows, err := exec.Drain(pl.Root)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	return rows
+}
+
+func TestIndexScanChosenForEquality(t *testing.T) {
+	p, mgr := fixture(t)
+	pl := plan(t, p, mgr, `SELECT value FROM Activity WHERE mach_id = 'm4'`)
+	if !strings.Contains(pl.Describe(), "index scan") {
+		t.Errorf("plan:\n%s", pl.Describe())
+	}
+	rows, _ := exec.Drain(pl.Root)
+	if len(rows) != 1 || rows[0][0].Str() != "idle" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestRangeScanChosen(t *testing.T) {
+	p, mgr := fixture(t)
+	pl := plan(t, p, mgr, `SELECT mach_id FROM Activity WHERE mach_id LIKE 'm1%'`)
+	// m1, m10..m19 = 11 rows; LIKE prefix should bound an index range.
+	if !strings.Contains(pl.Describe(), "index scan") || !strings.Contains(pl.Describe(), "range") {
+		t.Errorf("plan:\n%s", pl.Describe())
+	}
+	rows, _ := exec.Drain(pl.Root)
+	if len(rows) != 11 {
+		t.Errorf("rows = %d, want 11", len(rows))
+	}
+}
+
+func TestHashJoinChosenForEquijoin(t *testing.T) {
+	p, mgr := fixture(t)
+	pl := plan(t, p, mgr, `
+		SELECT A.mach_id FROM Routing R, Activity A
+		WHERE R.mach_id = 'm1' AND R.neighbor = A.mach_id AND A.value = 'idle'`)
+	if !strings.Contains(pl.Describe(), "hash join") {
+		t.Errorf("plan:\n%s", pl.Describe())
+	}
+	rows, err := exec.Drain(pl.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m1's neighbor is m2 which is idle.
+	if len(rows) != 1 || rows[0][0].Str() != "m2" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestExistenceReductionForDisconnectedDistinct(t *testing.T) {
+	p, mgr := fixture(t)
+	// The shape of a generated recency arm: DISTINCT over Heartbeat columns,
+	// Activity cross-joined with only a local filter.
+	pl := plan(t, p, mgr, `
+		SELECT DISTINCT H.sid, H.recency FROM Heartbeat H, Activity A
+		WHERE H.sid IN ('m1', 'm2') AND A.value = 'idle'`)
+	if !strings.Contains(pl.Describe(), "existence probe") {
+		t.Errorf("expected existence reduction:\n%s", pl.Describe())
+	}
+	rows, err := exec.Drain(pl.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestExistenceReductionEmptyProbe(t *testing.T) {
+	p, mgr := fixture(t)
+	rows := runPlan(t, p, mgr, `
+		SELECT DISTINCT H.sid FROM Heartbeat H, Activity A
+		WHERE H.sid IN ('m1') AND A.value = 'no_such_state'`)
+	if len(rows) != 0 {
+		t.Errorf("empty probe must gate output, got %v", rows)
+	}
+}
+
+func TestNoReductionWithoutDistinct(t *testing.T) {
+	p, mgr := fixture(t)
+	// Without DISTINCT, multiplicity matters: cross product cardinality.
+	rows := runPlan(t, p, mgr, `
+		SELECT H.sid FROM Heartbeat H, Activity A
+		WHERE H.sid = 'm1' AND A.value = 'idle'`)
+	if len(rows) != 10 { // 1 heartbeat × 10 idle activity rows
+		t.Errorf("rows = %d, want 10 (cross product multiplicity)", len(rows))
+	}
+	pl := plan(t, p, mgr, `
+		SELECT H.sid FROM Heartbeat H, Activity A
+		WHERE H.sid = 'm1' AND A.value = 'idle'`)
+	if strings.Contains(pl.Describe(), "existence probe") {
+		t.Errorf("reduction must not fire without DISTINCT:\n%s", pl.Describe())
+	}
+}
+
+func TestNoReductionForAggregates(t *testing.T) {
+	p, mgr := fixture(t)
+	rows := runPlan(t, p, mgr, `
+		SELECT DISTINCT COUNT(*) FROM Heartbeat H, Activity A
+		WHERE H.sid = 'm1' AND A.value = 'idle'`)
+	if rows[0][0].Int() != 10 {
+		t.Errorf("COUNT = %v, want 10", rows[0][0])
+	}
+}
+
+func TestNoReductionWhenItemsSpanComponents(t *testing.T) {
+	p, mgr := fixture(t)
+	pl := plan(t, p, mgr, `
+		SELECT DISTINCT H.sid, A.value FROM Heartbeat H, Activity A
+		WHERE H.sid = 'm1'`)
+	if strings.Contains(pl.Describe(), "existence probe") {
+		t.Errorf("reduction must not fire when items span components:\n%s", pl.Describe())
+	}
+	rows, _ := exec.Drain(pl.Root)
+	if len(rows) != 2 { // (m1, idle), (m1, busy)
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestUnionPlan(t *testing.T) {
+	p, mgr := fixture(t)
+	rows := runPlan(t, p, mgr, `
+		SELECT mach_id FROM Activity WHERE mach_id = 'm1'
+		UNION SELECT mach_id FROM Activity WHERE mach_id = 'm2'
+		UNION SELECT mach_id FROM Activity WHERE mach_id = 'm1'`)
+	if len(rows) != 2 {
+		t.Errorf("union rows = %v", rows)
+	}
+}
+
+func TestUnionArityMismatch(t *testing.T) {
+	p, mgr := fixture(t)
+	sel, _ := sqlparser.ParseSelect(`SELECT mach_id FROM Activity UNION SELECT mach_id, value FROM Activity`)
+	if _, err := p.PlanSelect(sel, mgr.ReadSnapshot()); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestUnionOrderByOutputColumn(t *testing.T) {
+	p, mgr := fixture(t)
+	rows := runPlan(t, p, mgr, `
+		SELECT mach_id FROM Activity WHERE mach_id = 'm2'
+		UNION SELECT mach_id FROM Activity WHERE mach_id = 'm1'
+		ORDER BY mach_id`)
+	if rows[0][0].Str() != "m1" || rows[1][0].Str() != "m2" {
+		t.Errorf("rows = %v", rows)
+	}
+	rows = runPlan(t, p, mgr, `
+		SELECT mach_id FROM Activity WHERE mach_id = 'm2'
+		UNION SELECT mach_id FROM Activity WHERE mach_id = 'm1'
+		ORDER BY 1 DESC LIMIT 1`)
+	if len(rows) != 1 || rows[0][0].Str() != "m2" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestEqualityProbe(t *testing.T) {
+	p, mgr := fixture(t)
+	_ = mgr
+	tbl, _ := p.Catalog.Get("Activity")
+	where, _ := sqlparser.ParseExpr(`mach_id = 'm3' AND value = 'busy'`)
+	col, keys, ok := EqualityProbe(tbl, where)
+	if !ok || col != 0 || len(keys) != 1 || keys[0].Str() != "m3" {
+		t.Errorf("probe = %d %v %v", col, keys, ok)
+	}
+	whereIn, _ := sqlparser.ParseExpr(`mach_id IN ('m1', 'm2')`)
+	_, keys, ok = EqualityProbe(tbl, whereIn)
+	if !ok || len(keys) != 2 {
+		t.Errorf("IN probe = %v %v", keys, ok)
+	}
+	whereNone, _ := sqlparser.ParseExpr(`value = 'busy'`)
+	if _, _, ok := EqualityProbe(tbl, whereNone); ok {
+		t.Error("probe on unindexed column should fail")
+	}
+	if _, _, ok := EqualityProbe(tbl, nil); ok {
+		t.Error("nil where should fail")
+	}
+}
+
+func TestSelectStarExpansionOrder(t *testing.T) {
+	p, mgr := fixture(t)
+	pl := plan(t, p, mgr, `SELECT * FROM Routing R, Activity A WHERE R.mach_id = A.mach_id`)
+	want := []string{"mach_id", "neighbor", "mach_id", "value", "event_time"}
+	if fmt.Sprint(pl.Columns) != fmt.Sprint(want) {
+		t.Errorf("columns = %v", pl.Columns)
+	}
+}
+
+func TestOrderByUnknownPosition(t *testing.T) {
+	p, mgr := fixture(t)
+	sel, _ := sqlparser.ParseSelect(`SELECT mach_id FROM Activity ORDER BY 5`)
+	if _, err := p.PlanSelect(sel, mgr.ReadSnapshot()); err == nil {
+		t.Error("out-of-range ORDER BY position should fail")
+	}
+}
+
+func TestJoinResultMatchesNaiveCross(t *testing.T) {
+	// The optimized join plan must agree with a brute-force cross product
+	// evaluation for a three-way join.
+	p, mgr := fixture(t)
+	sql := `
+		SELECT A.mach_id, R.neighbor, H.sid
+		FROM Activity A, Routing R, Heartbeat H
+		WHERE A.mach_id = R.mach_id AND R.neighbor = H.sid AND A.value = 'idle'`
+	rows := runPlan(t, p, mgr, sql)
+
+	// Reference: evaluate by nested loops over raw table data.
+	snap := mgr.ReadSnapshot()
+	act, _ := p.Catalog.Get("Activity")
+	rout, _ := p.Catalog.Get("Routing")
+	hb, _ := p.Catalog.Get("Heartbeat")
+	var want []string
+	for _, a := range act.Rows() {
+		if !snap.Visible(a) || a.Values[1].Str() != "idle" {
+			continue
+		}
+		for _, r := range rout.Rows() {
+			if !snap.Visible(r) || r.Values[0].Str() != a.Values[0].Str() {
+				continue
+			}
+			for _, h := range hb.Rows() {
+				if !snap.Visible(h) || h.Values[0].Str() != r.Values[1].Str() {
+					continue
+				}
+				want = append(want, a.Values[0].Str()+"|"+r.Values[1].Str()+"|"+h.Values[0].Str())
+			}
+		}
+	}
+	var got []string
+	for _, row := range rows {
+		got = append(got, row[0].Str()+"|"+row[1].Str()+"|"+row[2].Str())
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("join mismatch:\n got %v\nwant %v", got, want)
+	}
+}

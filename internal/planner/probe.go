@@ -1,0 +1,49 @@
+package planner
+
+import (
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/types"
+)
+
+// EqualityProbe inspects a single-table WHERE clause and, when some
+// AND-level conjunct is an equality or IN over an indexed column with
+// literal operands, returns that column and the probe keys. DML execution
+// (UPDATE/DELETE) uses this to avoid full scans on the loader hot path —
+// e.g. the per-event `UPDATE Heartbeat ... WHERE sid = 'x'`.
+func EqualityProbe(tbl *storage.Table, where sqlparser.Expr) (col int, keys []types.Value, ok bool) {
+	if where == nil {
+		return 0, nil, false
+	}
+	conjs := splitAnd(where)
+	for _, idxCol := range tbl.IndexedColumns() {
+		colName := tbl.Schema.Columns[idxCol].Name
+		colKind := tbl.Schema.Columns[idxCol].Kind
+		for _, e := range conjs {
+			switch n := e.(type) {
+			case *sqlparser.Comparison:
+				if n.Op != sqlparser.CmpEq {
+					continue
+				}
+				if v, hit := columnLiteral(n.Left, n.Right, tbl.Name, colName, colKind); hit {
+					return idxCol, []types.Value{v}, true
+				}
+				if v, hit := columnLiteral(n.Right, n.Left, tbl.Name, colName, colKind); hit {
+					return idxCol, []types.Value{v}, true
+				}
+			case *sqlparser.In:
+				if n.Negated {
+					continue
+				}
+				cr, isCol := n.Expr.(*sqlparser.ColumnRef)
+				if !isCol || !matchesColumn(cr, tbl.Name, colName) {
+					continue
+				}
+				if ks := literalKeys(n.List, colKind); ks != nil {
+					return idxCol, ks, true
+				}
+			}
+		}
+	}
+	return 0, nil, false
+}

@@ -1,0 +1,108 @@
+// Package sniffer implements the monitoring-side loaders of the paper: one
+// sniffer per data source tails that source's event log, transforms the
+// records into relational updates, applies them to the central database in
+// atomic batches, and maintains the source's Heartbeat recency timestamp.
+//
+// Sniffers progress independently and at different rates — that asymmetry
+// is precisely what creates the recency/consistency problem TRAC reports
+// on, so the package exposes per-sniffer lag and pause controls for
+// experiments and failure injection.
+package sniffer
+
+import (
+	"trac/internal/engine"
+	"trac/internal/types"
+)
+
+// Schema names used by the monitoring database. They follow the paper's
+// running examples (§3.3, §4.1, §4.2).
+const (
+	ActivityTable  = "Activity"
+	RoutingTable   = "Routing"
+	SchedulerTable = "S"
+	RunningTable   = "R"
+	JobLogTable    = "JobLog"
+	HeartbeatTable = "Heartbeat"
+)
+
+// InstallSchema creates the monitoring tables, marks their data source
+// columns, sets the finite domain on Activity.value, and builds B-tree
+// indexes on every source column (as the paper's evaluation does).
+func InstallSchema(db *engine.DB) error {
+	stmts := []string{
+		`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Routing (mach_id TEXT, neighbor TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE S (schedMachineId TEXT, jobId TEXT, remoteMachineId TEXT, job_user TEXT)`,
+		`CREATE TABLE R (runningMachineId TEXT, jobId TEXT)`,
+		`CREATE TABLE JobLog (mach_id TEXT, job_id TEXT, event TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`,
+		`CREATE INDEX idx_activity_mach ON Activity (mach_id)`,
+		`CREATE INDEX idx_routing_mach ON Routing (mach_id)`,
+		`CREATE INDEX idx_s_sched ON S (schedMachineId)`,
+		`CREATE INDEX idx_s_job ON S (jobId)`,
+		`CREATE INDEX idx_r_run ON R (runningMachineId)`,
+		`CREATE INDEX idx_r_job ON R (jobId)`,
+		`CREATE INDEX idx_joblog_mach ON JobLog (mach_id)`,
+	}
+	for _, sql := range stmts {
+		if _, err := db.Exec(sql); err != nil {
+			return err
+		}
+	}
+	return InstallMetadata(db)
+}
+
+// InstallMetadata marks the data source columns and finite domains on the
+// monitoring tables. It is idempotent and separate from InstallSchema
+// because this metadata is API-level, not SQL: a database recovered from a
+// WAL (which replays SQL only) re-applies it with this call.
+func InstallMetadata(db *engine.DB) error {
+	sourceCols := map[string]string{
+		ActivityTable:  "mach_id",
+		RoutingTable:   "mach_id",
+		SchedulerTable: "schedMachineId",
+		RunningTable:   "runningMachineId",
+		JobLogTable:    "mach_id",
+	}
+	for table, col := range sourceCols {
+		tbl, err := db.Catalog().Get(table)
+		if err != nil {
+			return err
+		}
+		if err := tbl.Schema.SetSourceColumn(col); err != nil {
+			return err
+		}
+	}
+	// Finite domains where the paper's examples rely on them.
+	act, err := db.Catalog().Get(ActivityTable)
+	if err != nil {
+		return err
+	}
+	act.Schema.Columns[1].Domain = types.FiniteStringDomain("busy", "idle")
+	jl, err := db.Catalog().Get(JobLogTable)
+	if err != nil {
+		return err
+	}
+	jl.Schema.Columns[2].Domain = types.FiniteStringDomain("finish", "route", "start", "submit")
+	return nil
+}
+
+// RegisterSource ensures a Heartbeat row exists for a source, with a zero
+// recency until its first report ("every contributing data source in a
+// system has an entry in the Heartbeat table").
+func RegisterSource(db *engine.DB, sid string, epoch types.Value) error {
+	b := db.BeginBatch()
+	defer b.Abort()
+	n, err := b.Exec(`UPDATE Heartbeat SET sid = ` + types.NewString(sid).SQL() +
+		` WHERE sid = ` + types.NewString(sid).SQL())
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		if _, err := b.Exec(`INSERT INTO Heartbeat (sid, recency) VALUES (` +
+			types.NewString(sid).SQL() + `, ` + epoch.SQL() + `)`); err != nil {
+			return err
+		}
+	}
+	return b.Commit()
+}

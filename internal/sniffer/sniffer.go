@@ -1,0 +1,256 @@
+package sniffer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"trac/internal/engine"
+	"trac/internal/gridsim"
+	"trac/internal/types"
+)
+
+// Sniffer tails one data source's log and loads it into the database.
+type Sniffer struct {
+	db     *engine.DB
+	source string
+	log    gridsim.Log
+
+	mu      sync.Mutex
+	offset  int
+	paused  bool
+	lastTS  time.Time
+	applied int
+	// BatchSize caps how many events one Poll applies (0 = unlimited).
+	// Smaller batches make a sniffer "slower", widening the inconsistency
+	// window between sources — the knob the experiments turn.
+	BatchSize int
+}
+
+// New creates a sniffer for one source.
+func New(db *engine.DB, source string, log gridsim.Log) *Sniffer {
+	return &Sniffer{db: db, source: source, log: log}
+}
+
+// Source returns the data source id.
+func (s *Sniffer) Source() string { return s.source }
+
+// Applied returns the number of events loaded so far.
+func (s *Sniffer) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Lag returns how many log records have not yet been loaded.
+func (s *Sniffer) Lag() (int, error) {
+	n, err := s.log.Len()
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return n - s.offset, nil
+}
+
+// Pause makes Poll a no-op: the loader side of a failure (the source may
+// keep logging, but nothing reaches the database, so its recency goes
+// stale).
+func (s *Sniffer) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume re-enables loading.
+func (s *Sniffer) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.mu.Unlock()
+}
+
+// Paused reports the pause state.
+func (s *Sniffer) Paused() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paused
+}
+
+// Poll reads new log records and applies them (plus the Heartbeat advance)
+// in one atomic batch. It returns the number of events applied.
+func (s *Sniffer) Poll() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.paused {
+		return 0, nil
+	}
+	events, next, err := s.log.ReadFrom(s.offset)
+	if err != nil {
+		return 0, err
+	}
+	if s.BatchSize > 0 && len(events) > s.BatchSize {
+		events = events[:s.BatchSize]
+		next = s.offset + s.BatchSize
+	}
+	if len(events) == 0 {
+		return 0, nil
+	}
+
+	b := s.db.BeginBatch()
+	defer b.Abort() // no-op after successful commit
+	var maxTS time.Time
+	for _, e := range events {
+		if e.Machine != s.source {
+			return 0, fmt.Errorf("sniffer: %s read foreign event from %s", s.source, e.Machine)
+		}
+		if err := applyEvent(b, e); err != nil {
+			return 0, err
+		}
+		if e.Time.After(maxTS) {
+			maxTS = e.Time
+		}
+	}
+	// Maintain the recency timestamp: the most recent event reported by
+	// this source (§3.1's simple protocol; heartbeat records advance it
+	// even when there is nothing to report).
+	if maxTS.After(s.lastTS) {
+		if err := upsertHeartbeat(b, s.source, maxTS); err != nil {
+			return 0, err
+		}
+	}
+	if err := b.Commit(); err != nil {
+		return 0, err
+	}
+	if maxTS.After(s.lastTS) {
+		s.lastTS = maxTS
+	}
+	s.offset = next
+	s.applied += len(events)
+	return len(events), nil
+}
+
+// applyEvent translates one log record into relational updates.
+func applyEvent(b *engine.Batch, e gridsim.Event) error {
+	src := types.NewString(e.Machine).SQL()
+	ts := types.NewTime(e.Time).SQL()
+	job := types.NewString(e.JobID).SQL()
+	switch e.Type {
+	case gridsim.StatusEvent:
+		// Activity is current-state: replace this machine's row.
+		if _, err := b.Exec(`DELETE FROM Activity WHERE mach_id = ` + src); err != nil {
+			return err
+		}
+		_, err := b.Exec(`INSERT INTO Activity VALUES (` + src + `, ` +
+			types.NewString(e.Value).SQL() + `, ` + ts + `)`)
+		return err
+	case gridsim.NeighborEvent:
+		_, err := b.Exec(`INSERT INTO Routing VALUES (` + src + `, ` +
+			types.NewString(e.Neighbor).SQL() + `, ` + ts + `)`)
+		return err
+	case gridsim.SubmitEvent:
+		if _, err := b.Exec(`INSERT INTO S VALUES (` + src + `, ` + job + `, NULL, ` +
+			types.NewString(e.User).SQL() + `)`); err != nil {
+			return err
+		}
+		_, err := b.Exec(`INSERT INTO JobLog VALUES (` + src + `, ` + job + `, 'submit', ` + ts + `)`)
+		return err
+	case gridsim.RouteEvent:
+		if _, err := b.Exec(`UPDATE S SET remoteMachineId = ` + types.NewString(e.Remote).SQL() +
+			` WHERE schedMachineId = ` + src + ` AND jobId = ` + job); err != nil {
+			return err
+		}
+		_, err := b.Exec(`INSERT INTO JobLog VALUES (` + src + `, ` + job + `, 'route', ` + ts + `)`)
+		return err
+	case gridsim.StartEvent:
+		if _, err := b.Exec(`INSERT INTO R VALUES (` + src + `, ` + job + `)`); err != nil {
+			return err
+		}
+		_, err := b.Exec(`INSERT INTO JobLog VALUES (` + src + `, ` + job + `, 'start', ` + ts + `)`)
+		return err
+	case gridsim.FinishEvent:
+		if _, err := b.Exec(`DELETE FROM R WHERE runningMachineId = ` + src + ` AND jobId = ` + job); err != nil {
+			return err
+		}
+		_, err := b.Exec(`INSERT INTO JobLog VALUES (` + src + `, ` + job + `, 'finish', ` + ts + `)`)
+		return err
+	case gridsim.HeartbeatEvent:
+		return nil // only advances recency
+	default:
+		return fmt.Errorf("sniffer: unknown event type %q", e.Type)
+	}
+}
+
+func upsertHeartbeat(b *engine.Batch, sid string, ts time.Time) error {
+	sidSQL := types.NewString(sid).SQL()
+	tsSQL := types.NewTime(ts).SQL()
+	n, err := b.Exec(`UPDATE Heartbeat SET recency = ` + tsSQL + ` WHERE sid = ` + sidSQL)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		_, err = b.Exec(`INSERT INTO Heartbeat (sid, recency) VALUES (` + sidSQL + `, ` + tsSQL + `)`)
+	}
+	return err
+}
+
+// Fleet manages one sniffer per machine of a simulated grid.
+type Fleet struct {
+	Sniffers []*Sniffer
+}
+
+// NewFleet builds sniffers for every machine of the simulator.
+func NewFleet(db *engine.DB, sim *gridsim.Simulator) *Fleet {
+	f := &Fleet{}
+	for _, m := range sim.Machines() {
+		f.Sniffers = append(f.Sniffers, New(db, m.Name, m.Log))
+	}
+	return f
+}
+
+// PollAll polls every sniffer once, concurrently, and returns the total
+// number of events applied.
+func (f *Fleet) PollAll() (int, error) {
+	var wg sync.WaitGroup
+	counts := make([]int, len(f.Sniffers))
+	errs := make([]error, len(f.Sniffers))
+	for i, s := range f.Sniffers {
+		wg.Add(1)
+		go func(i int, s *Sniffer) {
+			defer wg.Done()
+			counts[i], errs[i] = s.Poll()
+		}(i, s)
+	}
+	wg.Wait()
+	total := 0
+	for i := range counts {
+		if errs[i] != nil {
+			return total, errs[i]
+		}
+		total += counts[i]
+	}
+	return total, nil
+}
+
+// Get returns the sniffer for a source name, or nil.
+func (f *Fleet) Get(source string) *Sniffer {
+	for _, s := range f.Sniffers {
+		if s.source == source {
+			return s
+		}
+	}
+	return nil
+}
+
+// DrainAll polls until no sniffer makes progress (the database has caught
+// up with every log).
+func (f *Fleet) DrainAll() error {
+	for {
+		n, err := f.PollAll()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,788 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+
+	"trac/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	// SQL renders the statement back to parseable SQL text.
+	SQL() string
+}
+
+// Expr is any scalar or boolean expression.
+type Expr interface {
+	expr()
+	// SQL renders the expression back to parseable SQL text.
+	SQL() string
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "<>"
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "?cmp?"
+	}
+}
+
+// Negate returns the complementary operator (used when pushing NOT inward).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case CmpEq:
+		return CmpNe
+	case CmpNe:
+		return CmpEq
+	case CmpLt:
+		return CmpGe
+	case CmpLe:
+		return CmpGt
+	case CmpGt:
+		return CmpLe
+	case CmpGe:
+		return CmpLt
+	default:
+		return op
+	}
+}
+
+// Flip returns the operator with operand sides swapped (a op b ≡ b Flip(op) a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	default:
+		return op
+	}
+}
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	ArithAdd ArithOp = iota
+	ArithSub
+	ArithMul
+	ArithDiv
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case ArithAdd:
+		return "+"
+	case ArithSub:
+		return "-"
+	case ArithMul:
+		return "*"
+	case ArithDiv:
+		return "/"
+	default:
+		return "?arith?"
+	}
+}
+
+// LogicOp is AND or OR.
+type LogicOp uint8
+
+// Logical connectives.
+const (
+	LogicAnd LogicOp = iota
+	LogicOr
+)
+
+func (op LogicOp) String() string {
+	if op == LogicAnd {
+		return "AND"
+	}
+	return "OR"
+}
+
+// ColumnRef names a column, optionally qualified by a table name or alias.
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+
+// SQL renders the reference.
+func (c *ColumnRef) SQL() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val types.Value
+}
+
+func (*Literal) expr() {}
+
+// SQL renders the literal.
+func (l *Literal) SQL() string { return l.Val.SQL() }
+
+// Comparison is `left op right`.
+type Comparison struct {
+	Op    CmpOp
+	Left  Expr
+	Right Expr
+}
+
+func (*Comparison) expr() {}
+
+// SQL renders the comparison.
+func (c *Comparison) SQL() string {
+	return c.Left.SQL() + " " + c.Op.String() + " " + c.Right.SQL()
+}
+
+// Logical is `left AND/OR right`.
+type Logical struct {
+	Op    LogicOp
+	Left  Expr
+	Right Expr
+}
+
+func (*Logical) expr() {}
+
+// SQL renders the connective, parenthesizing OR children under AND so the
+// output re-parses with identical structure.
+func (l *Logical) SQL() string {
+	render := func(e Expr) string {
+		if child, ok := e.(*Logical); ok && l.Op == LogicAnd && child.Op == LogicOr {
+			return "(" + child.SQL() + ")"
+		}
+		return e.SQL()
+	}
+	return render(l.Left) + " " + l.Op.String() + " " + render(l.Right)
+}
+
+// Not is logical negation.
+type Not struct {
+	Expr Expr
+}
+
+func (*Not) expr() {}
+
+// SQL renders the negation.
+func (n *Not) SQL() string { return "NOT (" + n.Expr.SQL() + ")" }
+
+// In is `expr [NOT] IN (item, ...)`. Only literal lists are supported
+// (no subqueries), matching the paper's single-SPJ-block query model.
+type In struct {
+	Expr    Expr
+	List    []Expr
+	Negated bool
+}
+
+func (*In) expr() {}
+
+// SQL renders the membership test.
+func (in *In) SQL() string {
+	items := make([]string, len(in.List))
+	for i, it := range in.List {
+		items[i] = it.SQL()
+	}
+	op := " IN ("
+	if in.Negated {
+		op = " NOT IN ("
+	}
+	return in.Expr.SQL() + op + strings.Join(items, ", ") + ")"
+}
+
+// Between is `expr [NOT] BETWEEN lo AND hi`.
+type Between struct {
+	Expr    Expr
+	Lo, Hi  Expr
+	Negated bool
+}
+
+func (*Between) expr() {}
+
+// SQL renders the range test.
+func (b *Between) SQL() string {
+	op := " BETWEEN "
+	if b.Negated {
+		op = " NOT BETWEEN "
+	}
+	return b.Expr.SQL() + op + b.Lo.SQL() + " AND " + b.Hi.SQL()
+}
+
+// Like is `expr [NOT] LIKE pattern` with % and _ wildcards.
+type Like struct {
+	Expr    Expr
+	Pattern Expr
+	Negated bool
+}
+
+func (*Like) expr() {}
+
+// SQL renders the pattern match.
+func (l *Like) SQL() string {
+	op := " LIKE "
+	if l.Negated {
+		op = " NOT LIKE "
+	}
+	return l.Expr.SQL() + op + l.Pattern.SQL()
+}
+
+// IsNull is `expr IS [NOT] NULL`.
+type IsNull struct {
+	Expr    Expr
+	Negated bool
+}
+
+func (*IsNull) expr() {}
+
+// SQL renders the null test.
+func (n *IsNull) SQL() string {
+	if n.Negated {
+		return n.Expr.SQL() + " IS NOT NULL"
+	}
+	return n.Expr.SQL() + " IS NULL"
+}
+
+// Arith is `left op right` over numbers.
+type Arith struct {
+	Op    ArithOp
+	Left  Expr
+	Right Expr
+}
+
+func (*Arith) expr() {}
+
+// SQL renders the arithmetic expression fully parenthesized, which keeps
+// round-tripping simple and unambiguous.
+func (a *Arith) SQL() string {
+	return "(" + a.Left.SQL() + " " + a.Op.String() + " " + a.Right.SQL() + ")"
+}
+
+// FuncName identifies a supported aggregate function.
+type FuncName string
+
+// Supported aggregates.
+const (
+	FuncCount FuncName = "COUNT"
+	FuncMin   FuncName = "MIN"
+	FuncMax   FuncName = "MAX"
+	FuncSum   FuncName = "SUM"
+	FuncAvg   FuncName = "AVG"
+)
+
+// FuncCall is an aggregate invocation in a select list, e.g. COUNT(*) or
+// MIN(recency).
+type FuncCall struct {
+	Name FuncName
+	Star bool // COUNT(*)
+	Arg  Expr // nil when Star
+}
+
+func (*FuncCall) expr() {}
+
+// SQL renders the call.
+func (f *FuncCall) SQL() string {
+	if f.Star {
+		return string(f.Name) + "(*)"
+	}
+	return string(f.Name) + "(" + f.Arg.SQL() + ")"
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// SelectItem is one output column: either a star or an expression with an
+// optional alias.
+type SelectItem struct {
+	Star  bool   // bare * (Table qualifies t.*)
+	Table string // for t.*
+	Expr  Expr
+	Alias string
+}
+
+// SQL renders the item.
+func (s SelectItem) SQL() string {
+	if s.Star {
+		if s.Table != "" {
+			return s.Table + ".*"
+		}
+		return "*"
+	}
+	if s.Alias != "" {
+		return s.Expr.SQL() + " AS " + s.Alias
+	}
+	return s.Expr.SQL()
+}
+
+// TableRef is a FROM-list entry.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// SQL renders the reference.
+func (t TableRef) SQL() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// Binding returns the name the table is referred to by in expressions:
+// the alias if present, else the table name.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a single-block SPJ query with optional aggregation.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    *int64
+	// Union chains additional SELECT blocks combined with UNION (set
+	// semantics) — used by generated recency queries, which union the
+	// per-relation relevant-source sets (Corollary 4).
+	Union []*SelectStmt
+}
+
+func (*SelectStmt) stmt() {}
+
+// SQL renders the statement.
+func (s *SelectStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.SQL())
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(t.SQL())
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.SQL())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.SQL())
+	}
+	for _, u := range s.Union {
+		sb.WriteString(" UNION ")
+		sb.WriteString(u.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.SQL())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.FormatInt(*s.Limit, 10))
+	}
+	return sb.String()
+}
+
+// InsertStmt inserts literal rows.
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means table column order
+	Rows    [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// SQL renders the statement.
+func (s *InsertStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(s.Columns, ", "))
+		sb.WriteString(")")
+	}
+	sb.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.SQL())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// Assignment is one SET clause in an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt updates rows matching Where.
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// SQL renders the statement.
+func (s *UpdateStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE ")
+	sb.WriteString(s.Table)
+	sb.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.Column)
+		sb.WriteString(" = ")
+		sb.WriteString(a.Value.SQL())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.SQL())
+	}
+	return sb.String()
+}
+
+// DeleteStmt deletes rows matching Where.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// SQL renders the statement.
+func (s *DeleteStmt) SQL() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.SQL()
+	}
+	return out
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       types.Kind
+	PrimaryKey bool
+}
+
+// CheckDef is a table-level CHECK constraint in CREATE TABLE.
+type CheckDef struct {
+	Name string // optional (CONSTRAINT name CHECK ...)
+	Expr Expr
+}
+
+// CreateTableStmt creates a table.
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+	Checks  []CheckDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// SQL renders the statement.
+func (s *CreateTableStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(s.Name)
+	sb.WriteString(" (")
+	for i, c := range s.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteString(" ")
+		sb.WriteString(kindTypeName(c.Type))
+		if c.PrimaryKey {
+			sb.WriteString(" PRIMARY KEY")
+		}
+	}
+	for _, ck := range s.Checks {
+		sb.WriteString(", ")
+		if ck.Name != "" {
+			sb.WriteString("CONSTRAINT ")
+			sb.WriteString(ck.Name)
+			sb.WriteString(" ")
+		}
+		sb.WriteString("CHECK (")
+		sb.WriteString(ck.Expr.SQL())
+		sb.WriteString(")")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func kindTypeName(k types.Kind) string {
+	switch k {
+	case types.KindBool:
+		return "BOOLEAN"
+	case types.KindInt:
+		return "BIGINT"
+	case types.KindFloat:
+		return "DOUBLE"
+	case types.KindString:
+		return "TEXT"
+	case types.KindTime:
+		return "TIMESTAMP"
+	default:
+		return "TEXT"
+	}
+}
+
+// CreateIndexStmt creates a secondary index on one column.
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// SQL renders the statement.
+func (s *CreateIndexStmt) SQL() string {
+	return "CREATE INDEX " + s.Name + " ON " + s.Table + " (" + s.Column + ")"
+}
+
+// AnalyzeStmt recomputes planner statistics (row counts, per-column
+// distinct estimates and equi-depth histograms) for one table or, with an
+// empty Table, for every table.
+type AnalyzeStmt struct {
+	Table string // "" = all tables
+}
+
+func (*AnalyzeStmt) stmt() {}
+
+// SQL renders the statement.
+func (s *AnalyzeStmt) SQL() string {
+	if s.Table == "" {
+		return "ANALYZE"
+	}
+	return "ANALYZE " + s.Table
+}
+
+// DropTableStmt drops a table.
+type DropTableStmt struct {
+	Name string
+}
+
+func (*DropTableStmt) stmt() {}
+
+// SQL renders the statement.
+func (s *DropTableStmt) SQL() string { return "DROP TABLE " + s.Name }
+
+// ---------------------------------------------------------------------------
+// AST utilities
+
+// WalkExpr visits e and every sub-expression in depth-first order. The visit
+// function returns false to prune the subtree.
+func WalkExpr(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *Comparison:
+		WalkExpr(n.Left, visit)
+		WalkExpr(n.Right, visit)
+	case *Logical:
+		WalkExpr(n.Left, visit)
+		WalkExpr(n.Right, visit)
+	case *Not:
+		WalkExpr(n.Expr, visit)
+	case *In:
+		WalkExpr(n.Expr, visit)
+		for _, it := range n.List {
+			WalkExpr(it, visit)
+		}
+	case *Between:
+		WalkExpr(n.Expr, visit)
+		WalkExpr(n.Lo, visit)
+		WalkExpr(n.Hi, visit)
+	case *Like:
+		WalkExpr(n.Expr, visit)
+		WalkExpr(n.Pattern, visit)
+	case *IsNull:
+		WalkExpr(n.Expr, visit)
+	case *Arith:
+		WalkExpr(n.Left, visit)
+		WalkExpr(n.Right, visit)
+	case *FuncCall:
+		if n.Arg != nil {
+			WalkExpr(n.Arg, visit)
+		}
+	}
+}
+
+// ColumnRefs returns every column reference in e, in visit order.
+func ColumnRefs(e Expr) []*ColumnRef {
+	var refs []*ColumnRef
+	WalkExpr(e, func(x Expr) bool {
+		if c, ok := x.(*ColumnRef); ok {
+			refs = append(refs, c)
+		}
+		return true
+	})
+	return refs
+}
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *ColumnRef:
+		c := *n
+		return &c
+	case *Literal:
+		c := *n
+		return &c
+	case *Comparison:
+		return &Comparison{Op: n.Op, Left: CloneExpr(n.Left), Right: CloneExpr(n.Right)}
+	case *Logical:
+		return &Logical{Op: n.Op, Left: CloneExpr(n.Left), Right: CloneExpr(n.Right)}
+	case *Not:
+		return &Not{Expr: CloneExpr(n.Expr)}
+	case *In:
+		list := make([]Expr, len(n.List))
+		for i, it := range n.List {
+			list[i] = CloneExpr(it)
+		}
+		return &In{Expr: CloneExpr(n.Expr), List: list, Negated: n.Negated}
+	case *Between:
+		return &Between{Expr: CloneExpr(n.Expr), Lo: CloneExpr(n.Lo), Hi: CloneExpr(n.Hi), Negated: n.Negated}
+	case *Like:
+		return &Like{Expr: CloneExpr(n.Expr), Pattern: CloneExpr(n.Pattern), Negated: n.Negated}
+	case *IsNull:
+		return &IsNull{Expr: CloneExpr(n.Expr), Negated: n.Negated}
+	case *Arith:
+		return &Arith{Op: n.Op, Left: CloneExpr(n.Left), Right: CloneExpr(n.Right)}
+	case *FuncCall:
+		return &FuncCall{Name: n.Name, Star: n.Star, Arg: CloneExpr(n.Arg)}
+	default:
+		return e
+	}
+}
+
+// AndAll combines expressions with AND; it returns nil for an empty list.
+func AndAll(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Logical{Op: LogicAnd, Left: out, Right: e}
+		}
+	}
+	return out
+}
+
+// OrAll combines expressions with OR; it returns nil for an empty list.
+func OrAll(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Logical{Op: LogicOr, Left: out, Right: e}
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package sqlparser
+
+import "testing"
+
+// The parse cost matters because the Focused-with-generation method pays it
+// on every reported query (Figure 1's gap between the two Focused curves).
+
+func BenchmarkParseQ1(b *testing.B) {
+	const q = `SELECT COUNT(*) FROM Activity A WHERE A.mach_id IN ('Tao1','Tao10','Tao100','Tao1000','Tao10000','Tao100000') AND A.value = 'idle'`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseJoin(b *testing.B) {
+	const q = `SELECT COUNT(*) FROM Routing R, Activity A WHERE R.mach_id IN ('Tao1','Tao10') AND R.neighbor = A.mach_id AND A.value = 'idle'`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderSQL(b *testing.B) {
+	stmt, err := Parse(`SELECT A.mach_id, COUNT(*) FROM Activity A WHERE A.value = 'idle' GROUP BY A.mach_id HAVING COUNT(*) > 3 ORDER BY 2 DESC LIMIT 10`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = stmt.SQL()
+	}
+}
+
+func BenchmarkLex(b *testing.B) {
+	const q = `SELECT mach_id, value FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle' AND event_time > TIMESTAMP '2006-03-15 00:00:00'`
+	for i := 0; i < b.N; i++ {
+		if _, err := Lex(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package sqlparser
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer converts SQL text into a token stream.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes an entire SQL string. It is exported for tests and tools;
+// the parser drives a lexer incrementally.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src}
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Type == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (Token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return Token{Type: TokEOF, Pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c == '\'':
+		return lx.lexString()
+	case c >= '0' && c <= '9', c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]):
+		return lx.lexNumber()
+	case isIdentStart(c):
+		return lx.lexIdent()
+	}
+	lx.pos++
+	switch c {
+	case ',':
+		return Token{Type: TokComma, Text: ",", Pos: start}, nil
+	case '.':
+		return Token{Type: TokDot, Text: ".", Pos: start}, nil
+	case '(':
+		return Token{Type: TokLParen, Text: "(", Pos: start}, nil
+	case ')':
+		return Token{Type: TokRParen, Text: ")", Pos: start}, nil
+	case ';':
+		return Token{Type: TokSemicolon, Text: ";", Pos: start}, nil
+	case '=', '+', '-', '*', '/':
+		return Token{Type: TokOp, Text: string(c), Pos: start}, nil
+	case '<':
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '=' || lx.src[lx.pos] == '>') {
+			lx.pos++
+			return Token{Type: TokOp, Text: lx.src[start:lx.pos], Pos: start}, nil
+		}
+		return Token{Type: TokOp, Text: "<", Pos: start}, nil
+	case '>':
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return Token{Type: TokOp, Text: ">=", Pos: start}, nil
+		}
+		return Token{Type: TokOp, Text: ">", Pos: start}, nil
+	case '!':
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return Token{Type: TokOp, Text: "<>", Pos: start}, nil
+		}
+	}
+	return Token{}, errf(start, "unexpected character %q", string(c))
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				lx.pos = len(lx.src)
+			} else {
+				lx.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *lexer) lexString() (Token, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			// '' is an escaped quote.
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return Token{Type: TokString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return Token{}, errf(start, "unterminated string literal")
+}
+
+func (lx *lexer) lexNumber() (Token, error) {
+	start := lx.pos
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case isDigit(c):
+			lx.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.pos++
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			seenExp = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+		default:
+			return Token{Type: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+		}
+	}
+	return Token{Type: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+}
+
+func (lx *lexer) lexIdent() (Token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return Token{Type: TokKeyword, Text: upper, Pos: start}, nil
+	}
+	return Token{Type: TokIdent, Text: text, Pos: start}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || isDigit(c) || unicode.IsLetter(rune(c))
+}

@@ -1,0 +1,95 @@
+package sqlparser
+
+import "testing"
+
+func lexTypes(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexTypes(t, "SELECT mach_id FROM Activity WHERE value = 'idle';")
+	want := []struct {
+		tt   TokenType
+		text string
+	}{
+		{TokKeyword, "SELECT"}, {TokIdent, "mach_id"}, {TokKeyword, "FROM"},
+		{TokIdent, "Activity"}, {TokKeyword, "WHERE"}, {TokIdent, "value"},
+		{TokOp, "="}, {TokString, "idle"}, {TokSemicolon, ";"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w.tt || toks[i].Text != w.text {
+			t.Errorf("token %d = {%v %q}, want {%v %q}", i, toks[i].Type, toks[i].Text, w.tt, w.text)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexTypes(t, "< <= > >= = <> != + - * / ( ) , .")
+	wantOps := []string{"<", "<=", ">", ">=", "=", "<>", "<>", "+", "-", "*", "/"}
+	for i, w := range wantOps {
+		if toks[i].Type != TokOp || toks[i].Text != w {
+			t.Errorf("op %d = {%v %q}, want %q", i, toks[i].Type, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks := lexTypes(t, "'it''s'")
+	if toks[0].Type != TokString || toks[0].Text != "it's" {
+		t.Errorf("got {%v %q}", toks[0].Type, toks[0].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	for _, src := range []string{"42", "3.14", "1e9", "2.5E-3", ".5"} {
+		toks := lexTypes(t, src)
+		if toks[0].Type != TokNumber || toks[0].Text != src {
+			t.Errorf("Lex(%q) = {%v %q}", src, toks[0].Type, toks[0].Text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexTypes(t, "SELECT -- line comment\n 1 /* block\ncomment */ + 2")
+	var texts []string
+	for _, tok := range toks {
+		if tok.Type != TokEOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	want := []string{"SELECT", "1", "+", "2"}
+	if len(texts) != len(want) {
+		t.Fatalf("got %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks := lexTypes(t, "select Select SELECT")
+	for _, tok := range toks[:3] {
+		if tok.Type != TokKeyword || tok.Text != "SELECT" {
+			t.Errorf("got {%v %q}", tok.Type, tok.Text)
+		}
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("SELECT @"); err == nil {
+		t.Error("expected error for @")
+	}
+}

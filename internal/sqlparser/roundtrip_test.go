@@ -1,0 +1,190 @@
+package sqlparser
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trac/internal/types"
+)
+
+// exprGen builds random expression ASTs for round-trip testing.
+type exprGen struct {
+	rng   *rand.Rand
+	depth int
+}
+
+func (g *exprGen) literal() Expr {
+	switch g.rng.Intn(5) {
+	case 0:
+		return &Literal{Val: types.NewInt(g.rng.Int63n(1000) - 500)}
+	case 1:
+		return &Literal{Val: types.NewFloat(float64(g.rng.Intn(100)) + 0.5)}
+	case 2:
+		return &Literal{Val: types.NewString(fmt.Sprintf("s%d", g.rng.Intn(50)))}
+	case 3:
+		return &Literal{Val: types.NewBool(g.rng.Intn(2) == 0)}
+	default:
+		return &Literal{Val: types.Null}
+	}
+}
+
+func (g *exprGen) column() Expr {
+	cols := []string{"mach_id", "value", "event_time", "slot", "neighbor"}
+	tables := []string{"", "A", "R", "t1"}
+	return &ColumnRef{Table: tables[g.rng.Intn(len(tables))], Column: cols[g.rng.Intn(len(cols))]}
+}
+
+func (g *exprGen) scalar() Expr {
+	if g.depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return g.literal()
+		}
+		return g.column()
+	}
+	g.depth--
+	defer func() { g.depth++ }()
+	ops := []ArithOp{ArithAdd, ArithSub, ArithMul, ArithDiv}
+	return &Arith{Op: ops[g.rng.Intn(4)], Left: g.scalar(), Right: g.scalar()}
+}
+
+func (g *exprGen) predicate() Expr {
+	if g.depth <= 0 {
+		return g.comparison()
+	}
+	g.depth--
+	defer func() { g.depth++ }()
+	switch g.rng.Intn(8) {
+	case 0, 1:
+		return &Logical{Op: LogicAnd, Left: g.predicate(), Right: g.predicate()}
+	case 2, 3:
+		return &Logical{Op: LogicOr, Left: g.predicate(), Right: g.predicate()}
+	case 4:
+		return &Not{Expr: g.predicate()}
+	case 5:
+		n := 1 + g.rng.Intn(3)
+		list := make([]Expr, n)
+		for i := range list {
+			list[i] = g.literal()
+		}
+		return &In{Expr: g.column(), List: list, Negated: g.rng.Intn(2) == 0}
+	case 6:
+		switch g.rng.Intn(3) {
+		case 0:
+			return &Between{Expr: g.column(), Lo: g.literal(), Hi: g.literal(), Negated: g.rng.Intn(2) == 0}
+		case 1:
+			return &Like{Expr: g.column(), Pattern: &Literal{Val: types.NewString("Tao%")}, Negated: g.rng.Intn(2) == 0}
+		default:
+			return &IsNull{Expr: g.column(), Negated: g.rng.Intn(2) == 0}
+		}
+	default:
+		return g.comparison()
+	}
+}
+
+func (g *exprGen) comparison() Expr {
+	ops := []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}
+	return &Comparison{Op: ops[g.rng.Intn(6)], Left: g.scalar(), Right: g.scalar()}
+}
+
+// TestExprRenderReparseProperty: for random expression trees, SQL() output
+// re-parses to an AST whose rendering is stable (render∘parse∘render =
+// render). Structural equality of the re-parse is checked modulo the
+// normalizations the renderer performs (e.g. full parenthesization of
+// arithmetic), by comparing a second round trip.
+func TestExprRenderReparseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 500; trial++ {
+		g := &exprGen{rng: rng, depth: 4}
+		e := g.predicate()
+		sql1 := e.SQL()
+		parsed, err := ParseExpr(sql1)
+		if err != nil {
+			t.Fatalf("trial %d: rendering %q does not re-parse: %v", trial, sql1, err)
+		}
+		sql2 := parsed.SQL()
+		if sql1 != sql2 {
+			t.Fatalf("trial %d: render not stable:\n first: %s\nsecond: %s", trial, sql1, sql2)
+		}
+		reparsed, err := ParseExpr(sql2)
+		if err != nil {
+			t.Fatalf("trial %d: second parse failed: %v", trial, err)
+		}
+		if !reflect.DeepEqual(parsed, reparsed) {
+			t.Fatalf("trial %d: AST not a fixpoint for %q", trial, sql2)
+		}
+	}
+}
+
+// TestSelectRenderReparseProperty does the same for whole SELECT statements.
+func TestSelectRenderReparseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tables := []string{"Activity", "Routing", "Heartbeat"}
+	for trial := 0; trial < 300; trial++ {
+		g := &exprGen{rng: rng, depth: 3}
+		sel := &SelectStmt{Distinct: rng.Intn(2) == 0}
+		nItems := 1 + rng.Intn(3)
+		for i := 0; i < nItems; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				sel.Items = append(sel.Items, SelectItem{Expr: g.column()})
+			case 1:
+				sel.Items = append(sel.Items, SelectItem{Expr: g.scalar(), Alias: fmt.Sprintf("c%d", i)})
+			default:
+				sel.Items = append(sel.Items, SelectItem{Expr: &FuncCall{Name: FuncCount, Star: true}})
+			}
+		}
+		nFrom := 1 + rng.Intn(2)
+		for i := 0; i < nFrom; i++ {
+			ref := TableRef{Name: tables[rng.Intn(len(tables))]}
+			if rng.Intn(2) == 0 {
+				ref.Alias = fmt.Sprintf("t%d", i)
+			}
+			sel.From = append(sel.From, ref)
+		}
+		if rng.Intn(2) == 0 {
+			sel.Where = g.predicate()
+		}
+		if rng.Intn(3) == 0 {
+			sel.GroupBy = []Expr{g.column()}
+			if rng.Intn(2) == 0 {
+				sel.Having = &Comparison{Op: CmpGt, Left: &FuncCall{Name: FuncCount, Star: true}, Right: &Literal{Val: types.NewInt(1)}}
+			}
+		}
+		if rng.Intn(3) == 0 {
+			sel.OrderBy = []OrderItem{{Expr: g.column(), Desc: rng.Intn(2) == 0}}
+		}
+		if rng.Intn(4) == 0 {
+			n := int64(rng.Intn(100))
+			sel.Limit = &n
+		}
+
+		sql1 := sel.SQL()
+		parsed, err := Parse(sql1)
+		if err != nil {
+			t.Fatalf("trial %d: %q does not re-parse: %v", trial, sql1, err)
+		}
+		sql2 := parsed.SQL()
+		if sql1 != sql2 {
+			t.Fatalf("trial %d: render not stable:\n first: %s\nsecond: %s", trial, sql1, sql2)
+		}
+	}
+}
+
+// TestLexerPropertyNoPanics feeds noise to the lexer; it must error or
+// tokenize, never panic, and never loop forever.
+func TestLexerPropertyNoPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "SELECT FROM WHERE ANDOR()'%_=<>!.,;0123456789abcXYZ \n\t\\-/*"
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(60)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		_, _ = Lex(sb.String()) // must terminate without panicking
+		_, _ = Parse(sb.String())
+	}
+}

@@ -1,0 +1,94 @@
+// Package sqlparser implements a hand-written lexer and recursive-descent
+// parser for the SQL dialect the TRAC engine understands: single-block
+// select-project-join queries with aggregates, plus the DML/DDL needed to
+// populate a monitored database. It also renders ASTs back to SQL text,
+// which the recency-query generator uses to emit the "recency query"
+// described in the paper.
+package sqlparser
+
+import "fmt"
+
+// TokenType identifies a lexical token class.
+type TokenType uint8
+
+// Token classes.
+const (
+	TokEOF TokenType = iota
+	TokIdent
+	TokKeyword
+	TokString // 'quoted'
+	TokNumber
+	TokOp // = <> < <= > >= + - * /
+	TokComma
+	TokDot
+	TokLParen
+	TokRParen
+	TokSemicolon
+)
+
+func (t TokenType) String() string {
+	switch t {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokOp:
+		return "operator"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokSemicolon:
+		return "';'"
+	default:
+		return fmt.Sprintf("TokenType(%d)", uint8(t))
+	}
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Type TokenType
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int
+}
+
+// keywords recognized by the lexer. Identifiers matching these
+// (case-insensitively) lex as TokKeyword with upper-cased Text.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"AS": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "GROUP": true, "HAVING": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "ON": true, "DROP": true,
+	"PRIMARY": true, "KEY": true, "UNION": true, "ALL": true,
+	"CHECK": true, "CONSTRAINT": true, "ANALYZE": true,
+	"TIMESTAMP": true, "COUNT": true, "MIN": true, "MAX": true,
+	"SUM": true, "AVG": true,
+	"BIGINT": true, "INT": true, "INTEGER": true, "DOUBLE": true,
+	"FLOAT": true, "TEXT": true, "VARCHAR": true, "BOOLEAN": true,
+}
+
+// Error is a parse or lex error with position information.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

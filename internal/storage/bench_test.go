@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trac/internal/types"
+)
+
+func BenchmarkBTreeInsertSequential(b *testing.B) {
+	tr := NewBTree()
+	row := NewRow(nil, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(types.NewInt(int64(i)), row)
+	}
+}
+
+func BenchmarkBTreeInsertRandom(b *testing.B) {
+	tr := NewBTree()
+	row := NewRow(nil, 1)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]types.Value, b.N)
+	for i := range keys {
+		keys[i] = types.NewInt(rng.Int63())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i], row)
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	tr := NewBTree()
+	row := NewRow(nil, 1)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		tr.Insert(types.NewString(fmt.Sprintf("Tao%d", i)), row)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(types.NewString(fmt.Sprintf("Tao%d", i%n)))
+	}
+}
+
+func BenchmarkBTreeScanRange(b *testing.B) {
+	tr := NewBTree()
+	row := NewRow(nil, 1)
+	for i := 0; i < 100_000; i++ {
+		tr.Insert(types.NewInt(int64(i)), row)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Scan(Incl(types.NewInt(5000)), Incl(types.NewInt(6000)), func(types.Value, []*Row) bool {
+			count++
+			return true
+		})
+	}
+}
+
+func BenchmarkTableAppend(b *testing.B) {
+	s, _ := NewSchema([]Column{
+		{Name: "sid", Kind: types.KindString},
+		{Name: "v", Kind: types.KindInt},
+	})
+	tbl := NewTable("t", s)
+	tbl.CreateIndex("sid")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Append(NewRow([]types.Value{
+			types.NewString("Tao1"), types.NewInt(int64(i)),
+		}, 1))
+	}
+}

@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+
+	"trac/internal/types"
+)
+
+// Histogram is an equi-depth histogram over a column: Bounds has B+1 fences
+// (Bounds[i] ≤ bucket i < Bounds[i+1], last bucket inclusive) and each
+// bucket holds roughly the same number of sampled values. Equi-depth rather
+// than equi-width because monitoring data is heavily skewed (a handful of
+// chatty sources produce most rows).
+type Histogram struct {
+	Bounds []types.Value
+	// SampleSize is the number of values the histogram summarizes.
+	SampleSize int
+}
+
+// BuildHistogram summarizes values (need not be sorted; NULLs must be
+// filtered by the caller) into at most `buckets` equi-depth buckets.
+func BuildHistogram(values []types.Value, buckets int) *Histogram {
+	if len(values) == 0 || buckets < 1 {
+		return nil
+	}
+	sorted := make([]types.Value, len(values))
+	copy(sorted, values)
+	sort.Slice(sorted, func(i, j int) bool { return types.Less(sorted[i], sorted[j]) })
+	if buckets > len(sorted) {
+		buckets = len(sorted)
+	}
+	h := &Histogram{SampleSize: len(sorted)}
+	h.Bounds = append(h.Bounds, sorted[0])
+	for b := 1; b <= buckets; b++ {
+		idx := b * (len(sorted) - 1) / buckets
+		h.Bounds = append(h.Bounds, sorted[idx])
+	}
+	return h
+}
+
+// SelectivityRange estimates the fraction of values in [lo, hi] (either
+// side unbounded). Within a bucket the distribution is assumed uniform in
+// rank, so a partial overlap contributes proportionally only when the
+// bucket's fences are distinguishable; fences being equal (heavy duplicate
+// skew) count fully when the point is inside the range.
+func (h *Histogram) SelectivityRange(lo, hi Bound) float64 {
+	if h == nil || len(h.Bounds) < 2 {
+		return 1.0 / 3
+	}
+	buckets := len(h.Bounds) - 1
+	frac := 0.0
+	for b := 0; b < buckets; b++ {
+		frac += h.bucketOverlap(h.Bounds[b], h.Bounds[b+1], lo, hi)
+	}
+	return frac / float64(buckets)
+}
+
+// bucketOverlap returns the assumed fraction of one bucket that the range
+// [lo,hi] covers, in [0,1].
+func (h *Histogram) bucketOverlap(bLo, bHi types.Value, lo, hi Bound) float64 {
+	// Entirely below or above?
+	if !lo.Unbounded && types.Less(bHi, lo.Value) {
+		return 0
+	}
+	if !hi.Unbounded && types.Less(hi.Value, bLo) {
+		return 0
+	}
+	// Fully inside?
+	loIn := lo.Unbounded || types.Less(lo.Value, bLo) || types.Equal(lo.Value, bLo)
+	hiIn := hi.Unbounded || types.Less(bHi, hi.Value) || types.Equal(bHi, hi.Value)
+	if loIn && hiIn {
+		return 1
+	}
+	// Partial overlap: interpolate numerically when possible, else assume
+	// half the bucket.
+	bl, okl := asFloat(bLo)
+	bh, okh := asFloat(bHi)
+	if !okl || !okh || bh <= bl {
+		return 0.5
+	}
+	start, end := bl, bh
+	if !lo.Unbounded {
+		if v, ok := asFloat(lo.Value); ok && v > start {
+			start = v
+		}
+	}
+	if !hi.Unbounded {
+		if v, ok := asFloat(hi.Value); ok && v < end {
+			end = v
+		}
+	}
+	if end <= start {
+		return 0
+	}
+	return (end - start) / (bh - bl)
+}
+
+func asFloat(v types.Value) (float64, bool) {
+	switch v.Kind() {
+	case types.KindInt:
+		return float64(v.Int()), true
+	case types.KindFloat:
+		return v.Float(), true
+	case types.KindTime:
+		return float64(v.TimeNanos()), true
+	default:
+		return 0, false
+	}
+}
+
+// ColumnStats summarizes one column for the planner.
+type ColumnStats struct {
+	NonNull   int
+	Nulls     int
+	Distinct  int // estimated number of distinct values
+	Histogram *Histogram
+}
+
+// EqSelectivity estimates the fraction of rows matching col = literal.
+func (c *ColumnStats) EqSelectivity() float64 {
+	if c == nil || c.Distinct <= 0 {
+		return 1.0 / 10
+	}
+	total := c.NonNull + c.Nulls
+	if total == 0 {
+		return 0
+	}
+	return float64(c.NonNull) / float64(total) / float64(c.Distinct)
+}
+
+// TableStats is the ANALYZE output for a table.
+type TableStats struct {
+	RowCount int
+	Columns  []ColumnStats
+}
+
+// statsRegistry holds per-table stats; it lives on Table behind a mutex so
+// ANALYZE can run concurrently with planning.
+type statsHolder struct {
+	mu    sync.RWMutex
+	stats *TableStats
+}
+
+// SetStats publishes fresh ANALYZE results for the table.
+func (t *Table) SetStats(s *TableStats) {
+	t.statsH.mu.Lock()
+	t.statsH.stats = s
+	t.statsH.mu.Unlock()
+}
+
+// Stats returns the last ANALYZE results, or nil.
+func (t *Table) Stats() *TableStats {
+	t.statsH.mu.RLock()
+	defer t.statsH.mu.RUnlock()
+	return t.statsH.stats
+}

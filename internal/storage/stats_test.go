@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"trac/internal/types"
+)
+
+func floats(vals ...float64) []types.Value {
+	out := make([]types.Value, len(vals))
+	for i, v := range vals {
+		out[i] = types.NewFloat(v)
+	}
+	return out
+}
+
+func intsVals(n int) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.NewInt(int64(i))
+	}
+	return out
+}
+
+func TestBuildHistogramBasics(t *testing.T) {
+	if BuildHistogram(nil, 8) != nil {
+		t.Error("empty input should yield nil histogram")
+	}
+	if BuildHistogram(intsVals(10), 0) != nil {
+		t.Error("zero buckets should yield nil")
+	}
+	h := BuildHistogram(intsVals(1000), 10)
+	if h == nil || len(h.Bounds) != 11 {
+		t.Fatalf("bounds = %v", h)
+	}
+	if h.Bounds[0].Int() != 0 || h.Bounds[10].Int() != 999 {
+		t.Errorf("extremes = %v, %v", h.Bounds[0], h.Bounds[10])
+	}
+}
+
+func TestHistogramUniformRangeEstimates(t *testing.T) {
+	h := BuildHistogram(intsVals(10_000), 64)
+	cases := []struct {
+		lo, hi Bound
+		want   float64
+	}{
+		{Unbounded, Unbounded, 1.0},
+		{Incl(types.NewInt(0)), Incl(types.NewInt(4999)), 0.5},
+		{Incl(types.NewInt(9000)), Unbounded, 0.1},
+		{Unbounded, Excl(types.NewInt(1000)), 0.1},
+		{Incl(types.NewInt(2500)), Incl(types.NewInt(7499)), 0.5},
+	}
+	for _, c := range cases {
+		got := h.SelectivityRange(c.lo, c.hi)
+		if math.Abs(got-c.want) > 0.05 {
+			t.Errorf("SelectivityRange(%v, %v) = %.3f, want ~%.2f", c.lo, c.hi, got, c.want)
+		}
+	}
+	// Out-of-domain ranges.
+	if got := h.SelectivityRange(Incl(types.NewInt(20000)), Unbounded); got > 0.02 {
+		t.Errorf("above max = %.3f", got)
+	}
+	if got := h.SelectivityRange(Unbounded, Excl(types.NewInt(-5))); got > 0.02 {
+		t.Errorf("below min = %.3f", got)
+	}
+}
+
+func TestHistogramSkewedData(t *testing.T) {
+	// 90% of values are 0; the rest spread over [1,1000].
+	vals := make([]types.Value, 0, 10_000)
+	for i := 0; i < 9000; i++ {
+		vals = append(vals, types.NewInt(0))
+	}
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, types.NewInt(int64(1+i)))
+	}
+	h := BuildHistogram(vals, 64)
+	// Range excluding zero should be ~10%.
+	got := h.SelectivityRange(Incl(types.NewInt(1)), Unbounded)
+	if math.Abs(got-0.1) > 0.06 {
+		t.Errorf("nonzero fraction = %.3f, want ~0.1", got)
+	}
+	// Equi-depth: the zero-heavy range is ~90%.
+	got = h.SelectivityRange(Unbounded, Incl(types.NewInt(0)))
+	if math.Abs(got-0.9) > 0.06 {
+		t.Errorf("zero fraction = %.3f, want ~0.9", got)
+	}
+}
+
+func TestHistogramNilSafety(t *testing.T) {
+	var h *Histogram
+	if got := h.SelectivityRange(Unbounded, Unbounded); got != 1.0/3 {
+		t.Errorf("nil histogram fallback = %v", got)
+	}
+}
+
+func TestHistogramStringBounds(t *testing.T) {
+	vals := []types.Value{
+		types.NewString("Tao1"), types.NewString("Tao2"), types.NewString("Tao3"),
+		types.NewString("apple"), types.NewString("zebra"),
+	}
+	h := BuildHistogram(vals, 4)
+	// Strings cannot interpolate numerically; partial buckets count half,
+	// full buckets fully. Just sanity-check monotonicity in [0,1].
+	got := h.SelectivityRange(Incl(types.NewString("Tao1")), Incl(types.NewString("Tao3")))
+	if got <= 0 || got > 1 {
+		t.Errorf("string range = %v", got)
+	}
+}
+
+func TestColumnStatsEqSelectivity(t *testing.T) {
+	cs := &ColumnStats{NonNull: 900, Nulls: 100, Distinct: 9}
+	got := cs.EqSelectivity()
+	if math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("eq selectivity = %v, want 0.1", got)
+	}
+	var nilCS *ColumnStats
+	if nilCS.EqSelectivity() != 0.1 {
+		t.Errorf("nil fallback = %v", nilCS.EqSelectivity())
+	}
+	empty := &ColumnStats{Distinct: 5}
+	if empty.EqSelectivity() != 0 {
+		t.Errorf("empty table eq = %v", empty.EqSelectivity())
+	}
+}
+
+func TestTableStatsPublication(t *testing.T) {
+	s, _ := NewSchema([]Column{{Name: "a", Kind: types.KindInt}})
+	tbl := NewTable("t", s)
+	if tbl.Stats() != nil {
+		t.Error("fresh table should have no stats")
+	}
+	st := &TableStats{RowCount: 5, Columns: make([]ColumnStats, 1)}
+	tbl.SetStats(st)
+	if tbl.Stats() != st {
+		t.Error("stats not published")
+	}
+}

@@ -1,0 +1,213 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"trac/internal/types"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name       string
+	Kind       types.Kind
+	Domain     types.Domain // consulted by satisfiability & brute force
+	PrimaryKey bool
+}
+
+// Schema is the column layout of a table plus TRAC-specific metadata: the
+// index of the data source column (§3.3 of the paper: every monitored table
+// carries a column identifying which source wrote each tuple).
+type Schema struct {
+	Columns      []Column
+	SourceColumn int // index into Columns, or -1 for unmonitored tables
+	// Checks holds table-level CHECK constraint predicates as parsed
+	// expression ASTs (typed as any to avoid a storage→sqlparser
+	// dependency; the engine and the recency generator cast them back).
+	Checks []any
+
+	byName map[string]int
+}
+
+// NewSchema builds a schema. Column names are resolved case-insensitively.
+func NewSchema(cols []Column) (*Schema, error) {
+	s := &Schema{Columns: cols, SourceColumn: -1, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.byName[key]; dup {
+			return nil, fmt.Errorf("storage: duplicate column %q", c.Name)
+		}
+		s.byName[key] = i
+		if s.Columns[i].Domain.ValueKind == types.KindNull && s.Columns[i].Domain.Kind == types.DomainUnbounded {
+			// Default domain: unbounded over the column's kind.
+			s.Columns[i].Domain = types.UnboundedDomain(c.Kind)
+		}
+	}
+	return s, nil
+}
+
+// ColumnIndex resolves a column name to its position, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumColumns returns the column count.
+func (s *Schema) NumColumns() int { return len(s.Columns) }
+
+// SetSourceColumn marks the named column as the data source column.
+func (s *Schema) SetSourceColumn(name string) error {
+	i := s.ColumnIndex(name)
+	if i < 0 {
+		return fmt.Errorf("storage: no column %q to mark as data source", name)
+	}
+	s.SourceColumn = i
+	return nil
+}
+
+// Table is a versioned heap: an append-only vector of row versions plus
+// optional B+tree secondary indexes. Visibility of individual versions is
+// the transaction layer's concern; the heap keeps every version.
+type Table struct {
+	Name   string
+	Schema *Schema
+
+	mu      sync.RWMutex
+	rows    []*Row
+	indexes map[int]*BTree // column index -> tree
+	statsH  statsHolder
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema, indexes: make(map[int]*BTree)}
+}
+
+// Append publishes a new row version. The caller (transaction layer) is
+// responsible for having set Xmin. Values must match the schema arity.
+func (t *Table) Append(row *Row) error {
+	if len(row.Values) != len(t.Schema.Columns) {
+		return fmt.Errorf("storage: table %s expects %d values, got %d",
+			t.Name, len(t.Schema.Columns), len(row.Values))
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, row)
+	for col, idx := range t.indexes {
+		idx.Insert(row.Values[col], row)
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// Rows returns a stable snapshot of the version vector: versions appended
+// after the call are not included, and the returned slice is never mutated.
+func (t *Table) Rows() []*Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[:len(t.rows):len(t.rows)]
+}
+
+// NumVersions returns the total number of row versions in the heap.
+func (t *Table) NumVersions() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// CreateIndex builds a B+tree over the named column, backfilling existing
+// versions. Creating an index that already exists is a no-op.
+func (t *Table) CreateIndex(column string) error {
+	col := t.Schema.ColumnIndex(column)
+	if col < 0 {
+		return fmt.Errorf("storage: table %s has no column %q", t.Name, column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[col]; ok {
+		return nil
+	}
+	idx := NewBTree()
+	for _, row := range t.rows {
+		idx.Insert(row.Values[col], row)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// Index returns the B+tree over the given column position, or nil.
+func (t *Table) Index(col int) *BTree {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[col]
+}
+
+// IndexedColumns lists column positions that currently have indexes.
+func (t *Table) IndexedColumns() []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int, 0, len(t.indexes))
+	for col := range t.indexes {
+		out = append(out, col)
+	}
+	return out
+}
+
+// Catalog maps table names (case-insensitive) to tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create registers a new table.
+func (c *Catalog) Create(t *Table) error {
+	key := strings.ToLower(t.Name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("storage: table %q already exists", t.Name)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Get resolves a table by name.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("storage: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Names lists registered tables in unspecified order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"trac/internal/types"
+)
+
+func activitySchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema([]Column{
+		{Name: "mach_id", Kind: types.KindString},
+		{Name: "value", Kind: types.KindString, Domain: types.FiniteStringDomain("idle", "busy")},
+		{Name: "event_time", Kind: types.KindTime},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSourceColumn("mach_id"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := activitySchema(t)
+	if s.NumColumns() != 3 {
+		t.Errorf("NumColumns = %d", s.NumColumns())
+	}
+	if s.ColumnIndex("MACH_ID") != 0 || s.ColumnIndex("Value") != 1 || s.ColumnIndex("nope") != -1 {
+		t.Error("case-insensitive ColumnIndex broken")
+	}
+	if s.SourceColumn != 0 {
+		t.Errorf("SourceColumn = %d", s.SourceColumn)
+	}
+	if err := s.SetSourceColumn("missing"); err == nil {
+		t.Error("SetSourceColumn(missing) should fail")
+	}
+	// Default domain filled in for columns without one.
+	if s.Columns[0].Domain.Kind != types.DomainUnbounded || s.Columns[0].Domain.ValueKind != types.KindString {
+		t.Errorf("default domain = %+v", s.Columns[0].Domain)
+	}
+	// Explicit domain preserved.
+	if s.Columns[1].Domain.Kind != types.DomainFinite {
+		t.Errorf("explicit domain lost: %+v", s.Columns[1].Domain)
+	}
+}
+
+func TestSchemaDuplicateColumn(t *testing.T) {
+	_, err := NewSchema([]Column{
+		{Name: "a", Kind: types.KindInt},
+		{Name: "A", Kind: types.KindInt},
+	})
+	if err == nil {
+		t.Error("duplicate column (case-insensitive) should fail")
+	}
+}
+
+func TestTableAppendAndRows(t *testing.T) {
+	tbl := NewTable("Activity", activitySchema(t))
+	r := NewRow([]types.Value{types.NewString("m1"), types.NewString("idle"), types.NewTimeNanos(0)}, 1)
+	if err := tbl.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append(NewRow([]types.Value{types.NewString("m1")}, 1)); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	rows := tbl.Rows()
+	if len(rows) != 1 || rows[0] != r {
+		t.Fatalf("Rows = %v", rows)
+	}
+	// Snapshot stability: appending after Rows() must not grow the snapshot.
+	if err := tbl.Append(NewRow([]types.Value{types.NewString("m2"), types.NewString("busy"), types.NewTimeNanos(1)}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Error("snapshot grew")
+	}
+	if tbl.NumVersions() != 2 {
+		t.Errorf("NumVersions = %d", tbl.NumVersions())
+	}
+}
+
+func TestTableIndexBackfillAndMaintain(t *testing.T) {
+	tbl := NewTable("Activity", activitySchema(t))
+	for i := 0; i < 10; i++ {
+		id := "m1"
+		if i%2 == 0 {
+			id = "m2"
+		}
+		tbl.Append(NewRow([]types.Value{types.NewString(id), types.NewString("idle"), types.NewTimeNanos(int64(i))}, 1))
+	}
+	if err := tbl.CreateIndex("mach_id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("mach_id"); err != nil {
+		t.Errorf("re-creating index should be a no-op: %v", err)
+	}
+	if err := tbl.CreateIndex("no_such"); err == nil {
+		t.Error("index on missing column should fail")
+	}
+	idx := tbl.Index(0)
+	if idx == nil {
+		t.Fatal("Index(0) = nil")
+	}
+	if n := len(idx.Lookup(types.NewString("m1"))); n != 5 {
+		t.Errorf("m1 rows = %d", n)
+	}
+	// Maintained on subsequent appends.
+	tbl.Append(NewRow([]types.Value{types.NewString("m1"), types.NewString("busy"), types.NewTimeNanos(99)}, 1))
+	if n := len(idx.Lookup(types.NewString("m1"))); n != 6 {
+		t.Errorf("after append, m1 rows = %d", n)
+	}
+	cols := tbl.IndexedColumns()
+	if len(cols) != 1 || cols[0] != 0 {
+		t.Errorf("IndexedColumns = %v", cols)
+	}
+	if tbl.Index(1) != nil {
+		t.Error("Index(1) should be nil")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tbl := NewTable("Activity", activitySchema(t))
+	if err := c.Create(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create(NewTable("ACTIVITY", tbl.Schema)); err == nil {
+		t.Error("case-insensitive duplicate create should fail")
+	}
+	got, err := c.Get("activity")
+	if err != nil || got != tbl {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if _, err := c.Get("missing"); err == nil {
+		t.Error("Get(missing) should fail")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "Activity" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := c.Drop("ACTIVITY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("Activity"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestTableConcurrentAppendScan(t *testing.T) {
+	tbl := NewTable("Activity", activitySchema(t))
+	tbl.CreateIndex("mach_id")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2500; i++ {
+				tbl.Append(NewRow([]types.Value{
+					types.NewString("m1"), types.NewString("idle"), types.NewTimeNanos(int64(i)),
+				}, uint64(w+1)))
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rows := tbl.Rows()
+				for _, row := range rows {
+					_ = row.Values[0]
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tbl.NumVersions() != 10000 {
+		t.Errorf("NumVersions = %d", tbl.NumVersions())
+	}
+	if n := len(tbl.Index(0).Lookup(types.NewString("m1"))); n != 10000 {
+		t.Errorf("index rows = %d", n)
+	}
+}

@@ -1,0 +1,167 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DomainKind classifies how a column's domain is described in the catalog.
+//
+// The paper's definitions of a "relevant" data source quantify over column
+// domains: a source is relevant if *some* tuple drawn from the domains could
+// satisfy the query. Satisfiability reasoning (internal/core/sat) and the
+// brute-force evaluator (internal/core/bruteforce) both consume these
+// descriptions; ordinary query execution ignores them.
+type DomainKind uint8
+
+const (
+	// DomainUnbounded means the column can hold any value of its kind.
+	DomainUnbounded DomainKind = iota
+	// DomainFinite means the column's legal values are exactly Values.
+	DomainFinite
+	// DomainIntRange means the column holds integers in [MinInt, MaxInt].
+	DomainIntRange
+)
+
+// Domain describes the set of legal values for a column.
+type Domain struct {
+	Kind      DomainKind
+	ValueKind Kind    // the kind of every member value
+	Values    []Value // DomainFinite: sorted ascending, deduplicated
+	MinInt    int64   // DomainIntRange bounds, inclusive
+	MaxInt    int64
+}
+
+// UnboundedDomain returns the domain of all values of kind k.
+func UnboundedDomain(k Kind) Domain {
+	return Domain{Kind: DomainUnbounded, ValueKind: k}
+}
+
+// FiniteDomain returns a finite domain over the given values. The values are
+// sorted and deduplicated; they must all share one kind.
+func FiniteDomain(vals ...Value) (Domain, error) {
+	if len(vals) == 0 {
+		return Domain{}, fmt.Errorf("types: finite domain must be non-empty")
+	}
+	k := vals[0].Kind()
+	for _, v := range vals {
+		if v.Kind() != k {
+			return Domain{}, fmt.Errorf("types: finite domain mixes %s and %s", k, v.Kind())
+		}
+	}
+	sorted := make([]Value, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return Less(sorted[i], sorted[j]) })
+	out := sorted[:1]
+	for _, v := range sorted[1:] {
+		if !Equal(out[len(out)-1], v) {
+			out = append(out, v)
+		}
+	}
+	return Domain{Kind: DomainFinite, ValueKind: k, Values: out}, nil
+}
+
+// MustFiniteDomain is FiniteDomain for static fixtures; it panics on error.
+func MustFiniteDomain(vals ...Value) Domain {
+	d, err := FiniteDomain(vals...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FiniteStringDomain builds a finite domain from string members.
+func FiniteStringDomain(ss ...string) Domain {
+	vals := make([]Value, len(ss))
+	for i, s := range ss {
+		vals[i] = NewString(s)
+	}
+	return MustFiniteDomain(vals...)
+}
+
+// IntRangeDomain returns the domain of integers in [min, max].
+func IntRangeDomain(min, max int64) (Domain, error) {
+	if min > max {
+		return Domain{}, fmt.Errorf("types: empty int range [%d,%d]", min, max)
+	}
+	return Domain{Kind: DomainIntRange, ValueKind: KindInt, MinInt: min, MaxInt: max}, nil
+}
+
+// IsFinite reports whether the domain can be enumerated.
+func (d Domain) IsFinite() bool {
+	return d.Kind == DomainFinite || d.Kind == DomainIntRange
+}
+
+// Size returns the cardinality of a finite domain and ok=false otherwise.
+func (d Domain) Size() (int64, bool) {
+	switch d.Kind {
+	case DomainFinite:
+		return int64(len(d.Values)), true
+	case DomainIntRange:
+		return d.MaxInt - d.MinInt + 1, true
+	default:
+		return 0, false
+	}
+}
+
+// Contains reports whether v is a member of the domain. NULL is never a
+// member: the schema model assumes monitored columns are populated.
+func (d Domain) Contains(v Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	switch d.Kind {
+	case DomainUnbounded:
+		return v.Kind() == d.ValueKind ||
+			(isNumeric(v.Kind()) && isNumeric(d.ValueKind))
+	case DomainFinite:
+		i := sort.Search(len(d.Values), func(i int) bool { return !Less(d.Values[i], v) })
+		return i < len(d.Values) && Equal(d.Values[i], v)
+	case DomainIntRange:
+		if v.Kind() != KindInt {
+			return false
+		}
+		return v.Int() >= d.MinInt && v.Int() <= d.MaxInt
+	default:
+		return false
+	}
+}
+
+// Enumerate returns all members of a finite domain in ascending order, or
+// ok=false for an unbounded domain.
+func (d Domain) Enumerate() ([]Value, bool) {
+	switch d.Kind {
+	case DomainFinite:
+		out := make([]Value, len(d.Values))
+		copy(out, d.Values)
+		return out, true
+	case DomainIntRange:
+		n := d.MaxInt - d.MinInt + 1
+		out := make([]Value, 0, n)
+		for i := d.MinInt; i <= d.MaxInt; i++ {
+			out = append(out, NewInt(i))
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// String renders the domain for diagnostics.
+func (d Domain) String() string {
+	switch d.Kind {
+	case DomainUnbounded:
+		return fmt.Sprintf("any %s", d.ValueKind)
+	case DomainFinite:
+		parts := make([]string, 0, len(d.Values))
+		for _, v := range d.Values {
+			parts = append(parts, v.String())
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case DomainIntRange:
+		return fmt.Sprintf("[%d..%d]", d.MinInt, d.MaxInt)
+	default:
+		return "invalid domain"
+	}
+}

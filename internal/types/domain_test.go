@@ -1,0 +1,125 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFiniteDomain(t *testing.T) {
+	d, err := FiniteDomain(NewString("busy"), NewString("idle"), NewString("busy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := d.Size(); !ok || n != 2 {
+		t.Errorf("Size = %d,%v want 2,true", n, ok)
+	}
+	if !d.Contains(NewString("idle")) || d.Contains(NewString("down")) {
+		t.Error("Contains wrong")
+	}
+	if d.Contains(Null) {
+		t.Error("NULL must never be a domain member")
+	}
+	vals, ok := d.Enumerate()
+	if !ok || len(vals) != 2 || vals[0].Str() != "busy" || vals[1].Str() != "idle" {
+		t.Errorf("Enumerate = %v,%v", vals, ok)
+	}
+	if _, err := FiniteDomain(); err == nil {
+		t.Error("empty finite domain should error")
+	}
+	if _, err := FiniteDomain(NewInt(1), NewString("x")); err == nil {
+		t.Error("mixed-kind finite domain should error")
+	}
+}
+
+func TestFiniteStringDomain(t *testing.T) {
+	d := FiniteStringDomain("m1", "m2", "m3")
+	if n, _ := d.Size(); n != 3 {
+		t.Errorf("Size = %d", n)
+	}
+	if d.String() != "{m1, m2, m3}" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestIntRangeDomain(t *testing.T) {
+	d, err := IntRangeDomain(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := d.Size(); !ok || n != 5 {
+		t.Errorf("Size = %d,%v", n, ok)
+	}
+	if !d.Contains(NewInt(3)) || !d.Contains(NewInt(7)) || d.Contains(NewInt(8)) || d.Contains(NewInt(2)) {
+		t.Error("Contains bounds wrong")
+	}
+	if d.Contains(NewFloat(4)) {
+		t.Error("int range should not contain floats")
+	}
+	vals, ok := d.Enumerate()
+	if !ok || len(vals) != 5 || vals[0].Int() != 3 || vals[4].Int() != 7 {
+		t.Errorf("Enumerate = %v", vals)
+	}
+	if _, err := IntRangeDomain(5, 4); err == nil {
+		t.Error("inverted range should error")
+	}
+	if d.String() != "[3..7]" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestUnboundedDomain(t *testing.T) {
+	d := UnboundedDomain(KindString)
+	if d.IsFinite() {
+		t.Error("unbounded domain must not be finite")
+	}
+	if _, ok := d.Size(); ok {
+		t.Error("unbounded Size must report !ok")
+	}
+	if _, ok := d.Enumerate(); ok {
+		t.Error("unbounded Enumerate must report !ok")
+	}
+	if !d.Contains(NewString("anything")) {
+		t.Error("unbounded string domain should contain any string")
+	}
+	if d.Contains(NewInt(1)) {
+		t.Error("unbounded string domain should reject ints")
+	}
+	num := UnboundedDomain(KindFloat)
+	if !num.Contains(NewInt(2)) {
+		t.Error("numeric unbounded domain should accept ints")
+	}
+}
+
+func TestDomainEnumerateMembershipProperty(t *testing.T) {
+	// Every enumerated value is Contained, and size matches enumeration length.
+	f := func(a, b int16) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi-lo > 2000 {
+			hi = lo + 2000
+		}
+		d, err := IntRangeDomain(lo, hi)
+		if err != nil {
+			return false
+		}
+		vals, ok := d.Enumerate()
+		if !ok {
+			return false
+		}
+		n, _ := d.Size()
+		if int64(len(vals)) != n {
+			return false
+		}
+		for _, v := range vals {
+			if !d.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

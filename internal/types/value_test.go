@@ -1,0 +1,238 @@
+package types
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	now := time.Date(2006, 3, 15, 14, 20, 5, 0, time.UTC)
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "NULL"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+		{NewInt(-42), KindInt, "-42"},
+		{NewFloat(2.5), KindFloat, "2.5"},
+		{NewString("idle"), KindString, "idle"},
+		{NewTime(now), KindTime, "2006-03-15 14:20:05"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind of %v = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+	if !NewBool(true).Bool() {
+		t.Error("Bool payload lost")
+	}
+	if NewInt(7).Int() != 7 {
+		t.Error("Int payload lost")
+	}
+	if NewFloat(1.5).Float() != 1.5 {
+		t.Error("Float payload lost")
+	}
+	if NewString("x").Str() != "x" {
+		t.Error("Str payload lost")
+	}
+	if !NewTime(now).Time().Equal(now) {
+		t.Error("Time payload lost")
+	}
+	if NewTimeNanos(now.UnixNano()).TimeNanos() != now.UnixNano() {
+		t.Error("TimeNanos payload lost")
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Int() on string value")
+		}
+	}()
+	_ = NewString("x").Int()
+}
+
+func TestSQLRendering(t *testing.T) {
+	now := time.Date(2006, 3, 15, 14, 20, 5, 0, time.UTC)
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+		{NewInt(10), "10"},
+		{NewFloat(2.5), "2.5"},
+		{NewFloat(3), "3.0"},
+		{NewString("it's"), "'it''s'"},
+		{NewTime(now), "TIMESTAMP '2006-03-15 14:20:05'"},
+	}
+	for _, c := range cases {
+		if got := c.v.SQL(); got != c.want {
+			t.Errorf("SQL(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a, b := NewInt(1), NewInt(2)
+	if c, err := Compare(a, b); err != nil || c != -1 {
+		t.Errorf("Compare(1,2) = %d,%v", c, err)
+	}
+	if c, err := Compare(b, a); err != nil || c != 1 {
+		t.Errorf("Compare(2,1) = %d,%v", c, err)
+	}
+	if c, err := Compare(a, a); err != nil || c != 0 {
+		t.Errorf("Compare(1,1) = %d,%v", c, err)
+	}
+	// Cross numeric comparison.
+	if c, err := Compare(NewInt(2), NewFloat(1.5)); err != nil || c != 1 {
+		t.Errorf("Compare(2, 1.5) = %d,%v", c, err)
+	}
+	if c, err := Compare(NewFloat(1.5), NewInt(2)); err != nil || c != -1 {
+		t.Errorf("Compare(1.5, 2) = %d,%v", c, err)
+	}
+	// Strings.
+	if c, err := Compare(NewString("a"), NewString("b")); err != nil || c != -1 {
+		t.Errorf("Compare(a,b) = %d,%v", c, err)
+	}
+	// Times.
+	t0 := time.Unix(100, 0)
+	t1 := time.Unix(200, 0)
+	if c, err := Compare(NewTime(t0), NewTime(t1)); err != nil || c != -1 {
+		t.Errorf("Compare(t0,t1) = %d,%v", c, err)
+	}
+	// Incomparable kinds error.
+	if _, err := Compare(NewString("a"), NewInt(1)); err == nil {
+		t.Error("Compare(text,int) should error")
+	}
+	if _, err := Compare(Null, NewInt(1)); err == nil {
+		t.Error("Compare(null,int) should error")
+	}
+	// NaN is ordered deterministically.
+	if c, _ := Compare(NewFloat(math.NaN()), NewFloat(1)); c != -1 {
+		t.Errorf("NaN should order first, got %d", c)
+	}
+	if c, _ := Compare(NewFloat(1), NewFloat(math.NaN())); c != 1 {
+		t.Errorf("value vs NaN should be 1, got %d", c)
+	}
+	if c, _ := Compare(NewFloat(math.NaN()), NewFloat(math.NaN())); c != 0 {
+		t.Errorf("NaN vs NaN should be 0, got %d", c)
+	}
+}
+
+func TestComparable(t *testing.T) {
+	if !Comparable(KindInt, KindFloat) {
+		t.Error("int and float should be comparable")
+	}
+	if Comparable(KindString, KindInt) {
+		t.Error("string and int should not be comparable")
+	}
+	if Comparable(KindNull, KindNull) {
+		t.Error("null comparable to nothing")
+	}
+	if !Comparable(KindTime, KindTime) {
+		t.Error("time comparable to itself")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Null, Null) {
+		t.Error("Equal(NULL, NULL) should be true for identity purposes")
+	}
+	if Equal(Null, NewInt(0)) {
+		t.Error("Equal(NULL, 0) should be false")
+	}
+	if !Equal(NewInt(3), NewFloat(3)) {
+		t.Error("Equal(3, 3.0) should be true")
+	}
+	if Equal(NewString("a"), NewInt(1)) {
+		t.Error("Equal across incomparable kinds should be false")
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	vals := []Value{
+		NewString("zebra"), NewInt(5), Null, NewFloat(-1.5), NewBool(true),
+		NewTime(time.Unix(10, 0)), NewString("apple"), NewInt(-3), Null,
+	}
+	sort.Slice(vals, func(i, j int) bool { return Less(vals[i], vals[j]) })
+	// NULLs first.
+	if !vals[0].IsNull() || !vals[1].IsNull() {
+		t.Fatalf("NULLs must sort first: %v", vals)
+	}
+	// Transitivity / antisymmetry spot checks via sort.SliceIsSorted.
+	if !sort.SliceIsSorted(vals, func(i, j int) bool { return Less(vals[i], vals[j]) }) {
+		t.Fatal("sorted slice not sorted")
+	}
+	for i := range vals {
+		if Less(vals[i], vals[i]) {
+			t.Fatalf("Less must be irreflexive at %v", vals[i])
+		}
+	}
+}
+
+func TestLessPropertyIrreflexiveAntisymmetric(t *testing.T) {
+	gen := func(seed int64) Value {
+		switch seed % 5 {
+		case 0:
+			return Null
+		case 1:
+			return NewInt(seed)
+		case 2:
+			return NewFloat(float64(seed) / 3)
+		case 3:
+			return NewString(time.Unix(seed%1000, 0).String())
+		default:
+			return NewTimeNanos(seed)
+		}
+	}
+	f := func(a, b int64) bool {
+		va, vb := gen(a), gen(b)
+		if Less(va, va) || Less(vb, vb) {
+			return false
+		}
+		// Antisymmetry: not both Less(a,b) and Less(b,a).
+		return !(Less(va, vb) && Less(vb, va))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	got, err := ParseTime("2006-03-15 14:20:05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2006, 3, 15, 14, 20, 5, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Errorf("ParseTime = %v, want %v", got, want)
+	}
+	if _, err := ParseTime("not a time"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ParseTime("2006-03-15"); err != nil {
+		t.Errorf("date-only form should parse: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNull: "NULL", KindBool: "BOOLEAN", KindInt: "BIGINT",
+		KindFloat: "DOUBLE", KindString: "TEXT", KindTime: "TIMESTAMP",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

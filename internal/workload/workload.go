@@ -1,0 +1,259 @@
+// Package workload generates the paper's synthetic evaluation data (§5.2):
+// an Activity table with a fixed total row count, swept across (number of
+// data sources) × (data ratio) = total, plus a Routing table and a
+// Heartbeat row per source, with B-tree indexes on the data source columns.
+// It also provides the paper's four test queries Q1–Q4 verbatim.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"trac/internal/engine"
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+// Spec parameterizes one evaluation dataset.
+type Spec struct {
+	// TotalRows is the Activity row count (the paper fixes 10,000,000; the
+	// default here is smaller so the full sweep runs on a laptop, and the
+	// benchmark harness scales it up on request).
+	TotalRows int
+	// DataSources is the number of sources; DataRatio = TotalRows /
+	// DataSources rows per source.
+	DataSources int
+	// Seed drives value assignment.
+	Seed int64
+	// Start is the first event timestamp.
+	Start time.Time
+	// StaleSources marks this many sources (the highest-numbered ones) as
+	// extremely out of date in Heartbeat, for exceptional-source
+	// experiments. Zero for the paper's performance sweeps.
+	StaleSources int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.TotalRows == 0 {
+		s.TotalRows = 100_000
+	}
+	if s.DataSources == 0 {
+		s.DataSources = 1_000
+	}
+	if s.Start.IsZero() {
+		s.Start = time.Date(2006, 3, 15, 0, 0, 0, 0, time.UTC)
+	}
+	return s
+}
+
+// DataRatio returns rows per source.
+func (s Spec) DataRatio() int {
+	sp := s.withDefaults()
+	return sp.TotalRows / sp.DataSources
+}
+
+// Build creates the Activity/Routing/Heartbeat schema and loads the
+// dataset into a fresh database. Loading bypasses the SQL layer (bulk
+// direct inserts in large transactions) because generating up to 10^7 rows
+// through the parser would only measure the parser.
+func Build(spec Spec) (*engine.DB, error) {
+	spec = spec.withDefaults()
+	if spec.TotalRows%spec.DataSources != 0 {
+		return nil, fmt.Errorf("workload: TotalRows %d not divisible by DataSources %d",
+			spec.TotalRows, spec.DataSources)
+	}
+	db := engine.New()
+	for _, sql := range []string{
+		`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Routing (mach_id TEXT, neighbor TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`,
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			return nil, err
+		}
+	}
+	act, _ := db.Catalog().Get("Activity")
+	rout, _ := db.Catalog().Get("Routing")
+	hb, _ := db.Catalog().Get("Heartbeat")
+	act.Schema.SetSourceColumn("mach_id")
+	rout.Schema.SetSourceColumn("mach_id")
+	act.Schema.Columns[1].Domain = types.FiniteStringDomain("busy", "idle")
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	ratio := spec.TotalRows / spec.DataSources
+	mgr := db.Manager()
+
+	// Activity: ratio rows per source, alternating idle/busy randomly.
+	tick := time.Second
+	if err := bulkLoad(mgr, act, spec.TotalRows, func(i int) []types.Value {
+		src := 1 + i/ratio
+		val := "busy"
+		if rng.Intn(2) == 0 {
+			val = "idle"
+		}
+		return []types.Value{
+			types.NewString(sourceName(src)),
+			types.NewString(val),
+			types.NewTime(spec.Start.Add(time.Duration(i%ratio) * tick)),
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	// Routing: one row per source, mapping the machine set onto itself
+	// (the assumption the paper's fpr analysis states for Q3/Q4).
+	if err := bulkLoad(mgr, rout, spec.DataSources, func(i int) []types.Value {
+		return []types.Value{
+			types.NewString(sourceName(i + 1)),
+			types.NewString(sourceName(i + 1)),
+			types.NewTime(spec.Start),
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	// Heartbeat: one row per source; recency near the end of the event
+	// range, with stale outliers if requested.
+	recencyBase := spec.Start.Add(time.Duration(ratio) * tick)
+	if err := bulkLoad(mgr, hb, spec.DataSources, func(i int) []types.Value {
+		rec := recencyBase.Add(time.Duration(i%600) * time.Second)
+		if spec.StaleSources > 0 && i >= spec.DataSources-spec.StaleSources {
+			rec = spec.Start.Add(-24 * time.Hour)
+		}
+		return []types.Value{
+			types.NewString(sourceName(i + 1)),
+			types.NewTime(rec),
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	// Indexes on the data source columns, as in the paper's setup.
+	for _, idx := range []struct{ table, col string }{
+		{"Activity", "mach_id"}, {"Routing", "mach_id"}, {"Heartbeat", "sid"},
+	} {
+		tbl, _ := db.Catalog().Get(idx.table)
+		if err := tbl.CreateIndex(idx.col); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// bulkLoad inserts n generated rows in chunked transactions.
+func bulkLoad(mgr *txn.Manager, tbl *storage.Table, n int, gen func(i int) []types.Value) error {
+	const chunk = 50_000
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		tx := mgr.Begin()
+		for i := lo; i < hi; i++ {
+			if err := tx.InsertRow(tbl, storage.NewRow(gen(i), 0)); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sourceName follows the paper's machine naming ("Tao1", "Tao10", ...).
+func sourceName(i int) string { return fmt.Sprintf("Tao%d", i) }
+
+// SourceName exports the naming scheme.
+func SourceName(i int) string { return sourceName(i) }
+
+// The paper's six probe machines used by Q1–Q4.
+var probeMachines = []string{"Tao1", "Tao10", "Tao100", "Tao1000", "Tao10000", "Tao100000"}
+
+// ProbeList renders the IN-list of the paper's queries.
+func ProbeList() string {
+	out := ""
+	for i, m := range probeMachines {
+		if i > 0 {
+			out += ","
+		}
+		out += "'" + m + "'"
+	}
+	return out
+}
+
+// NumProbes is the size of the paper's IN-list (6).
+const NumProbes = 6
+
+// Q1 is the paper's first test query: single relation, very selective.
+func Q1() string {
+	return `SELECT COUNT(*) FROM Activity A WHERE A.mach_id IN (` + ProbeList() + `) AND A.value = 'idle'`
+}
+
+// Q2 is the paper's second test query: single relation, non-selective.
+func Q2() string {
+	return `SELECT COUNT(*) FROM Activity A WHERE A.mach_id NOT IN (` + ProbeList() + `) AND A.value = 'idle'`
+}
+
+// Q3 is the paper's third test query: join with a selective predicate on
+// Routing.
+func Q3() string {
+	return `SELECT COUNT(*) FROM Routing R, Activity A WHERE R.mach_id IN (` + ProbeList() +
+		`) AND R.neighbor = A.mach_id AND A.value = 'idle'`
+}
+
+// Q4 is the paper's fourth test query: join with a non-selective predicate
+// on Routing.
+func Q4() string {
+	return `SELECT COUNT(*) FROM Routing R, Activity A WHERE R.mach_id NOT IN (` + ProbeList() +
+		`) AND R.neighbor = A.mach_id AND A.value = 'idle'`
+}
+
+// Query returns Qn by name ("Q1".."Q4").
+func Query(name string) (string, error) {
+	switch name {
+	case "Q1":
+		return Q1(), nil
+	case "Q2":
+		return Q2(), nil
+	case "Q3":
+		return Q3(), nil
+	case "Q4":
+		return Q4(), nil
+	default:
+		return "", fmt.Errorf("workload: unknown query %q", name)
+	}
+}
+
+// ExistingProbes counts how many of the six probe machines exist for a
+// given source count (e.g. with 1,000 sources only Tao1/Tao10/Tao100/
+// Tao1000 exist).
+func ExistingProbes(sources int) int {
+	n := 0
+	for _, p := range []int{1, 10, 100, 1000, 10000, 100000} {
+		if p <= sources {
+			n++
+		}
+	}
+	return n
+}
+
+// ExpectedRelevant returns |S(Q)| analytically for the paper's four
+// queries over this generator's data (used by the fpr table):
+//
+//	Q1/Q3: the probe machines that exist.
+//	Q2/Q4: every source except the existing probes.
+func ExpectedRelevant(query string, sources int) (int, error) {
+	probes := ExistingProbes(sources)
+	switch query {
+	case "Q1", "Q3":
+		return probes, nil
+	case "Q2", "Q4":
+		return sources - probes, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown query %q", query)
+	}
+}

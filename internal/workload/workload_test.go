@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildSmallDataset(t *testing.T) {
+	db, err := Build(Spec{TotalRows: 1000, DataSources: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(sql string) int64 {
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return res.Rows[0][0].Int()
+	}
+	if n := count(`SELECT COUNT(*) FROM Activity`); n != 1000 {
+		t.Errorf("Activity rows = %d", n)
+	}
+	if n := count(`SELECT COUNT(*) FROM Heartbeat`); n != 10 {
+		t.Errorf("Heartbeat rows = %d", n)
+	}
+	if n := count(`SELECT COUNT(*) FROM Routing`); n != 10 {
+		t.Errorf("Routing rows = %d", n)
+	}
+	// Each source has exactly ratio rows.
+	if n := count(`SELECT COUNT(*) FROM Activity WHERE mach_id = 'Tao1'`); n != 100 {
+		t.Errorf("Tao1 rows = %d, want 100", n)
+	}
+	if n := count(`SELECT COUNT(*) FROM Activity WHERE mach_id = 'Tao10'`); n != 100 {
+		t.Errorf("Tao10 rows = %d, want 100", n)
+	}
+	// Routing self-map.
+	res, _ := db.Query(`SELECT neighbor FROM Routing WHERE mach_id = 'Tao3'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "Tao3" {
+		t.Errorf("Routing self-map broken: %v", res.Rows)
+	}
+	// Source column metadata installed.
+	act, _ := db.Catalog().Get("Activity")
+	if act.Schema.SourceColumn != 0 {
+		t.Error("Activity source column not set")
+	}
+	if act.Index(0) == nil {
+		t.Error("Activity mach_id index missing")
+	}
+}
+
+func TestBuildRejectsIndivisible(t *testing.T) {
+	if _, err := Build(Spec{TotalRows: 1000, DataSources: 3}); err == nil {
+		t.Error("non-divisible spec should fail")
+	}
+}
+
+func TestStaleSources(t *testing.T) {
+	db, err := Build(Spec{TotalRows: 100, DataSources: 10, StaleSources: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT sid FROM Heartbeat WHERE recency < '2006-03-15 00:00:00' ORDER BY sid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("stale sources = %v", res.Rows)
+	}
+}
+
+func TestQueriesMatchPaperText(t *testing.T) {
+	if !strings.Contains(Q1(), "A.mach_id IN ('Tao1','Tao10','Tao100','Tao1000','Tao10000','Tao100000')") {
+		t.Errorf("Q1 = %s", Q1())
+	}
+	if !strings.Contains(Q2(), "NOT IN") {
+		t.Errorf("Q2 = %s", Q2())
+	}
+	if !strings.Contains(Q3(), "R.neighbor = A.mach_id") {
+		t.Errorf("Q3 = %s", Q3())
+	}
+	if !strings.Contains(Q4(), "NOT IN") || !strings.Contains(Q4(), "Routing R") {
+		t.Errorf("Q4 = %s", Q4())
+	}
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q4"} {
+		if _, err := Query(name); err != nil {
+			t.Errorf("Query(%s): %v", name, err)
+		}
+	}
+	if _, err := Query("Q9"); err == nil {
+		t.Error("unknown query should fail")
+	}
+}
+
+func TestQueriesRunOnDataset(t *testing.T) {
+	db, err := Build(Spec{TotalRows: 10_000, DataSources: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q4"} {
+		sql, _ := Query(name)
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("%s returned %d rows", name, len(res.Rows))
+		}
+	}
+	// Q1 counts idle rows among existing probes (Tao1, Tao10, Tao100):
+	// about half of 3*100 rows.
+	res, _ := db.Query(Q1())
+	n := res.Rows[0][0].Int()
+	if n < 100 || n > 200 {
+		t.Errorf("Q1 count = %d, expected ~150", n)
+	}
+}
+
+func TestExistingProbes(t *testing.T) {
+	cases := map[int]int{1: 1, 10: 2, 100: 3, 1000: 4, 10000: 5, 100000: 6, 1000000: 6, 5: 1, 999: 3}
+	for sources, want := range cases {
+		if got := ExistingProbes(sources); got != want {
+			t.Errorf("ExistingProbes(%d) = %d, want %d", sources, got, want)
+		}
+	}
+}
+
+func TestExpectedRelevant(t *testing.T) {
+	if n, _ := ExpectedRelevant("Q1", 100000); n != 6 {
+		t.Errorf("Q1 expected = %d", n)
+	}
+	if n, _ := ExpectedRelevant("Q2", 100000); n != 99994 {
+		t.Errorf("Q2 expected = %d", n)
+	}
+	if n, _ := ExpectedRelevant("Q3", 1000); n != 4 {
+		t.Errorf("Q3 expected = %d", n)
+	}
+	if n, _ := ExpectedRelevant("Q4", 1000); n != 996 {
+		t.Errorf("Q4 expected = %d", n)
+	}
+	if _, err := ExpectedRelevant("Q9", 10); err == nil {
+		t.Error("unknown query should fail")
+	}
+}
+
+func TestDataRatio(t *testing.T) {
+	s := Spec{TotalRows: 1000, DataSources: 10}
+	if s.DataRatio() != 100 {
+		t.Errorf("ratio = %d", s.DataRatio())
+	}
+}

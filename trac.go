@@ -1,0 +1,310 @@
+// Package trac is a Go implementation of TRAC — "Toward Recency and
+// Consistency Reporting in a Database with Distributed Data Sources"
+// (Huang, Naughton, Livny; VLDB 2006).
+//
+// A TRAC database is an embedded relational engine (SQL, MVCC snapshots,
+// B-tree indexes) intended as the centralized repository for the state of a
+// distributed system whose components report in asynchronously — grid job
+// schedulers writing logs that are sniffed and loaded, sensor fleets,
+// distributed workflows. Instead of enforcing consistency, TRAC *reports*
+// it: every query can be accompanied by a recency report that names exactly
+// the data sources whose updates could change the answer, how recently each
+// has reported, which of them are exceptionally out of date, and the "bound
+// of inconsistency" across them.
+//
+// The minimal workflow:
+//
+//	db := trac.Open()
+//	db.MustExec(`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`)
+//	db.MustExec(`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`)
+//	db.SetSourceColumn("Activity", "mach_id")
+//	// ... load data and heartbeats ...
+//	sess := db.NewSession()
+//	defer sess.Close()
+//	rep, err := sess.RecencyReport(`SELECT mach_id FROM Activity WHERE value = 'idle'`)
+//	fmt.Print(rep.Render())
+package trac
+
+import (
+	"fmt"
+
+	"trac/internal/core/recgen"
+	"trac/internal/core/report"
+	"trac/internal/engine"
+	"trac/internal/storage"
+	"trac/internal/types"
+)
+
+// DB is an embedded TRAC database.
+type DB struct {
+	eng *engine.DB
+}
+
+// Result is a materialized query result.
+type Result = engine.Result
+
+// Report is a query result with its recency and consistency report.
+type Report = report.Report
+
+// SourceRecency is one (source, recency timestamp) pair in a report.
+type SourceRecency = report.SourceRecency
+
+// Open creates an empty in-memory TRAC database.
+func Open() *DB {
+	return &DB{eng: engine.New()}
+}
+
+// Engine exposes the underlying engine for advanced integration (bulk
+// loading, direct snapshots). Most applications never need it.
+func (db *DB) Engine() *engine.DB { return db.eng }
+
+// Exec executes any SQL statement (DDL or DML), returning the number of
+// affected rows.
+func (db *DB) Exec(sql string) (int, error) { return db.eng.Exec(sql) }
+
+// MustExec executes a statement and panics on error (fixtures, tests).
+func (db *DB) MustExec(sql string) int { return db.eng.MustExec(sql) }
+
+// Query runs a SELECT and materializes its result.
+func (db *DB) Query(sql string) (*Result, error) { return db.eng.Query(sql) }
+
+// SetSourceColumn marks a table's data source column (§3.3 of the paper):
+// the column identifying which distributed source wrote each tuple. Every
+// monitored table needs one for recency reporting to cover it.
+func (db *DB) SetSourceColumn(table, column string) error {
+	tbl, err := db.eng.Catalog().Get(table)
+	if err != nil {
+		return err
+	}
+	return tbl.Schema.SetSourceColumn(column)
+}
+
+// SetColumnDomain declares the domain of legal values for a column. Domains
+// power two things: satisfiability checking (which upgrades recency reports
+// from "upper bound" to "guaranteed minimal", Theorems 3/4) and brute-force
+// evaluation in tests.
+func (db *DB) SetColumnDomain(table, column string, domain Domain) error {
+	tbl, err := db.eng.Catalog().Get(table)
+	if err != nil {
+		return err
+	}
+	ci := tbl.Schema.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("trac: table %s has no column %q", table, column)
+	}
+	tbl.Schema.Columns[ci].Domain = domain.d
+	return nil
+}
+
+// AddCheck registers a CHECK constraint predicate on an existing table
+// (validating existing rows). Beyond write-time enforcement, checks sharpen
+// recency reports: the paper's §3.4 appends predicate-form constraints to
+// the user query, so potential tuples that could never legally exist stop
+// making sources relevant.
+func (db *DB) AddCheck(table, exprSQL string) error {
+	return db.eng.AddCheck(table, exprSQL)
+}
+
+// Domain describes a column's set of legal values.
+type Domain struct{ d types.Domain }
+
+// StringDomain is a finite domain of strings.
+func StringDomain(values ...string) Domain {
+	return Domain{d: types.FiniteStringDomain(values...)}
+}
+
+// IntRange is the domain of integers in [min, max].
+func IntRange(min, max int64) (Domain, error) {
+	d, err := types.IntRangeDomain(min, max)
+	return Domain{d: d}, err
+}
+
+// Session scopes recency reporting and its temp tables; close it to drop
+// them (§4.3: "the temporary table persists until the end of a user
+// session").
+type Session struct {
+	sess *engine.Session
+	db   *DB
+}
+
+// NewSession opens a session.
+func (db *DB) NewSession() *Session {
+	return &Session{sess: db.eng.NewSession(), db: db}
+}
+
+// Close drops the session's temp tables.
+func (s *Session) Close() error { return s.sess.Close() }
+
+// TempTables lists the session's temp tables (newest last).
+func (s *Session) TempTables() []string { return s.sess.TempTables() }
+
+// Persist copies a temp table into a permanent one.
+func (s *Session) Persist(tempName, permanentName string) error {
+	return s.sess.Persist(tempName, permanentName)
+}
+
+// Option tunes a recency report.
+type Option func(*report.Config)
+
+// Naive switches to the naive method: report every source in the Heartbeat
+// table (the baseline the paper compares against).
+func Naive() Option {
+	return func(c *report.Config) { c.Method = report.Naive }
+}
+
+// ZThreshold overrides the |z| cutoff for exceptional-source detection
+// (default 3, per the Chebyshev rule).
+func ZThreshold(z float64) Option {
+	return func(c *report.Config) { c.ZThreshold = z }
+}
+
+// MADDetector switches exceptional-source detection to the modified
+// z-score (median absolute deviation) method. Prefer it when queries have
+// few relevant sources: a single dead source among N values can never
+// reach classical |z| = 3 for N < 12, but the MAD statistic is not masked
+// by the outlier itself.
+func MADDetector() Option {
+	return func(c *report.Config) { c.Detector = report.DetectorMAD }
+}
+
+// WithoutStats disables exceptional-source detection and descriptive
+// statistics.
+func WithoutStats() Option {
+	return func(c *report.Config) { c.SkipStats = true }
+}
+
+// WithoutTempTables skips materializing sys_temp_* tables; the report's
+// in-memory slices are still populated.
+func WithoutTempTables() Option {
+	return func(c *report.Config) { c.SkipTempTables = true }
+}
+
+// HeartbeatSchema overrides the Heartbeat table and column names (defaults:
+// Heartbeat(sid, recency)).
+func HeartbeatSchema(table, sidColumn, recencyColumn string) Option {
+	return func(c *report.Config) {
+		c.Heartbeat = recgen.Options{
+			HeartbeatTable: table, SidColumn: sidColumn, RecencyColumn: recencyColumn,
+		}
+	}
+}
+
+// RecencyReport runs a user query together with its system-generated
+// recency query in one snapshot — the Go equivalent of the paper's
+// PostgreSQL table function:
+//
+//	SELECT * FROM recencyReport($$ <user query> $$)
+func (s *Session) RecencyReport(sql string, opts ...Option) (*Report, error) {
+	var cfg report.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return report.Run(s.sess, sql, cfg)
+}
+
+// PreparedReport is a user query with its recency query generated once,
+// executable many times (the paper's "hardcoded recency query" variant;
+// also the right shape for dashboards that repeat a monitoring query).
+type PreparedReport struct {
+	p *report.Prepared
+}
+
+// PrepareReport parses the query and generates its recency query without
+// running either.
+func (db *DB) PrepareReport(sql string, opts ...Option) (*PreparedReport, error) {
+	var cfg report.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p, err := report.Prepare(db.eng, sql, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedReport{p: p}, nil
+}
+
+// Execute runs the prepared pair under a fresh snapshot in the session.
+func (pr *PreparedReport) Execute(s *Session) (*Report, error) {
+	return pr.p.Execute(s.sess)
+}
+
+// RecencySQL returns the generated recency query text ("" when provably no
+// source is relevant).
+func (pr *PreparedReport) RecencySQL() string { return pr.p.Generated.SQL }
+
+// Minimal reports whether the relevant-source set is guaranteed minimal.
+func (pr *PreparedReport) Minimal() bool { return pr.p.Generated.Minimal }
+
+// GenerateRecencyQuery derives the recency query for a user query without
+// executing anything: it returns the SQL text, whether the computed source
+// set is guaranteed minimal (Theorems 3/4) or an upper bound, and the
+// reasons minimality was lost.
+func (db *DB) GenerateRecencyQuery(userSQL string, opts ...Option) (recencySQL string, minimal bool, reasons []string, err error) {
+	pr, err := db.PrepareReport(userSQL, opts...)
+	if err != nil {
+		return "", false, nil, err
+	}
+	return pr.p.Generated.SQL, pr.p.Generated.Minimal, pr.p.Generated.Reasons, nil
+}
+
+// Explain returns the physical plan notes for a SELECT.
+func (db *DB) Explain(sql string) (string, error) {
+	return db.eng.ExplainAt(sql, db.eng.Snapshot())
+}
+
+// Heartbeat upserts a source's recency timestamp directly (the fast path a
+// loader uses; equivalent to UPDATE-or-INSERT on the Heartbeat table). The
+// timestamp string uses the "2006-01-02 15:04:05" layout.
+func (db *DB) Heartbeat(sid, timestamp string) error {
+	ts, err := types.ParseTime(timestamp)
+	if err != nil {
+		return err
+	}
+	b := db.eng.BeginBatch()
+	defer b.Abort()
+	sidSQL := types.NewString(sid).SQL()
+	tsSQL := types.NewTime(ts).SQL()
+	n, err := b.Exec(`UPDATE Heartbeat SET recency = ` + tsSQL + ` WHERE sid = ` + sidSQL)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		if _, err := b.Exec(`INSERT INTO Heartbeat (sid, recency) VALUES (` + sidSQL + `, ` + tsSQL + `)`); err != nil {
+			return err
+		}
+	}
+	return b.Commit()
+}
+
+// SaveFile writes a snapshot-consistent dump of the database (schemas,
+// source-column and domain metadata, CHECK constraints, indexes, and all
+// visible rows) to a file. Concurrent writers do not tear the dump.
+func (db *DB) SaveFile(path string) error { return db.eng.SaveFile(path) }
+
+// OpenFile loads a database previously written by SaveFile.
+func OpenFile(path string) (*DB, error) {
+	eng, err := engine.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// AttachWAL enables a logical write-ahead log at path: complete
+// transactions already in the file are replayed first, and every SQL
+// mutation committed afterwards (Exec statements and loader batches) is
+// appended atomically. Pair with Checkpoint for bounded recovery time.
+func (db *DB) AttachWAL(path string) error { return db.eng.AttachWAL(path) }
+
+// Checkpoint writes a full dump to dumpPath and truncates the attached WAL.
+// Recovery is then OpenFile(dumpPath) followed by AttachWAL(walPath).
+func (db *DB) Checkpoint(dumpPath string) error { return db.eng.Checkpoint(dumpPath) }
+
+// DetachWAL stops logging and closes the log file.
+func (db *DB) DetachWAL() error { return db.eng.DetachWAL() }
+
+// Catalog lists the table names currently registered.
+func (db *DB) Catalog() []string { return db.eng.Catalog().Names() }
+
+// InternalCatalog exposes the storage catalog for tooling.
+func (db *DB) InternalCatalog() *storage.Catalog { return db.eng.Catalog() }
