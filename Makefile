@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: vet everything, then run the concurrency-sensitive
+# packages (parallel scan, plan cache, MVCC) under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/txn/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkParallelScan|BenchmarkPreparedReportCached' -benchtime 3x .

@@ -32,7 +32,11 @@ import (
 	"trac/internal/core/recgen"
 	"trac/internal/core/report"
 	"trac/internal/engine"
+	"trac/internal/exec"
 	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
 	"trac/internal/workload"
 )
 
@@ -92,6 +96,15 @@ func benchFigure1(b *testing.B, qname string, method string) {
 					return err
 				}
 			case benchharness.MethodFocused:
+				// DisableCache: this series measures the FULL pipeline
+				// including parse + generation on every run.
+				runOne = func() error {
+					sess := db.NewSession()
+					defer sess.Close()
+					_, err := report.Run(sess, sql, report.Config{Method: report.Focused, DisableCache: true})
+					return err
+				}
+			case benchharness.MethodFocusedCached:
 				runOne = func() error {
 					sess := db.NewSession()
 					defer sess.Close()
@@ -134,6 +147,9 @@ func BenchmarkFigure1_Q1_Focused(b *testing.B) {
 func BenchmarkFigure1_Q1_FocusedNoGen(b *testing.B) {
 	benchFigure1(b, "Q1", benchharness.MethodFocusedNoGen)
 }
+func BenchmarkFigure1_Q1_FocusedCached(b *testing.B) {
+	benchFigure1(b, "Q1", benchharness.MethodFocusedCached)
+}
 func BenchmarkFigure1_Q2_Naive(b *testing.B) { benchFigure1(b, "Q2", benchharness.MethodNaive) }
 func BenchmarkFigure1_Q2_Focused(b *testing.B) {
 	benchFigure1(b, "Q2", benchharness.MethodFocused)
@@ -147,6 +163,9 @@ func BenchmarkFigure1_Q3_Focused(b *testing.B) {
 }
 func BenchmarkFigure1_Q3_FocusedNoGen(b *testing.B) {
 	benchFigure1(b, "Q3", benchharness.MethodFocusedNoGen)
+}
+func BenchmarkFigure1_Q3_FocusedCached(b *testing.B) {
+	benchFigure1(b, "Q3", benchharness.MethodFocusedCached)
 }
 func BenchmarkFigure1_Q4_Naive(b *testing.B) { benchFigure1(b, "Q4", benchharness.MethodNaive) }
 func BenchmarkFigure1_Q4_Focused(b *testing.B) {
@@ -367,6 +386,114 @@ func BenchmarkPublicAPIRecencyReport(b *testing.B) {
 // for the overhead metric.
 func testingNow() time.Time                  { return time.Now() }
 func testingSince(t time.Time) time.Duration { return time.Since(t) }
+
+// BenchmarkParallelScan measures the morsel-driven parallel heap scan
+// against the single-threaded sequential scan at two table sizes. On a
+// multi-core host the GOMAXPROCS variant should approach core-count
+// speedup; on one core it measures the exchange overhead instead.
+func BenchmarkParallelScan(b *testing.B) {
+	for _, total := range []int{100_000, 1_000_000} {
+		schema, err := storage.NewSchema([]storage.Column{
+			{Name: "mach_id", Kind: types.KindString},
+			{Name: "value", Kind: types.KindString},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl := storage.NewTable("Scan", schema)
+		mgr := txn.NewManager()
+		tx := mgr.Begin()
+		for i := 0; i < total; i++ {
+			val := "busy"
+			if i%4 == 0 {
+				val = "idle"
+			}
+			if err := tx.InsertRow(tbl, storage.NewRow([]types.Value{
+				types.NewString(fmt.Sprintf("m%d", i%1000)), types.NewString(val),
+			}, 0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		snap := mgr.ReadSnapshot()
+		layout := exec.NewLayout([]exec.Binding{{Name: "s", Table: tbl}})
+		e, err := sqlparser.ParseExpr("value = 'idle'")
+		if err != nil {
+			b.Fatal(err)
+		}
+		filter, err := exec.Compile(e, layout)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := total / 4
+		runtime.GC()
+
+		drain := func(b *testing.B, op exec.Operator) {
+			rows, err := exec.Drain(op)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != want {
+				b.Fatalf("rows = %d, want %d", len(rows), want)
+			}
+		}
+		b.Run(fmt.Sprintf("rows=%d/seq", total), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				drain(b, &exec.SeqScan{Table: tbl, Snap: snap, Filter: filter})
+			}
+		})
+		workerCounts := []int{1}
+		if n := runtime.GOMAXPROCS(0); n > 1 {
+			workerCounts = append(workerCounts, n)
+		}
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("rows=%d/parallel=%d", total, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					drain(b, &exec.ParallelScan{Table: tbl, Snap: snap, Filter: filter, Workers: workers})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPreparedReportCached isolates the plan cache's effect on the
+// recency-report pipeline: uncached pays parse + classification +
+// generation per report, cached pays one lookup. Q1's user query is
+// sub-millisecond at this ratio, so the fixed generation cost is the
+// dominant term the cache removes (the Figure 2 low-ratio regime).
+func BenchmarkPreparedReportCached(b *testing.B) {
+	db := datasetFor(b, 100)
+	sql, _ := workload.Query("Q1")
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			name = "cached"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := report.Config{SkipTempTables: true, DisableCache: !cached}
+			// Prime the cache outside the timed region.
+			sess := db.NewSession()
+			if _, err := report.Run(sess, sql, cfg); err != nil {
+				b.Fatal(err)
+			}
+			sess.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess := db.NewSession()
+				rep, err := report.Run(sess, sql, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.CachedPlan != cached {
+					b.Fatalf("CachedPlan = %v, want %v", rep.CachedPlan, cached)
+				}
+				sess.Close()
+			}
+		})
+	}
+}
 
 // BenchmarkAblationAnalyze compares a skewed range query planned with and
 // without ANALYZE statistics (histogram-driven index choice).

@@ -12,6 +12,7 @@
 //	\source <table> <column>  mark a table's data source column
 //	\domain <table> <column> v1,v2,...   declare a finite string domain
 //	\save <file> / \load <file>          dump / restore the database
+//	\cache                    show plan-cache entries, hits and misses
 //	\d                        list tables
 //	\q                        quit
 //
@@ -134,6 +135,10 @@ func dispatch(db *trac.DB, sess *trac.Session, line string) (*trac.DB, *trac.Ses
 		} else {
 			fmt.Println("saved")
 		}
+	case line == `\cache`:
+		hits, misses := db.Engine().PlanCache().Stats()
+		fmt.Printf("plan cache: %d entries, %d hits, %d misses (catalog version %d)\n",
+			db.Engine().PlanCache().Len(), hits, misses, db.Engine().CatalogVersion())
 	case strings.HasPrefix(line, `\load `):
 		loaded, err := trac.OpenFile(strings.TrimSpace(strings.TrimPrefix(line, `\load `)))
 		if err != nil {
@@ -145,7 +150,7 @@ func dispatch(db *trac.DB, sess *trac.Session, line string) (*trac.DB, *trac.Ses
 		sess = db.NewSession()
 		fmt.Println("loaded; tables:", strings.Join(db.Catalog(), ", "))
 	case strings.HasPrefix(line, `\`):
-		fmt.Println("unknown meta command; try \\recency, \\gen, \\explain, \\save, \\load, \\d, \\q")
+		fmt.Println("unknown meta command; try \\recency, \\gen, \\explain, \\save, \\load, \\cache, \\d, \\q")
 	default:
 		runSQL(db, line)
 	}

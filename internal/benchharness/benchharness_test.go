@@ -18,9 +18,9 @@ func TestSmallSweepShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 ratios × 4 queries × 3 methods.
-	if len(points) != 36 {
-		t.Fatalf("points = %d, want 36", len(points))
+	// 3 ratios × 4 queries × 4 methods.
+	if len(points) != 48 {
+		t.Fatalf("points = %d, want 48", len(points))
 	}
 	for _, p := range points {
 		if p.UserTime <= 0 || p.ReportTime <= 0 {
@@ -32,13 +32,14 @@ func TestSmallSweepShapes(t *testing.T) {
 	}
 
 	fig1 := RenderFigure1(points)
-	for _, want := range []string{"Q1", "Q2", "Q3", "Q4", "data-ratio", MethodNaive, MethodFocused} {
+	for _, want := range []string{"Q1", "Q2", "Q3", "Q4", "data-ratio", MethodNaive, MethodFocused, MethodFocusedCached} {
 		if !strings.Contains(fig1, want) {
 			t.Errorf("Figure 1 output missing %q:\n%s", want, fig1)
 		}
 	}
 	fig2 := RenderFigure2(points, 0)
-	if !strings.Contains(fig2, "Q1") || !strings.Contains(fig2, "with-report") {
+	if !strings.Contains(fig2, "Q1") || !strings.Contains(fig2, "with-report") ||
+		!strings.Contains(fig2, "with-report-cached") {
 		t.Errorf("Figure 2 output:\n%s", fig2)
 	}
 }

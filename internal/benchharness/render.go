@@ -40,7 +40,8 @@ const (
 // charts: x = data ratio (decades), y = overhead% (decades, clipped to
 // [0.1, max]). One panel per query, one mark per method:
 //
-//	n = naive, f = focused, g = focused without generation, * = overlap.
+//	n = naive, f = focused, g = focused without generation,
+//	c = focused through the plan cache, * = overlap.
 func RenderFigure1Chart(points []Point) string {
 	var sb strings.Builder
 	ratios := ratiosOf(points)
@@ -48,13 +49,16 @@ func RenderFigure1Chart(points []Point) string {
 		return ""
 	}
 	for _, q := range queriesOf(points) {
-		fmt.Fprintf(&sb, "Figure 1 — %s: overhead%% (log) vs data ratio (log)   [n=naive f=focused g=focused-nogen]\n", q)
+		fmt.Fprintf(&sb, "Figure 1 — %s: overhead%% (log) vs data ratio (log)   [n=naive f=focused g=focused-nogen c=focused-cached]\n", q)
 		// Collect clipped log10 values per (method, ratio).
 		type cell struct {
 			col  int
 			mark byte
 		}
-		marks := map[string]byte{MethodNaive: 'n', MethodFocused: 'f', MethodFocusedNoGen: 'g'}
+		marks := map[string]byte{
+			MethodNaive: 'n', MethodFocused: 'f', MethodFocusedNoGen: 'g',
+			MethodFocusedCached: 'c',
+		}
 		minLog, maxLog := math.Inf(1), math.Inf(-1)
 		vals := map[string]map[int]float64{} // method -> ratio -> log10(overhead)
 		for _, p := range points {

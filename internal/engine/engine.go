@@ -20,10 +20,11 @@ import (
 
 // DB is an embedded database instance.
 type DB struct {
-	catalog *storage.Catalog
-	mgr     *txn.Manager
-	planner *planner.Planner
-	tempSeq atomic.Uint64
+	catalog   *storage.Catalog
+	mgr       *txn.Manager
+	planner   *planner.Planner
+	planCache *PlanCache
+	tempSeq   atomic.Uint64
 
 	walMu sync.Mutex
 	wal   *WAL
@@ -33,9 +34,10 @@ type DB struct {
 func New() *DB {
 	cat := storage.NewCatalog()
 	return &DB{
-		catalog: cat,
-		mgr:     txn.NewManager(),
-		planner: planner.New(cat),
+		catalog:   cat,
+		mgr:       txn.NewManager(),
+		planner:   planner.New(cat),
+		planCache: NewPlanCache(0),
 	}
 }
 
@@ -50,6 +52,15 @@ func (db *DB) Manager() *txn.Manager { return db.mgr }
 // plans and by ablation benchmarks).
 func (db *DB) Planner() *planner.Planner { return db.planner }
 
+// PlanCache exposes the plan/prepared-report cache. The recency reporter
+// stores report.Prepared objects here; the engine itself caches parsed ASTs.
+func (db *DB) PlanCache() *PlanCache { return db.planCache }
+
+// CatalogVersion returns the schema version counter used to tag cache
+// entries. It advances on DDL and CHECK-constraint changes, NOT on session
+// temp-table churn (see storage.Catalog).
+func (db *DB) CatalogVersion() uint64 { return db.catalog.Version() }
+
 // Snapshot returns a read snapshot at the current commit horizon. A user
 // query and its recency query are both run under one such snapshot to meet
 // the paper's consistency requirement.
@@ -59,6 +70,8 @@ func (db *DB) Snapshot() txn.Snapshot { return db.mgr.ReadSnapshot() }
 type Result struct {
 	Columns []string
 	Rows    [][]types.Value
+	// Parallel is the plan's parallel scan degree (1 = single-threaded).
+	Parallel int
 }
 
 // Format renders the result as an aligned text table (psql-like), used by
@@ -104,6 +117,9 @@ func (r *Result) Format() string {
 		sb.WriteByte('\n')
 	}
 	fmt.Fprintf(&sb, "(%d rows)\n", len(r.Rows))
+	if r.Parallel > 1 {
+		fmt.Fprintf(&sb, "(parallel degree %d)\n", r.Parallel)
+	}
 	return sb.String()
 }
 
@@ -114,11 +130,27 @@ func (db *DB) Query(sql string) (*Result, error) {
 
 // QueryAt parses and runs a SELECT under a caller-provided snapshot.
 func (db *DB) QueryAt(sql string, snap txn.Snapshot) (*Result, error) {
-	sel, err := sqlparser.ParseSelect(sql)
+	sel, err := db.parseSelectCached(sql)
 	if err != nil {
 		return nil, err
 	}
 	return db.QueryStmtAt(sel, snap)
+}
+
+// parseSelectCached memoizes SELECT parsing in the plan cache. Parsed ASTs
+// are catalog-independent (name resolution happens at plan time), so entries
+// are tagged with version 0 and survive DDL.
+func (db *DB) parseSelectCached(sql string) (*sqlparser.SelectStmt, error) {
+	key := "ast:" + NormalizeSQL(sql)
+	if v, ok := db.planCache.Get(key, 0); ok {
+		return v.(*sqlparser.SelectStmt), nil
+	}
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.planCache.Put(key, 0, sel)
+	return sel, nil
 }
 
 // QueryStmtAt runs an already-parsed SELECT under a snapshot.
@@ -131,13 +163,17 @@ func (db *DB) QueryStmtAt(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Result
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: plan.Columns, Rows: rows}, nil
+	parallel := plan.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+	return &Result{Columns: plan.Columns, Rows: rows, Parallel: parallel}, nil
 }
 
 // ExplainAt plans a SELECT and returns the planner's notes without running
 // it.
 func (db *DB) ExplainAt(sql string, snap txn.Snapshot) (string, error) {
-	sel, err := sqlparser.ParseSelect(sql)
+	sel, err := db.parseSelectCached(sql)
 	if err != nil {
 		return "", err
 	}
@@ -172,6 +208,7 @@ func (db *DB) Exec(sql string) (int, error) {
 		if err := db.execCreateTable(s); err != nil {
 			return 0, err
 		}
+		db.catalog.BumpVersion()
 		return 0, db.logCommitted([]string{s.SQL()})
 	case *sqlparser.CreateIndexStmt:
 		tbl, err := db.catalog.Get(s.Table)
@@ -181,11 +218,13 @@ func (db *DB) Exec(sql string) (int, error) {
 		if err := tbl.CreateIndex(s.Column); err != nil {
 			return 0, err
 		}
+		db.catalog.BumpVersion()
 		return 0, db.logCommitted([]string{s.SQL()})
 	case *sqlparser.DropTableStmt:
 		if err := db.catalog.Drop(s.Name); err != nil {
 			return 0, err
 		}
+		db.catalog.BumpVersion()
 		return 0, db.logCommitted([]string{s.SQL()})
 	case *sqlparser.AnalyzeStmt:
 		// Statistics are derived state: not WAL-logged.
@@ -269,6 +308,9 @@ func (db *DB) AddCheck(table, exprSQL string) error {
 		}
 	}
 	tbl.Schema.Checks = append(tbl.Schema.Checks, e)
+	// CHECK constraints shape generated recency plans (§3.4 constraint
+	// exploitation), so cached plans must not survive this.
+	db.catalog.BumpVersion()
 	return nil
 }
 

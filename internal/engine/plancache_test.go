@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 1, i)
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.Get("k0", 1); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", 1, 3)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get("k1", 1); ok {
+		t.Error("k1 should have been evicted as LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k, 1); !ok {
+			t.Errorf("%s should survive", k)
+		}
+	}
+}
+
+func TestPlanCacheVersionMismatchEvicts(t *testing.T) {
+	c := NewPlanCache(8)
+	c.Put("q", 1, "old")
+	if _, ok := c.Get("q", 2); ok {
+		t.Fatal("stale version must miss")
+	}
+	if c.Len() != 0 {
+		t.Errorf("stale entry should be evicted on lookup, Len = %d", c.Len())
+	}
+	c.Put("q", 2, "new")
+	if v, ok := c.Get("q", 2); !ok || v != "new" {
+		t.Errorf("got %v, %v", v, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestPlanCacheReplaceExisting(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put("q", 1, "a")
+	c.Put("q", 1, "b")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if v, _ := c.Get("q", 1); v != "b" {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestNormalizeSQL(t *testing.T) {
+	a := NormalizeSQL("SELECT   x\n  FROM\tt  WHERE y = 'a  b'")
+	b := NormalizeSQL("SELECT x FROM t WHERE y = 'a  b'")
+	if a != b {
+		t.Errorf("normalization differs:\n%q\n%q", a, b)
+	}
+	if a != "SELECT x FROM t WHERE y = 'a  b'" {
+		t.Errorf("normalized = %q", a)
+	}
+	// Literals differing only in internal whitespace are DIFFERENT queries
+	// and must not share a cache key.
+	if NormalizeSQL("SELECT 'a b'") == NormalizeSQL("SELECT 'a  b'") {
+		t.Error("distinct literals merged")
+	}
+	// Escaped quotes stay inside the literal.
+	if got := NormalizeSQL("SELECT  'it''s   ok'  "); got != "SELECT 'it''s   ok'" {
+		t.Errorf("escaped-quote literal = %q", got)
+	}
+	if NormalizeSQL("  SELECT 1  ") != "SELECT 1" {
+		t.Error("trim failed")
+	}
+	// Unterminated literal: copied through without panicking.
+	if got := NormalizeSQL("SELECT 'oops"); got != "SELECT 'oops" {
+		t.Errorf("unterminated literal = %q", got)
+	}
+}
+
+func TestDDLBumpsCatalogVersion(t *testing.T) {
+	db := New()
+	v0 := db.CatalogVersion()
+	db.MustExec(`CREATE TABLE t (id TEXT PRIMARY KEY, v BIGINT)`)
+	v1 := db.CatalogVersion()
+	if v1 <= v0 {
+		t.Fatalf("CREATE TABLE did not bump version: %d -> %d", v0, v1)
+	}
+	db.MustExec(`CREATE INDEX idx_v ON t (v)`)
+	v2 := db.CatalogVersion()
+	if v2 <= v1 {
+		t.Fatalf("CREATE INDEX did not bump version: %d -> %d", v1, v2)
+	}
+	if err := db.AddCheck("t", "v > 0"); err != nil {
+		t.Fatal(err)
+	}
+	v3 := db.CatalogVersion()
+	if v3 <= v2 {
+		t.Fatalf("AddCheck did not bump version: %d -> %d", v2, v3)
+	}
+	db.MustExec(`DROP TABLE t`)
+	if db.CatalogVersion() <= v3 {
+		t.Fatal("DROP TABLE did not bump version")
+	}
+}
+
+func TestSessionTempTablesDoNotBumpVersion(t *testing.T) {
+	// The recency reporter creates sys_temp_* tables on EVERY report; if
+	// that bumped the catalog version, the plan cache would be evicted by
+	// its own consumers and never hit.
+	db := New()
+	db.MustExec(`CREATE TABLE t (id TEXT)`)
+	v := db.CatalogVersion()
+	sess := db.NewSession()
+	defer sess.Close()
+	if _, err := sess.CreateTempTable("sys_temp_a", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.CatalogVersion() != v {
+		t.Errorf("temp table creation bumped catalog version %d -> %d", v, db.CatalogVersion())
+	}
+}
+
+func TestQueryAtCachesParsedAST(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (id TEXT, v BIGINT)`)
+	db.MustExec(`INSERT INTO t VALUES ('a', 1), ('b', 2)`)
+
+	h0, _ := db.PlanCache().Stats()
+	if _, err := db.Query("SELECT id FROM t WHERE v = 1"); err != nil {
+		t.Fatal(err)
+	}
+	// Same text modulo whitespace: the parse must be a cache hit.
+	if _, err := db.Query("SELECT id   FROM t\n WHERE v = 1"); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := db.PlanCache().Stats()
+	if h1 != h0+1 {
+		t.Errorf("hits %d -> %d, want one AST cache hit", h0, h1)
+	}
+
+	// Cached ASTs survive DDL (they are name-resolution free), and queries
+	// still run correctly against the changed catalog.
+	db.MustExec(`CREATE INDEX idx_v ON t (v)`)
+	res, err := db.Query("SELECT id FROM t WHERE v = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "a" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestResultFormatParallelNote(t *testing.T) {
+	r := &Result{Columns: []string{"x"}, Parallel: 1}
+	if out := r.Format(); strings.Contains(out, "parallel") {
+		t.Errorf("serial result should not mention parallelism:\n%s", out)
+	}
+	r.Parallel = 4
+	if out := r.Format(); !strings.Contains(out, "parallel degree 4") {
+		t.Errorf("parallel result should note its degree:\n%s", out)
+	}
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"strings"
+	"sync"
 
 	"trac/internal/types"
 )
@@ -21,10 +22,22 @@ type HashJoin struct {
 	curIdx  int
 }
 
-// Open materializes the build side into the hash table.
+// Open materializes the build side into the hash table. When the build side
+// is a multi-worker ParallelScan, each worker builds a partial hash table
+// over the morsels it claims — including key evaluation, the expensive part
+// — and the partials are merged once here; otherwise the build side is
+// drained single-threaded.
 func (j *HashJoin) Open() error {
 	if err := j.Probe.Open(); err != nil {
 		return err
+	}
+	if ps, ok := j.Build.(*ParallelScan); ok && ps.Degree() > 1 {
+		if err := j.openParallelBuild(ps); err != nil {
+			return err
+		}
+		j.current = nil
+		j.curIdx = 0
+		return nil
 	}
 	rows, err := Drain(j.Build)
 	if err != nil {
@@ -44,6 +57,65 @@ func (j *HashJoin) Open() error {
 	}
 	j.current = nil
 	j.curIdx = 0
+	return nil
+}
+
+// openParallelBuild fans the build-side morsel partials across goroutines,
+// each hashing into its own partial map, then merges the partials.
+func (j *HashJoin) openParallelBuild(ps *ParallelScan) error {
+	partials := ps.Partials()
+	maps := make([]map[string][][]types.Value, len(partials))
+	errs := make([]error, len(partials))
+	var wg sync.WaitGroup
+	for i, part := range partials {
+		wg.Add(1)
+		go func(i int, op Operator) {
+			defer wg.Done()
+			m := make(map[string][][]types.Value)
+			var sb strings.Builder
+			if err := op.Open(); err != nil {
+				errs[i] = err
+				return
+			}
+			defer op.Close()
+			for {
+				row, ok, err := op.Next()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !ok {
+					break
+				}
+				key, null, err := evalKeys(j.BuildKeys, row, &sb)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if null {
+					continue // NULL keys never join
+				}
+				m[key] = append(m[key], row)
+			}
+			maps[i] = m
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	total := 0
+	for _, m := range maps {
+		total += len(m)
+	}
+	j.table = make(map[string][][]types.Value, total)
+	for _, m := range maps {
+		for key, rows := range m {
+			j.table[key] = append(j.table[key], rows...)
+		}
+	}
 	return nil
 }
 

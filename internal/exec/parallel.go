@@ -1,0 +1,327 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+// exchBatchSize is how many tuples a producer accumulates before one channel
+// send; batching amortizes channel synchronization over the hot scan loop.
+const exchBatchSize = 64
+
+// exchMsg is one producer→consumer hand-off: a batch of tuples or a terminal
+// error.
+type exchMsg struct {
+	rows [][]types.Value
+	err  error
+}
+
+// Exchange merges the outputs of concurrently-running children into one
+// single-threaded Next() stream — the gather side of a parallel plan
+// fragment. Each child runs to exhaustion on its own goroutine; tuples cross
+// the goroutine boundary in batches. Children MUST emit retention-safe
+// tuples (freshly allocated, no reused buffers): the consumer and producer
+// are concurrent, so a recycled slice would be a data race, not just an
+// aliasing hazard.
+//
+// Row order across children is nondeterministic, which is fine everywhere
+// the planner inserts one: below joins, aggregation, DISTINCT, sorts, and
+// set-semantics recency arms.
+type Exchange struct {
+	Children []Operator
+
+	ch   chan exchMsg
+	stop chan struct{}
+	cur  [][]types.Value
+	pos  int
+	err  error
+	done bool
+}
+
+// Open launches one producer goroutine per child.
+func (e *Exchange) Open() error {
+	e.ch = make(chan exchMsg, len(e.Children)*2)
+	e.stop = make(chan struct{})
+	e.cur, e.pos, e.err, e.done = nil, 0, nil, false
+
+	var wg sync.WaitGroup
+	for _, child := range e.Children {
+		wg.Add(1)
+		go func(op Operator) {
+			defer wg.Done()
+			e.produce(op)
+		}(child)
+	}
+	go func() {
+		wg.Wait()
+		close(e.ch)
+	}()
+	return nil
+}
+
+// produce drains one child into the exchange channel.
+func (e *Exchange) produce(op Operator) {
+	send := func(m exchMsg) bool {
+		select {
+		case e.ch <- m:
+			return true
+		case <-e.stop:
+			return false
+		}
+	}
+	if err := op.Open(); err != nil {
+		send(exchMsg{err: err})
+		return
+	}
+	defer op.Close()
+	batch := make([][]types.Value, 0, exchBatchSize)
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			send(exchMsg{err: err})
+			return
+		}
+		if !ok {
+			if len(batch) > 0 {
+				send(exchMsg{rows: batch})
+			}
+			return
+		}
+		batch = append(batch, row)
+		if len(batch) == exchBatchSize {
+			if !send(exchMsg{rows: batch}) {
+				return
+			}
+			batch = make([][]types.Value, 0, exchBatchSize)
+		}
+	}
+}
+
+// Next emits the next tuple from any child.
+func (e *Exchange) Next() ([]types.Value, bool, error) {
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	for {
+		if e.pos < len(e.cur) {
+			row := e.cur[e.pos]
+			e.pos++
+			return row, true, nil
+		}
+		if e.done {
+			return nil, false, nil
+		}
+		m, ok := <-e.ch
+		if !ok {
+			e.done = true
+			return nil, false, nil
+		}
+		if m.err != nil {
+			e.err = m.err
+			e.shutdown()
+			return nil, false, m.err
+		}
+		e.cur, e.pos = m.rows, 0
+	}
+}
+
+// Close stops producers and drains the channel so their goroutines exit.
+func (e *Exchange) Close() error {
+	e.shutdown()
+	return nil
+}
+
+// shutdown signals producers to stop and drains until the channel closes.
+func (e *Exchange) shutdown() {
+	if e.stop == nil {
+		return
+	}
+	select {
+	case <-e.stop:
+	default:
+		close(e.stop)
+	}
+	for range e.ch {
+	}
+	e.stop = nil
+	e.cur = nil
+	e.done = true
+}
+
+// ParallelScan is a morsel-driven parallel heap scan: Workers goroutines
+// share one storage.Morsels partitioning of the heap snapshot, each claiming
+// fixed-size morsels, applying the MVCC visibility check and the pushed-down
+// filter locally, and padding the table's columns into the output layout —
+// all without synchronization beyond the per-morsel atomic claim. An
+// internal Exchange gathers worker output back into the single-threaded
+// Next() pipeline.
+//
+// Every emitted tuple is freshly allocated; ParallelScan has no Reuse mode,
+// because its rows cross goroutine boundaries (see Exchange).
+type ParallelScan struct {
+	Table  *storage.Table
+	Snap   txn.Snapshot
+	Filter Evaluator // may be nil; evaluated against the padded tuple
+	Offset int       // where this table's columns start in the output tuple
+	Width  int       // total output tuple width (0 means table arity)
+	// Workers is the parallel degree; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MorselSize overrides storage.DefaultMorselSize (tests).
+	MorselSize int
+
+	ex *Exchange
+}
+
+// Degree returns the effective worker count.
+func (s *ParallelScan) Degree() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Partials snapshots the heap once and returns one per-worker scan operator
+// per worker, all sharing the same morsel source. Callers that gather
+// through their own machinery (e.g. a parallel hash-join build) use this
+// directly instead of Open/Next.
+func (s *ParallelScan) Partials() []Operator {
+	width := s.Width
+	if width == 0 {
+		width = s.Table.Schema.NumColumns()
+	}
+	src := s.Table.Morsels(s.MorselSize)
+	n := s.Degree()
+	out := make([]Operator, n)
+	for i := range out {
+		out[i] = &morselScan{
+			src: src, table: s.Table, snap: s.Snap, filter: s.Filter,
+			offset: s.Offset, width: width,
+		}
+	}
+	return out
+}
+
+// Open partitions the heap and starts the workers.
+func (s *ParallelScan) Open() error {
+	s.ex = &Exchange{Children: s.Partials()}
+	return s.ex.Open()
+}
+
+// Next emits the next visible, filter-passing row from any worker.
+func (s *ParallelScan) Next() ([]types.Value, bool, error) {
+	return s.ex.Next()
+}
+
+// Close stops the workers.
+func (s *ParallelScan) Close() error {
+	if s.ex == nil {
+		return nil
+	}
+	err := s.ex.Close()
+	s.ex = nil
+	return err
+}
+
+// morselScan is one worker's view of a shared morsel source. It is a plain
+// single-threaded Operator; concurrency lives entirely in the shared claim.
+type morselScan struct {
+	src    *storage.Morsels
+	table  *storage.Table
+	snap   txn.Snapshot
+	filter Evaluator
+	offset int
+	width  int
+
+	cur []*storage.Row
+	pos int
+}
+
+func (m *morselScan) Open() error { return nil }
+
+func (m *morselScan) Next() ([]types.Value, bool, error) {
+	n := m.table.Schema.NumColumns()
+	for {
+		for m.pos < len(m.cur) {
+			r := m.cur[m.pos]
+			m.pos++
+			if !m.snap.Visible(r) {
+				continue
+			}
+			row := make([]types.Value, m.width)
+			copy(row[m.offset:m.offset+n], r.Values)
+			ok, err := EvalPredicate(m.filter, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return row, true, nil
+			}
+		}
+		cur, ok := m.src.Claim()
+		if !ok {
+			return nil, false, nil
+		}
+		m.cur, m.pos = cur, 0
+	}
+}
+
+func (m *morselScan) Close() error {
+	m.cur = nil
+	return nil
+}
+
+// ParallelDegree reports the maximum parallel worker count anywhere in an
+// operator tree (1 for a fully single-threaded plan). The planner records it
+// in explain output and the engine surfaces it on results.
+func ParallelDegree(op Operator) int {
+	max := 1
+	consider := func(children ...Operator) {
+		for _, c := range children {
+			if c == nil {
+				continue
+			}
+			if d := ParallelDegree(c); d > max {
+				max = d
+			}
+		}
+	}
+	switch n := op.(type) {
+	case *ParallelScan:
+		if d := n.Degree(); d > max {
+			max = d
+		}
+	case *Exchange:
+		if len(n.Children) > max {
+			max = len(n.Children)
+		}
+		consider(n.Children...)
+	case *Filter:
+		consider(n.Child)
+	case *Project:
+		consider(n.Child)
+	case *Sort:
+		consider(n.Child)
+	case *Limit:
+		consider(n.Child)
+	case *Distinct:
+		consider(n.Child)
+	case *Aggregate:
+		consider(n.Child)
+	case *GroupAggregate:
+		consider(n.Child)
+	case *HashJoin:
+		consider(n.Build, n.Probe)
+	case *NestedLoopJoin:
+		consider(n.Outer, n.Inner)
+	case *Gate:
+		consider(n.Child)
+		consider(n.Probes...)
+	case *Union:
+		consider(n.Children...)
+	}
+	return max
+}

@@ -1,0 +1,308 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+// bigActivity builds an Activity-like table with n committed rows spread
+// over 10 machines, alternating idle/busy.
+func bigActivity(t *testing.T, n int) (*storage.Table, *txn.Manager) {
+	t.Helper()
+	schema, err := storage.NewSchema([]storage.Column{
+		{Name: "mach_id", Kind: types.KindString},
+		{Name: "value", Kind: types.KindString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable("Activity", schema)
+	m := txn.NewManager()
+	tx := m.Begin()
+	for i := 0; i < n; i++ {
+		val := "idle"
+		if i%2 == 1 {
+			val = "busy"
+		}
+		if err := tx.InsertRow(tbl, storage.NewRow([]types.Value{
+			types.NewString(fmt.Sprintf("m%d", i%10)), types.NewString(val),
+		}, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return tbl, m
+}
+
+func sortedFirstCol(rows [][]types.Value) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].Str() + "|" + r[1].Str()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestParallelScanMatchesSeqScan(t *testing.T) {
+	tbl, m := bigActivity(t, 1000)
+	layout := layoutFor(tbl, "a")
+	snap := m.ReadSnapshot()
+	for _, filterSQL := range []string{"", "value = 'idle'"} {
+		var filter Evaluator
+		if filterSQL != "" {
+			filter = compileOn(t, layout, filterSQL)
+		}
+		seq, err := Drain(&SeqScan{Table: tbl, Snap: snap, Filter: filter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Drain(&ParallelScan{
+			Table: tbl, Snap: snap, Filter: filter, Workers: 4, MorselSize: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := sortedFirstCol(seq), sortedFirstCol(par)
+		if len(a) != len(b) {
+			t.Fatalf("filter %q: seq %d rows, parallel %d rows", filterSQL, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("filter %q: row %d: %q vs %q", filterSQL, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestParallelScanSnapshotIsolation(t *testing.T) {
+	tbl, m := bigActivity(t, 500)
+	old := m.ReadSnapshot()
+	// Commit 500 more rows AFTER taking the snapshot.
+	tx := m.Begin()
+	for i := 0; i < 500; i++ {
+		if err := tx.InsertRow(tbl, storage.NewRow([]types.Value{
+			types.NewString("late"), types.NewString("busy"),
+		}, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Drain(&ParallelScan{Table: tbl, Snap: old, Workers: 4, MorselSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Errorf("old snapshot sees %d rows, want 500", len(rows))
+	}
+	for _, r := range rows {
+		if r[0].Str() == "late" {
+			t.Fatalf("row committed after snapshot is visible: %v", r)
+		}
+	}
+	now, err := Drain(&ParallelScan{Table: tbl, Snap: m.ReadSnapshot(), Workers: 4, MorselSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(now) != 1000 {
+		t.Errorf("fresh snapshot sees %d rows, want 1000", len(now))
+	}
+}
+
+func TestParallelScanOutputDoesNotAliasHeap(t *testing.T) {
+	tbl, m := bigActivity(t, 200)
+	snap := m.ReadSnapshot()
+	rows, err := Drain(&ParallelScan{Table: tbl, Snap: snap, Workers: 3, MorselSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clobber every returned tuple; a worker that leaked heap row storage
+	// (or reused an output buffer across tuples) corrupts a later scan.
+	for _, r := range rows {
+		for i := range r {
+			r[i] = types.NewString("clobbered")
+		}
+	}
+	again, err := Drain(&ParallelScan{Table: tbl, Snap: snap, Workers: 3, MorselSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 200 {
+		t.Fatalf("rows = %d", len(again))
+	}
+	for _, r := range again {
+		if r[0].Str() == "clobbered" || r[1].Str() == "clobbered" {
+			t.Fatalf("scan output aliases heap storage: %v", r)
+		}
+	}
+}
+
+// errOp fails on Next after emitting a few rows.
+type errOp struct {
+	emitted int
+}
+
+func (o *errOp) Open() error { o.emitted = 0; return nil }
+func (o *errOp) Next() ([]types.Value, bool, error) {
+	if o.emitted < 3 {
+		o.emitted++
+		return []types.Value{types.NewInt(int64(o.emitted))}, true, nil
+	}
+	return nil, false, errors.New("boom")
+}
+func (o *errOp) Close() error { return nil }
+
+func TestExchangePropagatesChildError(t *testing.T) {
+	ex := &Exchange{Children: []Operator{
+		&ValuesOp{RowsData: intRows(1, 2, 3)},
+		&errOp{},
+	}}
+	_, err := Drain(ex)
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The exchange must be re-openable after a failed run.
+	ex2 := &Exchange{Children: []Operator{&ValuesOp{RowsData: intRows(4, 5)}}}
+	rows, err := Drain(ex2)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("clean exchange: %v, %v", rows, err)
+	}
+}
+
+func TestExchangeEarlyClose(t *testing.T) {
+	tbl, m := bigActivity(t, 2000)
+	ps := &ParallelScan{Table: tbl, Snap: m.ReadSnapshot(), Workers: 4, MorselSize: 16}
+	if err := ps.Open(); err != nil {
+		t.Fatal(err)
+	}
+	// Read a handful of rows, then abandon the scan; Close must unblock and
+	// reap the producer goroutines (the -race run would flag leaks touching
+	// freed state).
+	for i := 0; i < 5; i++ {
+		if _, ok, err := ps.Next(); err != nil || !ok {
+			t.Fatalf("next %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashJoinParallelBuildMatchesSerial(t *testing.T) {
+	act, m := bigActivity(t, 800)
+	rout := routingTable(t, m)
+	layout := NewLayout([]Binding{{Name: "a", Table: act}, {Name: "r", Table: rout}})
+	width := layout.Width()
+	roff := layout.Bindings[1].Offset
+	snap := m.ReadSnapshot()
+
+	drainJoin := func(build Operator) []string {
+		j := &HashJoin{
+			Build:     build,
+			Probe:     &SeqScan{Table: rout, Snap: snap, Offset: roff, Width: width},
+			BuildKeys: []Evaluator{compileOn(t, layout, "a.mach_id")},
+			ProbeKeys: []Evaluator{compileOn(t, layout, "r.neighbor")},
+		}
+		rows, err := Drain(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprintf("%v|%v|%v", r[0], r[1], r[roff])
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	serial := drainJoin(&SeqScan{Table: act, Snap: snap, Width: width})
+	parallel := drainJoin(&ParallelScan{
+		Table: act, Snap: snap, Width: width, Workers: 4, MorselSize: 32,
+	})
+	if len(serial) == 0 {
+		t.Fatal("join produced no rows; fixture broken")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d rows, parallel build %d rows", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("row %d: %q vs %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRetainingOperatorsOverParallelScan(t *testing.T) {
+	// Sort and GroupAggregate retain their child's rows across Next calls —
+	// the operators the buffer-reuse audit flags. ParallelScan feeds them
+	// from concurrent workers; every tuple must be an independent
+	// allocation, or retained rows would be recycled underneath them.
+	tbl, m := bigActivity(t, 600)
+	layout := layoutFor(tbl, "a")
+	snap := m.ReadSnapshot()
+	scan := func() Operator {
+		return &ParallelScan{Table: tbl, Snap: snap, Workers: 4, MorselSize: 16}
+	}
+
+	sorted, err := Drain(&Sort{
+		Child: scan(),
+		Keys:  []SortKey{{Expr: compileOn(t, layout, "mach_id")}, {Expr: compileOn(t, layout, "value")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sorted) != 600 {
+		t.Fatalf("sorted rows = %d", len(sorted))
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1][0].Str() > sorted[i][0].Str() {
+			t.Fatalf("sort order broken at %d: %v > %v", i, sorted[i-1][0], sorted[i][0])
+		}
+	}
+
+	groups, err := Drain(&GroupAggregate{
+		Child: scan(),
+		Keys:  []Evaluator{compileOn(t, layout, "mach_id")},
+		Specs: []AggSpec{{Func: sqlparser.FuncCount, Star: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 10 {
+		t.Fatalf("groups = %d, want 10 machines", len(groups))
+	}
+	total := int64(0)
+	for _, g := range groups {
+		total += g[1].Int()
+	}
+	if total != 600 {
+		t.Errorf("group counts sum to %d, want 600", total)
+	}
+}
+
+func TestParallelDegreeWalk(t *testing.T) {
+	tbl, m := bigActivity(t, 100)
+	snap := m.ReadSnapshot()
+	ps := &ParallelScan{Table: tbl, Snap: snap, Workers: 6}
+	plan := &Limit{Child: &Sort{Child: &Filter{Child: ps}}}
+	if d := ParallelDegree(plan); d != 6 {
+		t.Errorf("degree through filter/sort/limit = %d, want 6", d)
+	}
+	join := &HashJoin{Build: ps, Probe: &SeqScan{Table: tbl, Snap: snap}}
+	if d := ParallelDegree(join); d != 6 {
+		t.Errorf("degree through join build = %d, want 6", d)
+	}
+	if d := ParallelDegree(&SeqScan{Table: tbl, Snap: snap}); d != 1 {
+		t.Errorf("seq scan degree = %d, want 1", d)
+	}
+}

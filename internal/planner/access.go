@@ -150,6 +150,17 @@ func (p *Planner) accessPath(layout *exec.Layout, i int, conjuncts []*conjunct, 
 			b.Name, tbl.Schema.Columns[best.col].Name, kind, est)
 		return op, est, note, nil
 	}
+	// Heap scan: parallelize when the INPUT cardinality (every heap version
+	// is visited regardless of filter selectivity) clears the threshold and
+	// more than one CPU is available.
+	if workers := p.parallelWorkers(totalRows); workers > 1 {
+		op := &exec.ParallelScan{
+			Table: tbl, Snap: snap, Filter: filter,
+			Offset: b.Offset, Width: layout.Width(), Workers: workers,
+		}
+		note := fmt.Sprintf("parallel seq scan on %s (%d workers, est %.0f rows)", b.Name, workers, est)
+		return op, est, note, nil
+	}
 	op := &exec.SeqScan{Table: tbl, Snap: snap, Filter: filter, Offset: b.Offset, Width: layout.Width()}
 	note := fmt.Sprintf("seq scan on %s (est %.0f rows)", b.Name, est)
 	return op, est, note, nil

@@ -1,0 +1,136 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"trac/internal/exec"
+)
+
+// findParallelScan walks down through single-child wrappers looking for a
+// ParallelScan.
+func findParallelScan(op exec.Operator) *exec.ParallelScan {
+	switch n := op.(type) {
+	case *exec.ParallelScan:
+		return n
+	case *exec.Filter:
+		return findParallelScan(n.Child)
+	case *exec.Project:
+		return findParallelScan(n.Child)
+	case *exec.Sort:
+		return findParallelScan(n.Child)
+	case *exec.Limit:
+		return findParallelScan(n.Child)
+	case *exec.Distinct:
+		return findParallelScan(n.Child)
+	case *exec.Aggregate:
+		return findParallelScan(n.Child)
+	case *exec.GroupAggregate:
+		return findParallelScan(n.Child)
+	}
+	return nil
+}
+
+func TestSmallTableStaysSerial(t *testing.T) {
+	p, mgr := fixture(t)
+	// 20 rows is far below any threshold: no parallel scan, degree 1.
+	pl := plan(t, p, mgr, "SELECT value FROM Activity")
+	if ps := findParallelScan(pl.Root); ps != nil {
+		t.Fatalf("20-row table got a parallel scan (%d workers)", ps.Degree())
+	}
+	if pl.Parallel != 1 {
+		t.Errorf("Plan.Parallel = %d, want 1", pl.Parallel)
+	}
+	if strings.Contains(pl.Describe(), "parallel") {
+		t.Errorf("explain mentions parallelism:\n%s", pl.Describe())
+	}
+}
+
+func TestParallelScanChosenAboveThreshold(t *testing.T) {
+	p, mgr := fixture(t)
+	// Lower the threshold below the fixture's 20 rows and force a worker
+	// cap independent of the host's core count.
+	p.ParallelThreshold = 5
+	p.MaxParallel = 4
+
+	pl := plan(t, p, mgr, "SELECT value FROM Activity WHERE value = 'foo'")
+	ps := findParallelScan(pl.Root)
+	if ps == nil {
+		t.Fatalf("no parallel scan above threshold; plan:\n%s", pl.Describe())
+	}
+	if got := ps.Degree(); got != 4 {
+		t.Errorf("degree = %d, want capped at 4", got)
+	}
+	if pl.Parallel != 4 {
+		t.Errorf("Plan.Parallel = %d, want 4", pl.Parallel)
+	}
+	desc := pl.Describe()
+	if !strings.Contains(desc, "workers") || !strings.Contains(desc, "parallel degree: 4") {
+		t.Errorf("explain lacks parallel notes:\n%s", desc)
+	}
+
+	// The plan must still produce correct (empty-filter) results.
+	rows, err := exec.Drain(pl.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("rows = %d, want 0 for value='foo'", len(rows))
+	}
+}
+
+func TestParallelScanResultsMatchSerial(t *testing.T) {
+	p, mgr := fixture(t)
+	sql := "SELECT mach_id FROM Activity WHERE value = 'idle' ORDER BY mach_id"
+	serial := runPlan(t, p, mgr, sql)
+
+	p.ParallelThreshold = 5
+	p.MaxParallel = 4
+	parallel := runPlan(t, p, mgr, sql)
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d rows, parallel %d rows", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i][0].Str() != parallel[i][0].Str() {
+			t.Errorf("row %d: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestIndexBeatsParallelScanForEquality(t *testing.T) {
+	p, mgr := fixture(t)
+	p.ParallelThreshold = 5
+	p.MaxParallel = 4
+	// mach_id is indexed: an equality probe should still win over the
+	// parallel heap scan.
+	pl := plan(t, p, mgr, "SELECT value FROM Activity WHERE mach_id = 'm7'")
+	if ps := findParallelScan(pl.Root); ps != nil {
+		t.Fatalf("equality probe should use the index, got parallel scan")
+	}
+	if !strings.Contains(pl.Describe(), "index") {
+		t.Errorf("expected index scan:\n%s", pl.Describe())
+	}
+}
+
+func TestParallelWorkersScaling(t *testing.T) {
+	p := &Planner{ParallelThreshold: 1000, MaxParallel: 8}
+	for _, tc := range []struct {
+		rows float64
+		want int
+	}{
+		{0, 1},
+		{999, 1},
+		{1000, 2},   // at threshold: minimum useful degree
+		{3500, 3},   // rows/threshold
+		{100000, 8}, // capped
+	} {
+		if got := p.parallelWorkers(tc.rows); got != tc.want {
+			t.Errorf("parallelWorkers(%v) = %d, want %d", tc.rows, got, tc.want)
+		}
+	}
+	serial := &Planner{ParallelThreshold: 1000, MaxParallel: 1}
+	if got := serial.parallelWorkers(1e9); got != 1 {
+		t.Errorf("MaxParallel=1 must force serial, got %d", got)
+	}
+}

@@ -11,6 +11,7 @@ package planner
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"trac/internal/exec"
@@ -20,14 +21,50 @@ import (
 	"trac/internal/types"
 )
 
+// DefaultParallelThreshold is the heap-version count below which a
+// sequential scan is never parallelized: at small cardinalities the
+// goroutine fan-out and channel hand-off cost more than the scan itself.
+const DefaultParallelThreshold = 50_000
+
 // Planner plans statements against a catalog.
 type Planner struct {
 	Catalog *storage.Catalog
+	// ParallelThreshold overrides DefaultParallelThreshold when > 0
+	// (tests and tuning).
+	ParallelThreshold int
+	// MaxParallel caps the per-scan worker count; <= 0 means GOMAXPROCS.
+	MaxParallel int
 }
 
 // New returns a planner over the catalog.
 func New(catalog *storage.Catalog) *Planner {
 	return &Planner{Catalog: catalog}
+}
+
+// parallelWorkers decides the parallel degree for a heap scan over the given
+// estimated input cardinality: one worker per threshold's worth of rows,
+// capped at MaxParallel/GOMAXPROCS, and 1 (no parallelism) below the
+// threshold or on single-CPU configurations.
+func (p *Planner) parallelWorkers(inputRows float64) int {
+	threshold := p.ParallelThreshold
+	if threshold <= 0 {
+		threshold = DefaultParallelThreshold
+	}
+	max := p.MaxParallel
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	if max <= 1 || inputRows < float64(threshold) {
+		return 1
+	}
+	w := int(inputRows / float64(threshold))
+	if w < 2 {
+		w = 2
+	}
+	if w > max {
+		w = max
+	}
+	return w
 }
 
 // Plan is an executable plan plus its output description.
@@ -37,17 +74,34 @@ type Plan struct {
 	// Notes records planning decisions (access paths, join order) for
 	// EXPLAIN-style diagnostics and for the ablation benchmarks.
 	Notes []string
+	// Parallel is the maximum parallel worker degree anywhere in the plan
+	// (1 = fully single-threaded).
+	Parallel int
 }
 
-// Describe renders the planning notes.
-func (p *Plan) Describe() string { return strings.Join(p.Notes, "\n") }
+// Describe renders the planning notes, including the plan's parallel degree.
+func (p *Plan) Describe() string {
+	out := strings.Join(p.Notes, "\n")
+	if p.Parallel > 1 {
+		out += fmt.Sprintf("\nparallel degree: %d", p.Parallel)
+	}
+	return out
+}
 
 // PlanSelect builds a plan for a SELECT against the given snapshot.
 func (p *Planner) PlanSelect(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Plan, error) {
+	var plan *Plan
+	var err error
 	if len(sel.Union) > 0 {
-		return p.planUnion(sel, snap)
+		plan, err = p.planUnion(sel, snap)
+	} else {
+		plan, err = p.planBlock(sel, snap)
 	}
-	return p.planBlock(sel, snap)
+	if err != nil {
+		return nil, err
+	}
+	plan.Parallel = exec.ParallelDegree(plan.Root)
+	return plan, nil
 }
 
 func (p *Planner) planUnion(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Plan, error) {
@@ -426,6 +480,10 @@ func markScanReuse(op exec.Operator) {
 		n.Reuse = true
 	case *exec.IndexScan:
 		n.Reuse = true
+	case *exec.ParallelScan:
+		// Never reused: parallel-scan tuples cross goroutine boundaries
+		// through the Exchange, so the consumer and the producing worker
+		// are concurrent — a recycled buffer would be a data race.
 	case *exec.Filter:
 		markScanReuse(n.Child)
 	case *exec.Gate:

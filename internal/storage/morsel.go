@@ -1,0 +1,57 @@
+package storage
+
+import "sync/atomic"
+
+// DefaultMorselSize is the number of row slots a parallel-scan worker claims
+// at a time. Morsels are large enough that the per-claim atomic increment is
+// noise, and small enough that a skewed filter (all matches in one heap
+// region) still spreads work across workers.
+const DefaultMorselSize = 4096
+
+// Morsels partitions a stable heap snapshot into fixed-size runs of row
+// slots. Parallel scan workers share one Morsels value and claim runs with a
+// single atomic increment each — the morsel-driven scheduling discipline:
+// work distribution is dynamic (fast workers claim more morsels), while each
+// morsel is processed entirely by one worker, so per-worker state (filter
+// evaluation, visibility checks) needs no synchronization.
+type Morsels struct {
+	rows []*Row
+	size int
+	next atomic.Int64
+}
+
+// Morsels snapshots the heap and partitions it into runs of the given size
+// (<= 0 selects DefaultMorselSize). Versions appended after the call are not
+// included, exactly like Rows.
+func (t *Table) Morsels(size int) *Morsels {
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	return &Morsels{rows: t.Rows(), size: size}
+}
+
+// Claim hands out the next unclaimed morsel, or ok=false when the heap
+// snapshot is exhausted. Safe for concurrent use.
+func (m *Morsels) Claim() ([]*Row, bool) {
+	n := m.next.Add(1) - 1
+	start := int(n) * m.size
+	if start < 0 || start >= len(m.rows) {
+		return nil, false
+	}
+	end := start + m.size
+	if end > len(m.rows) {
+		end = len(m.rows)
+	}
+	return m.rows[start:end], true
+}
+
+// Len returns the total number of row slots in the snapshot.
+func (m *Morsels) Len() int { return len(m.rows) }
+
+// NumMorsels returns how many morsels the snapshot partitions into.
+func (m *Morsels) NumMorsels() int {
+	if len(m.rows) == 0 {
+		return 0
+	}
+	return (len(m.rows) + m.size - 1) / m.size
+}

@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"trac/internal/types"
+)
+
+func morselFixture(t *testing.T, n int) *Table {
+	t.Helper()
+	schema, err := NewSchema([]Column{{Name: "v", Kind: types.KindInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable("t", schema)
+	for i := 0; i < n; i++ {
+		tbl.Append(NewRow([]types.Value{types.NewInt(int64(i))}, 1))
+	}
+	return tbl
+}
+
+func TestMorselsPartitionExactly(t *testing.T) {
+	for _, tc := range []struct{ rows, size, want int }{
+		{0, 10, 0},
+		{1, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{1000, 64, 16},
+	} {
+		tbl := morselFixture(t, tc.rows)
+		m := tbl.Morsels(tc.size)
+		if m.NumMorsels() != tc.want {
+			t.Errorf("%d rows / size %d: NumMorsels = %d, want %d",
+				tc.rows, tc.size, m.NumMorsels(), tc.want)
+		}
+		if m.Len() != tc.rows {
+			t.Errorf("Len = %d, want %d", m.Len(), tc.rows)
+		}
+	}
+}
+
+func TestMorselsConcurrentClaimCoversEachRowOnce(t *testing.T) {
+	const rows = 5000
+	tbl := morselFixture(t, rows)
+	m := tbl.Morsels(32)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	counts := make([]map[int64]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seen := make(map[int64]int)
+			for {
+				batch, ok := m.Claim()
+				if !ok {
+					break
+				}
+				for _, r := range batch {
+					seen[r.Values[0].Int()]++
+				}
+			}
+			counts[w] = seen
+		}(w)
+	}
+	wg.Wait()
+
+	total := make(map[int64]int, rows)
+	for _, seen := range counts {
+		for v, c := range seen {
+			total[v] += c
+		}
+	}
+	if len(total) != rows {
+		t.Fatalf("claimed %d distinct rows, want %d", len(total), rows)
+	}
+	for v, c := range total {
+		if c != 1 {
+			t.Fatalf("row %d claimed %d times", v, c)
+		}
+	}
+}
+
+func TestMorselsSnapshotIgnoresLaterInserts(t *testing.T) {
+	tbl := morselFixture(t, 100)
+	m := tbl.Morsels(10)
+	// Rows inserted after partitioning are not part of this scan.
+	tbl.Append(NewRow([]types.Value{types.NewInt(999)}, 1))
+	n := 0
+	for {
+		batch, ok := m.Claim()
+		if !ok {
+			break
+		}
+		n += len(batch)
+	}
+	if n != 100 {
+		t.Errorf("claimed %d rows, want the 100 present at partition time", n)
+	}
+}

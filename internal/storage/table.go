@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"trac/internal/types"
 )
@@ -155,10 +156,17 @@ func (t *Table) IndexedColumns() []int {
 	return out
 }
 
-// Catalog maps table names (case-insensitive) to tables.
+// Catalog maps table names (case-insensitive) to tables. It also carries a
+// version counter that the engine bumps on every schema-affecting change
+// (CREATE/DROP TABLE, CREATE INDEX, CHECK additions, source-column and
+// domain declarations); prepared-plan caches key their entries by it, so a
+// DDL change invalidates every cached plan without tracking dependencies.
+// Session temp tables deliberately do not bump the version — materializing
+// a recency report must not evict the plan that produced it.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	version atomic.Uint64
 }
 
 // NewCatalog returns an empty catalog.
@@ -200,6 +208,13 @@ func (c *Catalog) Drop(name string) error {
 	delete(c.tables, key)
 	return nil
 }
+
+// Version returns the catalog's schema version.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// BumpVersion advances the schema version, invalidating version-keyed plan
+// caches. The engine calls it on DDL and constraint/metadata changes.
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // Names lists registered tables in unspecified order.
 func (c *Catalog) Names() []string {

@@ -76,7 +76,12 @@ func (db *DB) SetSourceColumn(table, column string) error {
 	if err != nil {
 		return err
 	}
-	return tbl.Schema.SetSourceColumn(column)
+	if err := tbl.Schema.SetSourceColumn(column); err != nil {
+		return err
+	}
+	// Source columns change what the generator emits: invalidate cached plans.
+	db.eng.Catalog().BumpVersion()
+	return nil
 }
 
 // SetColumnDomain declares the domain of legal values for a column. Domains
@@ -93,6 +98,9 @@ func (db *DB) SetColumnDomain(table, column string, domain Domain) error {
 		return fmt.Errorf("trac: table %s has no column %q", table, column)
 	}
 	tbl.Schema.Columns[ci].Domain = domain.d
+	// Domains drive satisfiability pruning in generation: invalidate cached
+	// plans.
+	db.eng.Catalog().BumpVersion()
 	return nil
 }
 
@@ -177,6 +185,13 @@ func WithoutStats() Option {
 // in-memory slices are still populated.
 func WithoutTempTables() Option {
 	return func(c *report.Config) { c.SkipTempTables = true }
+}
+
+// WithoutPlanCache forces this report to re-parse the user query and
+// regenerate the recency query even when a cached plan exists (ablation
+// knob; the default path caches and reuses).
+func WithoutPlanCache() Option {
+	return func(c *report.Config) { c.DisableCache = true }
 }
 
 // HeartbeatSchema overrides the Heartbeat table and column names (defaults:
