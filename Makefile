@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel
+.PHONY: build test check chaos bench bench-parallel
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/txn/...
+
+# chaos runs the ingestion robustness suite with elevated fault-injection
+# rates and the race detector: fault-injected logs, retry/backoff, circuit
+# breakers, durable-offset restarts, and the exactly-once drain check.
+chaos:
+	TRAC_CHAOS=1 $(GO) test -race -count=1 ./internal/gridsim/... ./internal/sniffer/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -13,6 +13,10 @@
 //	\domain <table> <column> v1,v2,...   declare a finite string domain
 //	\save <file> / \load <file>          dump / restore the database
 //	\cache                    show plan-cache entries, hits and misses
+//	\sources [secs]           per-source ingestion health: recency, lag
+//	                          behind the freshest source, durable offsets
+//	                          (sources more than secs behind are marked
+//	                          stale; default 60)
 //	\d                        list tables
 //	\q                        quit
 //
@@ -26,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"trac"
 )
@@ -135,6 +141,8 @@ func dispatch(db *trac.DB, sess *trac.Session, line string) (*trac.DB, *trac.Ses
 		} else {
 			fmt.Println("saved")
 		}
+	case line == `\sources` || strings.HasPrefix(line, `\sources `):
+		showSources(db, strings.TrimSpace(strings.TrimPrefix(line, `\sources`)))
 	case line == `\cache`:
 		hits, misses := db.Engine().PlanCache().Stats()
 		fmt.Printf("plan cache: %d entries, %d hits, %d misses (catalog version %d)\n",
@@ -150,7 +158,7 @@ func dispatch(db *trac.DB, sess *trac.Session, line string) (*trac.DB, *trac.Ses
 		sess = db.NewSession()
 		fmt.Println("loaded; tables:", strings.Join(db.Catalog(), ", "))
 	case strings.HasPrefix(line, `\`):
-		fmt.Println("unknown meta command; try \\recency, \\gen, \\explain, \\save, \\load, \\cache, \\d, \\q")
+		fmt.Println("unknown meta command; try \\recency, \\gen, \\explain, \\save, \\load, \\cache, \\sources, \\d, \\q")
 	default:
 		runSQL(db, line)
 	}
@@ -174,6 +182,61 @@ func runSQL(db *trac.DB, sql string) {
 		return
 	}
 	fmt.Printf("OK (%d rows affected)\n", n)
+}
+
+// showSources prints per-source ingestion health from the Heartbeat and
+// (when present) SnifferState tables: each source's recency, how far it lags
+// the freshest source, and its durable log offset. Sources lagging more than
+// the stale threshold (arg in seconds, default 60) are marked stale — the
+// degraded-source view a fleet operator scans before trusting a report.
+func showSources(db *trac.DB, arg string) {
+	staleAfter := 60 * time.Second
+	if arg != "" {
+		secs, err := strconv.Atoi(arg)
+		if err != nil || secs < 0 {
+			fmt.Println("usage: \\sources [stale-after-seconds]")
+			return
+		}
+		staleAfter = time.Duration(secs) * time.Second
+	}
+	hb, err := db.Query(`SELECT sid, recency FROM Heartbeat ORDER BY sid`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(hb.Rows) == 0 {
+		fmt.Println("no data sources have reported yet")
+		return
+	}
+	type offsets struct{ offset, applied int64 }
+	durable := map[string]offsets{}
+	if st, err := db.Query(`SELECT sid, log_offset, applied FROM SnifferState`); err == nil {
+		for _, row := range st.Rows {
+			durable[row[0].String()] = offsets{offset: row[1].Int(), applied: row[2].Int()}
+		}
+	}
+	var freshest time.Time
+	for _, row := range hb.Rows {
+		if ts := row[1].Time(); ts.After(freshest) {
+			freshest = ts
+		}
+	}
+	fmt.Printf("%-12s %-20s %-10s %-8s %-8s %s\n", "sid", "recency", "behind", "offset", "applied", "status")
+	for _, row := range hb.Rows {
+		sid, ts := row[0].String(), row[1].Time()
+		behind := freshest.Sub(ts)
+		status := "ok"
+		if behind > staleAfter {
+			status = "stale"
+		}
+		off, app := "-", "-"
+		if d, ok := durable[sid]; ok {
+			off, app = strconv.FormatInt(d.offset, 10), strconv.FormatInt(d.applied, 10)
+		}
+		fmt.Printf("%-12s %-20s %-10s %-8s %-8s %s\n", sid, row[1].String(), behind, off, app, status)
+	}
+	fmt.Printf("%d sources, freshest recency %s, stale after %s\n",
+		len(hb.Rows), freshest.Format("2006-01-02 15:04:05"), staleAfter)
 }
 
 func runReport(sess *trac.Session, sql string, opts ...trac.Option) {

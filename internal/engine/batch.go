@@ -1,11 +1,18 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"trac/internal/sqlparser"
 	"trac/internal/txn"
 )
+
+// ErrWALAppend marks a commit whose transaction landed but whose WAL append
+// failed afterwards: the writes ARE visible to subsequent snapshots, only
+// their durability record is missing. Callers that retry on commit failure
+// must check for this with errors.Is to avoid double-applying.
+var ErrWALAppend = errors.New("engine: WAL append failed after commit")
 
 // Batch groups DML statements into one transaction, so a loader can apply a
 // set of events together with the matching Heartbeat update atomically: a
@@ -77,7 +84,10 @@ func (b *Batch) Commit() error {
 	if err := b.tx.Commit(); err != nil {
 		return err
 	}
-	return b.db.logCommitted(b.stmts)
+	if err := b.db.logCommitted(b.stmts); err != nil {
+		return fmt.Errorf("%w: %v", ErrWALAppend, err)
+	}
+	return nil
 }
 
 // Abort rolls the whole batch back.

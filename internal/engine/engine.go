@@ -356,7 +356,7 @@ func (db *DB) loggedAutocommit(stmt sqlparser.Statement, fn func(tx *txn.Txn) (i
 		return n, err
 	}
 	if err := db.logCommitted([]string{stmt.SQL()}); err != nil {
-		return n, fmt.Errorf("engine: WAL append failed: %w", err)
+		return n, fmt.Errorf("%w: %v", ErrWALAppend, err)
 	}
 	return n, nil
 }

@@ -1,0 +1,184 @@
+package gridsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrTransient marks an injected fault that a well-behaved reader should
+// treat as retryable: the underlying log is intact and a later attempt will
+// succeed. Fault-tolerant loaders classify errors with
+// errors.Is(err, ErrTransient).
+var ErrTransient = errors.New("transient fault")
+
+// Faults configures the failure modes a FaultyLog injects. Each probability
+// is evaluated independently per operation; zero disables that mode. The
+// same Seed over the same call sequence reproduces the same faults.
+type Faults struct {
+	// ReadError is the probability that ReadFrom fails with a transient
+	// error before touching the underlying log.
+	ReadError float64
+	// Timeout is the probability that ReadFrom blocks for TimeoutDelay and
+	// then fails with a transient timeout error.
+	Timeout float64
+	// TimeoutDelay is how long an injected timeout stalls (0 = no stall,
+	// just the error).
+	TimeoutDelay time.Duration
+	// ShortRead is the probability that ReadFrom returns only a prefix of
+	// the available records. The returned next-offset stays consistent with
+	// the truncated batch, so short reads slow a reader down without
+	// corrupting its resume point.
+	ShortRead float64
+	// Duplicate is the probability that one record in the batch is
+	// delivered twice (adjacent repeat), as a crashed-and-retried reader
+	// would see. The next-offset still counts unique records only.
+	Duplicate float64
+	// AppendError is the probability that Append fails transiently without
+	// writing (the source-side half of an unreliable channel).
+	AppendError float64
+	// Seed makes the fault sequence deterministic.
+	Seed int64
+}
+
+// FaultStats counts the faults a FaultyLog has injected.
+type FaultStats struct {
+	ReadErrors   int
+	Timeouts     int
+	ShortReads   int
+	Duplicates   int
+	AppendErrors int
+}
+
+// Total returns the number of injected faults of all kinds.
+func (s FaultStats) Total() int {
+	return s.ReadErrors + s.Timeouts + s.ShortReads + s.Duplicates + s.AppendErrors
+}
+
+// FaultyLog wraps a Log and injects transient read errors, timeouts, short
+// reads, and duplicated records with configurable probabilities — the
+// uncontrollable data source the paper assumes, made testable. It is the
+// chaos layer for exercising sniffer retry, circuit-breaker, and
+// exactly-once offset logic.
+type FaultyLog struct {
+	inner Log
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	faults  Faults
+	enabled bool
+	stats   FaultStats
+}
+
+// NewFaultyLog wraps inner with fault injection enabled.
+func NewFaultyLog(inner Log, f Faults) *FaultyLog {
+	return &FaultyLog{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(f.Seed)),
+		faults:  f,
+		enabled: true,
+	}
+}
+
+// Inner returns the wrapped log.
+func (l *FaultyLog) Inner() Log { return l.inner }
+
+// SetEnabled toggles fault injection (the log passes operations through
+// untouched while disabled). Disabling models the fault window closing.
+func (l *FaultyLog) SetEnabled(on bool) {
+	l.mu.Lock()
+	l.enabled = on
+	l.mu.Unlock()
+}
+
+// Enabled reports whether faults are being injected.
+func (l *FaultyLog) Enabled() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enabled
+}
+
+// SetFaults swaps the fault configuration (the rng and its seed are kept, so
+// a config change mid-run stays deterministic).
+func (l *FaultyLog) SetFaults(f Faults) {
+	l.mu.Lock()
+	l.faults = f
+	l.mu.Unlock()
+}
+
+// Stats returns the injected-fault counters.
+func (l *FaultyLog) Stats() FaultStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// chance rolls the rng; callers must hold l.mu.
+func (l *FaultyLog) chance(p float64) bool {
+	return p > 0 && l.rng.Float64() < p
+}
+
+// Append writes one record, or fails transiently with probability
+// AppendError.
+func (l *FaultyLog) Append(e Event) error {
+	l.mu.Lock()
+	if l.enabled && l.chance(l.faults.AppendError) {
+		l.stats.AppendErrors++
+		l.mu.Unlock()
+		return fmt.Errorf("gridsim: injected append error: %w", ErrTransient)
+	}
+	l.mu.Unlock()
+	return l.inner.Append(e)
+}
+
+// ReadFrom reads from the underlying log, injecting (in order of
+// precedence) a read error, a timeout, a short read, or a duplicated
+// record.
+func (l *FaultyLog) ReadFrom(offset int) ([]Event, int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.enabled {
+		if l.chance(l.faults.ReadError) {
+			l.stats.ReadErrors++
+			return nil, 0, fmt.Errorf("gridsim: injected read error at offset %d: %w", offset, ErrTransient)
+		}
+		if l.chance(l.faults.Timeout) {
+			l.stats.Timeouts++
+			if l.faults.TimeoutDelay > 0 {
+				time.Sleep(l.faults.TimeoutDelay)
+			}
+			return nil, 0, fmt.Errorf("gridsim: injected timeout at offset %d: %w", offset, ErrTransient)
+		}
+	}
+	events, next, err := l.inner.ReadFrom(offset)
+	if err != nil || !l.enabled {
+		return events, next, err
+	}
+	if len(events) > 1 && l.chance(l.faults.ShortRead) {
+		n := 1 + l.rng.Intn(len(events)-1) // keep ≥1, drop ≥1
+		events = events[:n]
+		next = offset + n
+		l.stats.ShortReads++
+	}
+	if len(events) > 0 && l.chance(l.faults.Duplicate) {
+		i := l.rng.Intn(len(events))
+		dup := make([]Event, 0, len(events)+1)
+		dup = append(dup, events[:i+1]...)
+		dup = append(dup, events[i])
+		dup = append(dup, events[i+1:]...)
+		events = dup
+		l.stats.Duplicates++
+		// next is unchanged: the log holds next-offset unique records; the
+		// reader just saw one of them twice.
+	}
+	return events, next, nil
+}
+
+// Len passes through (length queries are kept faithful so lag accounting in
+// tests stays exact).
+func (l *FaultyLog) Len() (int, error) { return l.inner.Len() }
+
+// Close closes the underlying log.
+func (l *FaultyLog) Close() error { return l.inner.Close() }

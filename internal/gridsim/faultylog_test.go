@@ -1,0 +1,156 @@
+package gridsim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// seedLog fills a memory log with n heartbeat events, one second apart.
+func seedLog(t *testing.T, n int) *MemoryLog {
+	t.Helper()
+	l := NewMemoryLog()
+	t0 := time.Date(2006, 3, 15, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		if err := l.Append(Event{Time: t0.Add(time.Duration(i) * time.Second), Machine: "m1", Type: HeartbeatEvent}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestFaultyLogReadError(t *testing.T) {
+	fl := NewFaultyLog(seedLog(t, 5), Faults{ReadError: 1, Seed: 1})
+	_, _, err := fl.ReadFrom(0)
+	if err == nil {
+		t.Fatal("expected injected read error")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("injected error is not transient: %v", err)
+	}
+	if st := fl.Stats(); st.ReadErrors != 1 || st.Total() != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFaultyLogTimeout(t *testing.T) {
+	fl := NewFaultyLog(seedLog(t, 5), Faults{Timeout: 1, TimeoutDelay: time.Millisecond, Seed: 1})
+	start := time.Now()
+	_, _, err := fl.ReadFrom(0)
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("expected transient timeout, got %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("timeout did not stall")
+	}
+	if fl.Stats().Timeouts != 1 {
+		t.Errorf("stats = %+v", fl.Stats())
+	}
+}
+
+func TestFaultyLogShortRead(t *testing.T) {
+	fl := NewFaultyLog(seedLog(t, 10), Faults{ShortRead: 1, Seed: 3})
+	events, next, err := fl.ReadFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) >= 10 || len(events) < 1 {
+		t.Fatalf("short read returned %d of 10", len(events))
+	}
+	// The resume point must stay consistent with the truncated batch.
+	if next != len(events) {
+		t.Errorf("next = %d, want %d", next, len(events))
+	}
+	// Resuming from next eventually yields every record exactly once.
+	seen := len(events)
+	for seen < 10 {
+		ev, n2, err := fl.ReadFrom(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n2-next != len(ev) {
+			t.Fatalf("inconsistent short read: %d events for offsets [%d,%d)", len(ev), next, n2)
+		}
+		seen += len(ev)
+		next = n2
+	}
+	if seen != 10 {
+		t.Errorf("saw %d records, want 10", seen)
+	}
+}
+
+func TestFaultyLogDuplicate(t *testing.T) {
+	fl := NewFaultyLog(seedLog(t, 10), Faults{Duplicate: 1, Seed: 7})
+	events, next, err := fl.ReadFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 10 {
+		t.Errorf("next = %d, want 10 (duplicates must not advance the offset)", next)
+	}
+	if len(events) != 11 {
+		t.Fatalf("len = %d, want 11 (one duplicated record)", len(events))
+	}
+	adjacent := false
+	for i := 1; i < len(events); i++ {
+		if events[i] == events[i-1] {
+			adjacent = true
+		}
+	}
+	if !adjacent {
+		t.Error("duplicate is not adjacent to its original")
+	}
+	if fl.Stats().Duplicates != 1 {
+		t.Errorf("stats = %+v", fl.Stats())
+	}
+}
+
+func TestFaultyLogAppendError(t *testing.T) {
+	inner := NewMemoryLog()
+	fl := NewFaultyLog(inner, Faults{AppendError: 1, Seed: 1})
+	err := fl.Append(Event{Time: time.Now(), Machine: "m1", Type: HeartbeatEvent})
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("expected transient append error, got %v", err)
+	}
+	if n, _ := inner.Len(); n != 0 {
+		t.Errorf("failed append still wrote %d records", n)
+	}
+}
+
+func TestFaultyLogDisabledPassesThrough(t *testing.T) {
+	fl := NewFaultyLog(seedLog(t, 6), Faults{ReadError: 1, ShortRead: 1, Duplicate: 1, Seed: 1})
+	fl.SetEnabled(false)
+	events, next, err := fl.ReadFrom(0)
+	if err != nil || len(events) != 6 || next != 6 {
+		t.Fatalf("disabled log not transparent: %d events, next %d, err %v", len(events), next, err)
+	}
+	if fl.Stats().Total() != 0 {
+		t.Errorf("disabled log injected faults: %+v", fl.Stats())
+	}
+	if fl.Enabled() {
+		t.Error("Enabled() = true after SetEnabled(false)")
+	}
+}
+
+func TestFaultyLogDeterministicUnderSeed(t *testing.T) {
+	run := func() []string {
+		fl := NewFaultyLog(seedLog(t, 8), Faults{ReadError: 0.3, ShortRead: 0.3, Duplicate: 0.3, Seed: 42})
+		var trace []string
+		off := 0
+		for i := 0; i < 20 && off < 8; i++ {
+			events, next, err := fl.ReadFrom(off)
+			if err != nil {
+				trace = append(trace, "err")
+				continue
+			}
+			trace = append(trace, fmt.Sprintf("%d@%d->%d", len(events), off, next))
+			off = next
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed diverged:\n%v\n%v", a, b)
+	}
+}

@@ -1,0 +1,132 @@
+package sniffer
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Circuit breaker states. Closed passes polls through; Open quarantines the
+// source (polls fail fast without touching its log); HalfOpen admits a
+// single probe after the cooldown to test whether the source recovered.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for health displays.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-source circuit breaker: after FailureThreshold
+// consecutive failures it opens, so a persistently failing source is
+// re-probed on the Cooldown cadence instead of being re-polled hot. A
+// successful half-open probe closes it again; a failed probe re-opens it.
+type Breaker struct {
+	// FailureThreshold is the number of consecutive failures that trips the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 2s).
+	Cooldown time.Duration
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	trips    int
+}
+
+// NewBreaker builds a breaker; zero threshold or cooldown select the
+// defaults.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{FailureThreshold: threshold, Cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a poll may proceed. When the breaker is open and the
+// cooldown has elapsed, the caller becomes the half-open probe; concurrent
+// callers are rejected until the probe resolves.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false // a probe is already in flight
+	default: // open
+		if b.now().Sub(b.openedAt) >= b.Cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// Success records a successful poll: the breaker closes and the consecutive
+// failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed poll. A failed half-open probe re-opens the
+// breaker immediately; in the closed state the breaker trips once the
+// consecutive failure count reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	default:
+		b.failures++
+		if b.failures >= b.FailureThreshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker; callers must hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.trips++
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

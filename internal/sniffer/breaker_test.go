@@ -1,0 +1,82 @@
+package sniffer
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.FailureThreshold != 5 || b.Cooldown != 2*time.Second {
+		t.Errorf("defaults = %d, %v", b.FailureThreshold, b.Cooldown)
+	}
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Error("new breaker must be closed and allowing")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Date(2006, 3, 15, 12, 0, 0, 0, time.UTC)
+	b := NewBreaker(3, time.Minute)
+	b.now = func() time.Time { return now }
+
+	// Failures below the threshold keep it closed.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("breaker tripped early")
+	}
+	// A success resets the consecutive count.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset failure count")
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state = %v, trips = %d", b.State(), b.Trips())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a poll before cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Failed probe re-opens immediately.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("state = %v, trips = %d", b.State(), b.Trips())
+	}
+
+	// Successful probe closes it.
+	now = now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package sniffer
+
+import "time"
+
+// Status is a data source's ingestion health as seen by its sniffer.
+type Status string
+
+// Source statuses. A source is "ok" when its last poll succeeded,
+// "retrying" when the last poll failed but the breaker is still closed,
+// "open-circuit" while quarantined, "half-open" while a recovery probe is
+// in flight, "paused" when loading is administratively stopped, and
+// "stale" when it polls fine but its recency lags the fleet (set by
+// Fleet.Health when StaleAfter is configured).
+const (
+	StatusOK          Status = "ok"
+	StatusRetrying    Status = "retrying"
+	StatusOpenCircuit Status = "open-circuit"
+	StatusHalfOpen    Status = "half-open"
+	StatusPaused      Status = "paused"
+	StatusStale       Status = "stale"
+)
+
+// Health is a point-in-time snapshot of one sniffer's state and counters,
+// the per-source surface the fleet and the shell's \sources command expose.
+type Health struct {
+	Source  string
+	Status  Status
+	Offset  int
+	Applied int
+	// Retries counts read retries across the sniffer's lifetime.
+	Retries int
+	// Trips counts circuit-breaker openings.
+	Trips int
+	// DuplicatesDropped counts records the sniffer discarded as in-batch
+	// duplicates (exactly-once accounting).
+	DuplicatesDropped int
+	// LastRecency is the most recent event timestamp loaded from the
+	// source (its Heartbeat recency).
+	LastRecency time.Time
+	// LastError is the last poll's error text ("" after a clean poll).
+	LastError string
+}
+
+// Health snapshots the sniffer's status and counters.
+func (s *Sniffer) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{
+		Source:            s.source,
+		Offset:            s.offset,
+		Applied:           s.applied,
+		Retries:           s.retries,
+		Trips:             s.breaker.Trips(),
+		DuplicatesDropped: s.dupsDropped,
+		LastRecency:       s.lastTS,
+	}
+	if s.lastErr != nil {
+		h.LastError = s.lastErr.Error()
+	}
+	switch {
+	case s.paused:
+		h.Status = StatusPaused
+	case s.breaker.State() == BreakerOpen:
+		h.Status = StatusOpenCircuit
+	case s.breaker.State() == BreakerHalfOpen:
+		h.Status = StatusHalfOpen
+	case s.lastErr != nil:
+		h.Status = StatusRetrying
+	default:
+		h.Status = StatusOK
+	}
+	return h
+}
+
+// Health reports every sniffer's health. When the fleet's StaleAfter is set,
+// an otherwise-ok source whose recency lags the fleet's freshest source by
+// more than that duration is downgraded to StatusStale — the quiet
+// degradation mode that never produces an error.
+func (f *Fleet) Health() []Health {
+	out := make([]Health, len(f.Sniffers))
+	var maxRec time.Time
+	for i, s := range f.Sniffers {
+		out[i] = s.Health()
+		if out[i].LastRecency.After(maxRec) {
+			maxRec = out[i].LastRecency
+		}
+	}
+	if f.StaleAfter > 0 && !maxRec.IsZero() {
+		for i := range out {
+			if out[i].Status == StatusOK && maxRec.Sub(out[i].LastRecency) > f.StaleAfter {
+				out[i].Status = StatusStale
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package sniffer
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"trac/internal/gridsim"
+)
+
+// RetryPolicy governs how a sniffer retries transient source-read failures
+// within one Poll: exponential backoff with jitter, capped. The zero value
+// selects the defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of read attempts per poll, including
+	// the first (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 2ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 100ms).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per retry (default 2).
+	Multiplier float64
+	// Jitter spreads each backoff by ±Jitter fraction (default 0.2), so a
+	// fleet recovering from a shared fault does not re-poll in lockstep.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 2 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// backoff returns the delay before retry number retry (0-based), jittered
+// with the caller's rng for deterministic tests.
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay) * math.Pow(p.Multiplier, float64(retry))
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// isTransient reports whether an error is worth retrying: injected gridsim
+// faults and anything that self-identifies as a timeout. Semantic errors
+// (foreign events, malformed records) are permanent and go straight to the
+// circuit breaker.
+func isTransient(err error) bool {
+	if errors.Is(err, gridsim.ErrTransient) {
+		return true
+	}
+	var t interface{ Timeout() bool }
+	return errors.As(err, &t) && t.Timeout()
+}

@@ -1,0 +1,551 @@
+package sniffer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trac/internal/core/report"
+	"trac/internal/engine"
+	"trac/internal/gridsim"
+)
+
+// flakyLog fails ReadFrom with a transient error a set number of times
+// before delegating; it also counts reads so tests can prove an open
+// circuit stops touching the source.
+type flakyLog struct {
+	inner gridsim.Log
+
+	mu       sync.Mutex
+	failures int
+	reads    int
+}
+
+func (l *flakyLog) Append(e gridsim.Event) error { return l.inner.Append(e) }
+func (l *flakyLog) Len() (int, error)            { return l.inner.Len() }
+func (l *flakyLog) Close() error                 { return l.inner.Close() }
+
+func (l *flakyLog) ReadFrom(offset int) ([]gridsim.Event, int, error) {
+	l.mu.Lock()
+	l.reads++
+	fail := l.failures > 0
+	if fail {
+		l.failures--
+	}
+	l.mu.Unlock()
+	if fail {
+		return nil, 0, fmt.Errorf("flaky: %w", gridsim.ErrTransient)
+	}
+	return l.inner.ReadFrom(offset)
+}
+
+func (l *flakyLog) setFailures(n int) {
+	l.mu.Lock()
+	l.failures = n
+	l.mu.Unlock()
+}
+
+func (l *flakyLog) readCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reads
+}
+
+// fastTune makes a sniffer's robustness machinery run at test speed:
+// no real sleeping, tight backoff, and an optionally tiny breaker.
+func fastTune(s *Sniffer, breaker *Breaker) {
+	s.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	s.sleep = func(time.Duration) {}
+	if breaker != nil {
+		s.breaker = breaker
+	}
+}
+
+func heartbeatLog(t *testing.T, n int) *gridsim.MemoryLog {
+	t.Helper()
+	l := gridsim.NewMemoryLog()
+	t0 := time.Date(2006, 3, 15, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		if err := l.Append(gridsim.Event{Time: t0.Add(time.Duration(i) * time.Second),
+			Machine: "m1", Type: gridsim.HeartbeatEvent}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func countRows(t *testing.T, db *engine.DB, sql string) int64 {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res.Rows[0][0].Int()
+}
+
+func TestPollRetriesTransientReadErrors(t *testing.T) {
+	db := newDB(t)
+	fl := &flakyLog{inner: heartbeatLog(t, 3), failures: 2}
+	s := New(db, "m1", fl)
+	var slept []time.Duration
+	s.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Jitter: 0.2}
+	s.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	n, err := s.Poll()
+	if err != nil || n != 3 {
+		t.Fatalf("Poll = %d, %v", n, err)
+	}
+	h := s.Health()
+	if h.Retries != 2 || len(slept) != 2 {
+		t.Errorf("retries = %d, sleeps = %v", h.Retries, slept)
+	}
+	// Backoff grows (jitter is ±20%, so the second delay always exceeds the
+	// first's lower bound times the multiplier's slack).
+	if len(slept) == 2 && slept[1] <= slept[0]/2 {
+		t.Errorf("backoff did not grow: %v", slept)
+	}
+	if h.Status != StatusOK {
+		t.Errorf("status = %s after recovered poll", h.Status)
+	}
+}
+
+func TestPollGivesUpAfterMaxAttempts(t *testing.T) {
+	db := newDB(t)
+	fl := &flakyLog{inner: heartbeatLog(t, 3), failures: 100}
+	s := New(db, "m1", fl)
+	fastTune(s, nil)
+	s.Retry.MaxAttempts = 3
+
+	n, err := s.Poll()
+	if err == nil || n != 0 {
+		t.Fatalf("Poll = %d, %v; want failure", n, err)
+	}
+	if !errors.Is(err, gridsim.ErrTransient) {
+		t.Errorf("cause lost from error chain: %v", err)
+	}
+	if fl.readCount() != 3 {
+		t.Errorf("reads = %d, want 3 attempts", fl.readCount())
+	}
+	if h := s.Health(); h.Status != StatusRetrying || h.LastError == "" {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestPermanentErrorsSkipRetry(t *testing.T) {
+	db := newDB(t)
+	l := gridsim.NewMemoryLog()
+	l.Append(gridsim.Event{Time: time.Now().UTC(), Machine: "other", Type: gridsim.HeartbeatEvent})
+	fl := &flakyLog{inner: l}
+	s := New(db, "m1", fl)
+	fastTune(s, nil)
+
+	if _, err := s.Poll(); err == nil {
+		t.Fatal("foreign event accepted")
+	}
+	if fl.readCount() != 1 {
+		t.Errorf("semantic failure was retried: %d reads", fl.readCount())
+	}
+}
+
+func TestBreakerQuarantinesFailingSource(t *testing.T) {
+	db := newDB(t)
+	fl := &flakyLog{inner: heartbeatLog(t, 4), failures: 1 << 30}
+	s := New(db, "m1", fl)
+	now := time.Date(2006, 3, 15, 12, 0, 0, 0, time.UTC)
+	br := NewBreaker(3, time.Minute)
+	br.now = func() time.Time { return now }
+	fastTune(s, br)
+	s.Retry.MaxAttempts = 1
+
+	for i := 0; i < 3; i++ {
+		if _, err := s.Poll(); err == nil {
+			t.Fatal("poll succeeded on a dead source")
+		}
+	}
+	if br.State() != BreakerOpen {
+		t.Fatalf("state = %v after threshold failures", br.State())
+	}
+	if h := s.Health(); h.Status != StatusOpenCircuit || h.Trips != 1 {
+		t.Errorf("health = %+v", h)
+	}
+
+	// Quarantined: polls fail fast without touching the source.
+	reads := fl.readCount()
+	if _, err := s.Poll(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if fl.readCount() != reads {
+		t.Error("open circuit still read the source")
+	}
+
+	// Source recovers; after the cooldown one probe closes the circuit and
+	// ingestion resumes.
+	fl.setFailures(0)
+	now = now.Add(time.Minute)
+	n, err := s.Poll()
+	if err != nil || n != 4 {
+		t.Fatalf("recovery probe = %d, %v", n, err)
+	}
+	if br.State() != BreakerClosed {
+		t.Errorf("state = %v after successful probe", br.State())
+	}
+	if h := s.Health(); h.Status != StatusOK {
+		t.Errorf("status = %s after recovery", h.Status)
+	}
+}
+
+func TestPollAllAggregatesErrorsAndCounts(t *testing.T) {
+	db := newDB(t)
+	mkLog := func(machine string, n int) *gridsim.MemoryLog {
+		l := gridsim.NewMemoryLog()
+		t0 := time.Date(2006, 3, 15, 12, 0, 0, 0, time.UTC)
+		for i := 0; i < n; i++ {
+			l.Append(gridsim.Event{Time: t0.Add(time.Duration(i) * time.Second),
+				Machine: machine, Type: gridsim.HeartbeatEvent})
+		}
+		return l
+	}
+	good := New(db, "mgood", mkLog("mgood", 5))
+	bad1 := New(db, "mbad1", &flakyLog{inner: mkLog("mbad1", 1), failures: 1 << 30})
+	bad2 := New(db, "mbad2", &flakyLog{inner: mkLog("mbad2", 1), failures: 1 << 30})
+	for _, s := range []*Sniffer{good, bad1, bad2} {
+		fastTune(s, nil)
+		s.Retry.MaxAttempts = 1
+	}
+	f := &Fleet{Sniffers: []*Sniffer{bad1, good, bad2}}
+
+	total, err := f.PollAll()
+	if total != 5 {
+		t.Errorf("total = %d, want the healthy source's 5 events despite failures", total)
+	}
+	if err == nil {
+		t.Fatal("errors were swallowed")
+	}
+	for _, want := range []string{"mbad1", "mbad2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error missing %s: %v", want, err)
+		}
+	}
+}
+
+// TestCommitFailureDoesNotSkipOrDuplicate is the regression test for the
+// commit-path state machine: whatever way Commit fails, the next poll must
+// apply every event exactly once and advance the heartbeat exactly once.
+func TestCommitFailureDoesNotSkipOrDuplicate(t *testing.T) {
+	t.Run("failure before the transaction lands", func(t *testing.T) {
+		db := newDB(t)
+		s := New(db, "m1", heartbeatLog(t, 5))
+		fastTune(s, nil)
+		s.commitFn = func(b *engine.Batch) error {
+			b.Abort()
+			return errors.New("injected commit failure")
+		}
+		if _, err := s.Poll(); err == nil {
+			t.Fatal("injected commit failure not surfaced")
+		}
+		// Nothing landed and nothing was skipped.
+		if got := countRows(t, db, `SELECT COUNT(*) FROM Heartbeat`); got != 0 {
+			t.Fatalf("aborted batch left %d heartbeat rows", got)
+		}
+		if h := s.Health(); h.Offset != 0 || h.Applied != 0 {
+			t.Fatalf("state advanced past an aborted commit: %+v", h)
+		}
+		s.commitFn = nil
+		n, err := s.Poll()
+		if err != nil || n != 5 {
+			t.Fatalf("retry poll = %d, %v", n, err)
+		}
+		res, _ := db.Query(`SELECT recency FROM Heartbeat WHERE sid = 'm1'`)
+		if res.Rows[0][0].String() != "2006-03-15 12:00:04" {
+			t.Errorf("recency = %v", res.Rows[0][0])
+		}
+	})
+
+	t.Run("WAL failure after the transaction lands", func(t *testing.T) {
+		db := newDB(t)
+		s := New(db, "m1", heartbeatLog(t, 5))
+		fastTune(s, nil)
+		s.commitFn = func(b *engine.Batch) error {
+			if err := b.Commit(); err != nil {
+				return err
+			}
+			return fmt.Errorf("%w: injected", engine.ErrWALAppend)
+		}
+		if _, err := s.Poll(); err == nil {
+			t.Fatal("injected WAL failure not surfaced")
+		}
+		// The batch IS visible; the sniffer must have resynced instead of
+		// planning to re-apply.
+		if got := countRows(t, db, `SELECT COUNT(*) FROM Heartbeat`); got != 1 {
+			t.Fatalf("heartbeat rows = %d", got)
+		}
+		if h := s.Health(); h.Offset != 5 || h.Applied != 5 {
+			t.Fatalf("state not resynced after post-commit failure: %+v", h)
+		}
+		s.commitFn = nil
+		n, err := s.Poll()
+		if err != nil || n != 0 {
+			t.Fatalf("second poll = %d, %v; want nothing to re-apply", n, err)
+		}
+		if got := countRows(t, db, `SELECT COUNT(*) FROM SnifferState WHERE log_offset = 5`); got != 1 {
+			t.Errorf("durable offset rows = %d", got)
+		}
+	})
+
+	t.Run("unknown failure resyncs from durable state", func(t *testing.T) {
+		db := newDB(t)
+		s := New(db, "m1", heartbeatLog(t, 5))
+		fastTune(s, nil)
+		// Pathological driver: the commit lands but reports an untyped
+		// error. Durable state is the ground truth that saves us.
+		s.commitFn = func(b *engine.Batch) error {
+			if err := b.Commit(); err != nil {
+				return err
+			}
+			return errors.New("connection reset")
+		}
+		if _, err := s.Poll(); err == nil {
+			t.Fatal("injected failure not surfaced")
+		}
+		if h := s.Health(); h.Offset != 5 {
+			t.Fatalf("durable resync missed: %+v", h)
+		}
+		s.commitFn = nil
+		if n, err := s.Poll(); err != nil || n != 0 {
+			t.Fatalf("second poll = %d, %v", n, err)
+		}
+	})
+}
+
+func TestDurableOffsetsSurviveRestart(t *testing.T) {
+	db := newDB(t)
+	log := gridsim.NewMemoryLog()
+	t0 := time.Date(2006, 3, 15, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 9; i++ {
+		typ := gridsim.HeartbeatEvent
+		e := gridsim.Event{Time: t0.Add(time.Duration(i) * time.Second), Machine: "m1", Type: typ}
+		if i%3 == 0 {
+			e.Type = gridsim.SubmitEvent
+			e.JobID = fmt.Sprintf("j%d", i)
+			e.User = "u"
+		}
+		log.Append(e)
+	}
+
+	s1 := New(db, "m1", log)
+	s1.BatchSize = 2
+	for i := 0; i < 3; i++ { // applies 6 of 9
+		if _, err := s1.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Crash": s1's in-memory state is abandoned. A fresh process-level
+	// sniffer over the same DB must resume exactly where the committed
+	// batches ended.
+	s2 := New(db, "m1", log)
+	if err := s2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if h := s2.Health(); h.Offset != 6 || h.Applied != 6 {
+		t.Fatalf("restored state = %+v, want offset 6", h)
+	}
+	n, err := s2.Poll()
+	if err != nil || n != 3 {
+		t.Fatalf("post-restart poll = %d, %v", n, err)
+	}
+	// Exactly once: three submit events → exactly three S rows.
+	if got := countRows(t, db, `SELECT COUNT(*) FROM S`); got != 3 {
+		t.Errorf("S rows = %d, want 3", got)
+	}
+	if got := countRows(t, db, `SELECT COUNT(*) FROM JobLog`); got != 3 {
+		t.Errorf("JobLog rows = %d, want 3", got)
+	}
+	res, _ := db.Query(`SELECT recency FROM Heartbeat WHERE sid = 'm1'`)
+	if res.Rows[0][0].String() != "2006-03-15 12:00:08" {
+		t.Errorf("recency = %v", res.Rows[0][0])
+	}
+	if got := countRows(t, db, `SELECT log_offset FROM SnifferState WHERE sid = 'm1'`); got != 9 {
+		t.Errorf("durable offset = %d, want 9", got)
+	}
+}
+
+func TestDedupDropsInBatchDuplicates(t *testing.T) {
+	db := newDB(t)
+	inner := gridsim.NewMemoryLog()
+	t0 := time.Date(2006, 3, 15, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		inner.Append(gridsim.Event{Time: t0.Add(time.Duration(i) * time.Second),
+			Machine: "m1", Type: gridsim.SubmitEvent, JobID: fmt.Sprintf("j%d", i), User: "u"})
+	}
+	fl := gridsim.NewFaultyLog(inner, gridsim.Faults{Duplicate: 1, Seed: 9})
+	s := New(db, "m1", fl)
+	fastTune(s, nil)
+
+	n, err := s.Poll()
+	if err != nil || n != 6 {
+		t.Fatalf("Poll = %d, %v", n, err)
+	}
+	if got := countRows(t, db, `SELECT COUNT(*) FROM S`); got != 6 {
+		t.Errorf("S rows = %d: duplicate slipped through", got)
+	}
+	if h := s.Health(); h.DuplicatesDropped != 1 {
+		t.Errorf("DuplicatesDropped = %d, want 1", h.DuplicatesDropped)
+	}
+}
+
+// TestQuarantinedSourceStillReported proves the degraded-source contract:
+// a source quarantined by its breaker keeps its Heartbeat row, so recency
+// reports show it with its last-known recency instead of silently dropping
+// it.
+func TestQuarantinedSourceStillReported(t *testing.T) {
+	db := newDB(t)
+	var faulty []*gridsim.FaultyLog
+	cfg := gridsim.Config{Machines: 3, Schedulers: 1, Seed: 13, JobRate: 1, HeartbeatEvery: 2,
+		NewLog: func(machine string) (gridsim.Log, error) {
+			fl := gridsim.NewFaultyLog(gridsim.NewMemoryLog(), gridsim.Faults{})
+			faulty = append(faulty, fl)
+			return fl, nil
+		}}
+	sim, err := gridsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewFleet(db, sim)
+	for _, s := range fleet.Sniffers {
+		fastTune(s, NewBreaker(1, time.Hour))
+		s.Retry.MaxAttempts = 1
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query(`SELECT recency FROM Heartbeat WHERE sid = 'Tao3'`)
+	lastKnown := res.Rows[0][0].Time()
+
+	// Tao3's log starts failing hard; the grid keeps running.
+	faulty[2].SetFaults(gridsim.Faults{ReadError: 1, Seed: 5})
+	if err := sim.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.PollAll(); err == nil {
+		t.Fatal("expected Tao3's failure to surface")
+	}
+	if st := fleet.Get("Tao3").Health().Status; st != StatusOpenCircuit {
+		t.Fatalf("Tao3 status = %s, want open-circuit", st)
+	}
+	// The healthy majority kept loading.
+	if _, err := fleet.PollAll(); !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("quarantined poll error = %v", err)
+	}
+
+	sess := db.NewSession()
+	defer sess.Close()
+	rep, err := report.Run(sess, `SELECT mach_id FROM Activity`, report.Config{SkipTempTables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sr := range append(append([]report.SourceRecency{}, rep.Normal...), rep.Exceptional...) {
+		if sr.Sid == "Tao3" {
+			found = true
+			if !sr.Recency.Equal(lastKnown) {
+				t.Errorf("Tao3 recency = %v, want last-known %v", sr.Recency, lastKnown)
+			}
+		}
+	}
+	if !found {
+		t.Error("quarantined source vanished from the recency report")
+	}
+}
+
+// TestConcurrentPollPauseLagRace exercises the sniffer's locking under
+// simultaneous polling, pause/resume flips, lag queries, and health
+// snapshots; run it under -race (make chaos does).
+func TestConcurrentPollPauseLagRace(t *testing.T) {
+	db := newDB(t)
+	sim, err := gridsim.New(gridsim.Config{Machines: 5, Schedulers: 2, Seed: 17, JobRate: 2, HeartbeatEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewFleet(db, sim)
+	for _, s := range fleet.Sniffers {
+		fastTune(s, nil)
+		s.BatchSize = 4
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the grid keeps logging while everything else runs
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			if err := sim.Tick(); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		close(done)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				fleet.PollAll()
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s := fleet.Sniffers[rng.Intn(len(fleet.Sniffers))]
+				if rng.Intn(2) == 0 {
+					s.Pause()
+				} else {
+					s.Resume()
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				for _, s := range fleet.Sniffers {
+					s.Lag()
+				}
+				fleet.Health()
+			}
+		}
+	}()
+	wg.Wait()
+
+	for _, s := range fleet.Sniffers {
+		s.Resume()
+	}
+	if err := fleet.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countRows(t, db, `SELECT COUNT(*) FROM Heartbeat`); got != 5 {
+		t.Errorf("heartbeats = %d", got)
+	}
+}

@@ -23,6 +23,10 @@ const (
 	RunningTable   = "R"
 	JobLogTable    = "JobLog"
 	HeartbeatTable = "Heartbeat"
+	// SnifferStateTable holds each sniffer's durable resume point: the log
+	// offset it has applied through, committed in the same transaction as
+	// the events themselves (exactly-once resume after a crash).
+	SnifferStateTable = "SnifferState"
 )
 
 // InstallSchema creates the monitoring tables, marks their data source
@@ -36,6 +40,7 @@ func InstallSchema(db *engine.DB) error {
 		`CREATE TABLE R (runningMachineId TEXT, jobId TEXT)`,
 		`CREATE TABLE JobLog (mach_id TEXT, job_id TEXT, event TEXT, event_time TIMESTAMP)`,
 		`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`,
+		`CREATE TABLE SnifferState (sid TEXT PRIMARY KEY, log_offset BIGINT, applied BIGINT, last_ts TIMESTAMP)`,
 		`CREATE INDEX idx_activity_mach ON Activity (mach_id)`,
 		`CREATE INDEX idx_routing_mach ON Routing (mach_id)`,
 		`CREATE INDEX idx_s_sched ON S (schedMachineId)`,

@@ -1,7 +1,10 @@
 package sniffer
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -10,32 +13,76 @@ import (
 	"trac/internal/types"
 )
 
+// ErrCircuitOpen is returned by Poll while a source is quarantined by its
+// circuit breaker. The source's Heartbeat row is untouched, so recency
+// reports keep showing it with its last-known recency instead of dropping
+// it.
+var ErrCircuitOpen = errors.New("sniffer: circuit open, source quarantined")
+
 // Sniffer tails one data source's log and loads it into the database.
+//
+// It is built for the paper's failure model — the source is asynchronous
+// and uncontrollable — so every poll read is retried with backoff, a
+// persistently failing source trips a per-source circuit breaker, and the
+// log offset is persisted into the SnifferState table inside the same
+// transaction as the applied events, which makes resume after a crash
+// exactly-once.
 type Sniffer struct {
 	db     *engine.DB
 	source string
 	log    gridsim.Log
 
-	mu      sync.Mutex
-	offset  int
-	paused  bool
-	lastTS  time.Time
-	applied int
+	mu       sync.Mutex
+	offset   int
+	paused   bool
+	lastTS   time.Time
+	applied  int
+	restored bool
+
 	// BatchSize caps how many events one Poll applies (0 = unlimited).
 	// Smaller batches make a sniffer "slower", widening the inconsistency
 	// window between sources — the knob the experiments turn.
 	BatchSize int
+	// Retry tunes transient-read retry within one Poll (zero value =
+	// defaults).
+	Retry RetryPolicy
+
+	breaker *Breaker
+	rng     *rand.Rand
+	sleep   func(time.Duration)
+
+	retries     int
+	dupsDropped int
+	lastErr     error
+
+	// commitFn overrides batch commit in tests to inject commit-time
+	// failures (nil = Batch.Commit).
+	commitFn func(*engine.Batch) error
 }
 
 // New creates a sniffer for one source.
 func New(db *engine.DB, source string, log gridsim.Log) *Sniffer {
-	return &Sniffer{db: db, source: source, log: log}
+	h := fnv.New64a()
+	h.Write([]byte(source))
+	return &Sniffer{
+		db:      db,
+		source:  source,
+		log:     log,
+		breaker: NewBreaker(0, 0),
+		rng:     rand.New(rand.NewSource(int64(h.Sum64()))),
+		sleep:   time.Sleep,
+	}
 }
 
 // Source returns the data source id.
 func (s *Sniffer) Source() string { return s.source }
 
-// Applied returns the number of events loaded so far.
+// Breaker exposes the per-source circuit breaker for tuning (threshold,
+// cooldown) and inspection.
+func (s *Sniffer) Breaker() *Breaker { return s.breaker }
+
+// Applied returns the number of events loaded so far (including, after a
+// restore, events applied by a previous incarnation of this sniffer).
 func (s *Sniffer) Applied() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -76,17 +123,97 @@ func (s *Sniffer) Paused() bool {
 	return s.paused
 }
 
-// Poll reads new log records and applies them (plus the Heartbeat advance)
-// in one atomic batch. It returns the number of events applied.
+// Restore loads the sniffer's durable offset state from the SnifferState
+// table immediately. Poll does this lazily on first use, so calling Restore
+// is only needed to observe the recovered offset before polling.
+func (s *Sniffer) Restore() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restoreLocked()
+}
+
+// restoreLocked recovers offset/applied/lastTS from SnifferState. Missing
+// table (non-durable deployments) or missing row (first run) leave the
+// zero state.
+func (s *Sniffer) restoreLocked() error {
+	s.restored = true
+	if !s.durable() {
+		return nil
+	}
+	res, err := s.db.Query(`SELECT log_offset, applied, last_ts FROM ` + SnifferStateTable +
+		` WHERE sid = ` + types.NewString(s.source).SQL())
+	if err != nil {
+		return fmt.Errorf("sniffer: restore %s: %w", s.source, err)
+	}
+	if len(res.Rows) == 0 {
+		return nil
+	}
+	row := res.Rows[0]
+	s.offset = int(row[0].Int())
+	s.applied = int(row[1].Int())
+	if !row[2].IsNull() {
+		s.lastTS = row[2].Time()
+	}
+	return nil
+}
+
+// durable reports whether the SnifferState table exists (deployments that
+// never installed it just lose resume-on-restart, nothing else).
+func (s *Sniffer) durable() bool {
+	_, err := s.db.Catalog().Get(SnifferStateTable)
+	return err == nil
+}
+
+// Poll reads new log records and applies them (plus the Heartbeat advance
+// and the durable offset update) in one atomic batch. It returns the number
+// of events applied.
+//
+// Transient read failures are retried per s.Retry; a poll that still fails
+// counts against the circuit breaker, and while the breaker is open Poll
+// fails fast with ErrCircuitOpen.
 func (s *Sniffer) Poll() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.paused {
 		return 0, nil
 	}
-	events, next, err := s.log.ReadFrom(s.offset)
+	if !s.restored {
+		if err := s.restoreLocked(); err != nil {
+			s.lastErr = err
+			return 0, err
+		}
+	}
+	if !s.breaker.Allow() {
+		err := fmt.Errorf("%w: %s", ErrCircuitOpen, s.source)
+		s.lastErr = err
+		return 0, err
+	}
+	n, err := s.pollLocked()
+	if err != nil {
+		s.breaker.Failure()
+		s.lastErr = err
+		return n, err
+	}
+	s.breaker.Success()
+	s.lastErr = nil
+	return n, nil
+}
+
+func (s *Sniffer) pollLocked() (int, error) {
+	events, next, err := s.readWithRetry(s.offset)
 	if err != nil {
 		return 0, err
+	}
+	// A faulty reader can deliver a record twice within one batch. The
+	// log's next-offset is authoritative for how many unique records exist,
+	// so any surplus is duplication: drop adjacent repeats, exactly the
+	// surplus count.
+	if unique := next - s.offset; unique < len(events) {
+		events = s.dropDuplicates(events, len(events)-unique)
+		if len(events) != unique {
+			return 0, fmt.Errorf("sniffer: %s: log delivered %d records for %d offsets",
+				s.source, len(events), unique)
+		}
 	}
 	if s.BatchSize > 0 && len(events) > s.BatchSize {
 		events = events[:s.BatchSize]
@@ -113,20 +240,130 @@ func (s *Sniffer) Poll() (int, error) {
 	// Maintain the recency timestamp: the most recent event reported by
 	// this source (§3.1's simple protocol; heartbeat records advance it
 	// even when there is nothing to report).
-	if maxTS.After(s.lastTS) {
+	newLast := s.lastTS
+	if maxTS.After(newLast) {
+		newLast = maxTS
 		if err := upsertHeartbeat(b, s.source, maxTS); err != nil {
 			return 0, err
 		}
 	}
-	if err := b.Commit(); err != nil {
+	newApplied := s.applied + len(events)
+	// Exactly-once resume: the offset advance commits atomically with the
+	// events it covers, so a crash between commit and the in-memory update
+	// below cannot double-apply on restart.
+	if s.durable() {
+		if err := persistState(b, s.source, next, newApplied, newLast); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.commit(b); err != nil {
+		// The transaction may have landed even though Commit errored (a WAL
+		// append failure happens after the engine commit). Resync so the
+		// next poll neither skips nor re-applies events.
+		s.resyncLocked(err, next, newApplied, newLast)
 		return 0, err
 	}
-	if maxTS.After(s.lastTS) {
-		s.lastTS = maxTS
-	}
 	s.offset = next
-	s.applied += len(events)
+	s.applied = newApplied
+	s.lastTS = newLast
 	return len(events), nil
+}
+
+// readWithRetry reads the log, retrying transient failures with jittered
+// exponential backoff.
+func (s *Sniffer) readWithRetry(offset int) ([]gridsim.Event, int, error) {
+	p := s.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.retries++
+			s.sleep(p.backoff(attempt-1, s.rng))
+		}
+		events, next, err := s.log.ReadFrom(offset)
+		if err == nil {
+			return events, next, nil
+		}
+		lastErr = err
+		if !isTransient(err) {
+			return nil, 0, err
+		}
+	}
+	return nil, 0, fmt.Errorf("sniffer: %s: read failed after %d attempts: %w",
+		s.source, p.MaxAttempts, lastErr)
+}
+
+// dropDuplicates removes up to surplus adjacent-equal records, counting
+// them in the health counters.
+func (s *Sniffer) dropDuplicates(events []gridsim.Event, surplus int) []gridsim.Event {
+	out := make([]gridsim.Event, 0, len(events))
+	for i, e := range events {
+		if surplus > 0 && i > 0 && e == events[i-1] {
+			surplus--
+			s.dupsDropped++
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// commit commits the batch (or runs the test-injected commit).
+func (s *Sniffer) commit(b *engine.Batch) error {
+	if s.commitFn != nil {
+		return s.commitFn(b)
+	}
+	return b.Commit()
+}
+
+// resyncLocked reconciles in-memory state after a failed commit. A
+// post-commit WAL failure (engine.ErrWALAppend) means the data IS visible:
+// adopt the new state. Any other failure leaves the database unchanged, but
+// when durable state exists we re-read it as ground truth anyway.
+func (s *Sniffer) resyncLocked(cause error, next, applied int, last time.Time) {
+	if errors.Is(cause, engine.ErrWALAppend) {
+		s.offset = next
+		s.applied = applied
+		s.lastTS = last
+		return
+	}
+	if !s.durable() {
+		return
+	}
+	res, err := s.db.Query(`SELECT log_offset, applied, last_ts FROM ` + SnifferStateTable +
+		` WHERE sid = ` + types.NewString(s.source).SQL())
+	if err != nil || len(res.Rows) == 0 {
+		return
+	}
+	row := res.Rows[0]
+	if off := int(row[0].Int()); off > s.offset {
+		s.offset = off
+		s.applied = int(row[1].Int())
+		if !row[2].IsNull() {
+			s.lastTS = row[2].Time()
+		}
+	}
+}
+
+// persistState upserts the sniffer's durable resume point inside the batch.
+func persistState(b *engine.Batch, sid string, offset, applied int, last time.Time) error {
+	sidSQL := types.NewString(sid).SQL()
+	lastSQL := "NULL"
+	if !last.IsZero() {
+		lastSQL = types.NewTime(last).SQL()
+	}
+	set := `log_offset = ` + types.NewInt(int64(offset)).SQL() +
+		`, applied = ` + types.NewInt(int64(applied)).SQL() +
+		`, last_ts = ` + lastSQL
+	n, err := b.Exec(`UPDATE ` + SnifferStateTable + ` SET ` + set + ` WHERE sid = ` + sidSQL)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		_, err = b.Exec(`INSERT INTO ` + SnifferStateTable + ` (sid, log_offset, applied, last_ts) VALUES (` +
+			sidSQL + `, ` + types.NewInt(int64(offset)).SQL() + `, ` +
+			types.NewInt(int64(applied)).SQL() + `, ` + lastSQL + `)`)
+	}
+	return err
 }
 
 // applyEvent translates one log record into relational updates.
@@ -196,6 +433,12 @@ func upsertHeartbeat(b *engine.Batch, sid string, ts time.Time) error {
 // Fleet manages one sniffer per machine of a simulated grid.
 type Fleet struct {
 	Sniffers []*Sniffer
+	// StaleAfter marks an otherwise-healthy source stale in Health() when
+	// its recency lags the freshest source by more than this (0 disables).
+	StaleAfter time.Duration
+	// DrainStallLimit bounds how many consecutive zero-progress error
+	// rounds DrainAll tolerates before giving up (0 = default 50).
+	DrainStallLimit int
 }
 
 // NewFleet builds sniffers for every machine of the simulator.
@@ -207,8 +450,10 @@ func NewFleet(db *engine.DB, sim *gridsim.Simulator) *Fleet {
 	return f
 }
 
-// PollAll polls every sniffer once, concurrently, and returns the total
-// number of events applied.
+// PollAll polls every sniffer once, concurrently. It always returns the
+// total number of events applied across the whole fleet; errors from
+// individual sniffers are aggregated with errors.Join, so one failing
+// source never hides the others' progress or errors.
 func (f *Fleet) PollAll() (int, error) {
 	var wg sync.WaitGroup
 	counts := make([]int, len(f.Sniffers))
@@ -222,13 +467,10 @@ func (f *Fleet) PollAll() (int, error) {
 	}
 	wg.Wait()
 	total := 0
-	for i := range counts {
-		if errs[i] != nil {
-			return total, errs[i]
-		}
-		total += counts[i]
+	for _, n := range counts {
+		total += n
 	}
-	return total, nil
+	return total, errors.Join(errs...)
 }
 
 // Get returns the sniffer for a source name, or nil.
@@ -241,16 +483,31 @@ func (f *Fleet) Get(source string) *Sniffer {
 	return nil
 }
 
-// DrainAll polls until no sniffer makes progress (the database has caught
-// up with every log).
+// DrainAll polls until the database has caught up with every log. Transient
+// failures do not abort the drain: as long as some sniffer makes progress
+// the fleet keeps polling, and zero-progress rounds with errors are retried
+// (with a short pause, letting backoff and breaker cooldowns do their work)
+// up to DrainStallLimit consecutive times before the aggregated error is
+// returned.
 func (f *Fleet) DrainAll() error {
+	limit := f.DrainStallLimit
+	if limit <= 0 {
+		limit = 50
+	}
+	stalled := 0
 	for {
 		n, err := f.PollAll()
-		if err != nil {
-			return err
+		if n > 0 {
+			stalled = 0
+			continue
 		}
-		if n == 0 {
+		if err == nil {
 			return nil
 		}
+		stalled++
+		if stalled >= limit {
+			return err
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

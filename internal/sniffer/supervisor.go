@@ -1,0 +1,140 @@
+package sniffer
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SupervisorConfig tunes the continuous polling loops.
+type SupervisorConfig struct {
+	// Interval is the pause between poll rounds per source (default 50ms).
+	Interval time.Duration
+	// PollTimeout is the per-poll watchdog: a poll that exceeds it is
+	// counted as timed out and the loop waits it out instead of stacking a
+	// second poll behind it (default 5s).
+	PollTimeout time.Duration
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.PollTimeout <= 0 {
+		c.PollTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Supervisor runs one continuous polling loop per sniffer. Loops are fully
+// independent: a source that fails, times out, or trips its breaker never
+// stops the rest of the fleet — it just keeps degrading in Health() until
+// it recovers. Poll errors are absorbed (the per-sniffer breaker and the
+// health surface carry them); the supervisor's only job is to keep polling.
+type Supervisor struct {
+	fleet *Fleet
+	cfg   SupervisorConfig
+
+	timeouts atomic.Int64
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewSupervisor builds a supervisor over a fleet.
+func NewSupervisor(fleet *Fleet, cfg SupervisorConfig) *Supervisor {
+	return &Supervisor{fleet: fleet, cfg: cfg.withDefaults()}
+}
+
+// Start launches one polling goroutine per sniffer. Starting twice is a
+// no-op.
+func (sv *Supervisor) Start() {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.started {
+		return
+	}
+	sv.started = true
+	sv.stop = make(chan struct{})
+	for _, s := range sv.fleet.Sniffers {
+		sv.wg.Add(1)
+		go sv.run(s)
+	}
+}
+
+// Stop halts every polling loop and waits for them to exit. A loop stuck
+// inside a hung poll exits as soon as its watchdog fires; the hung Poll
+// call itself is left to finish on its own (it holds only that sniffer's
+// lock).
+func (sv *Supervisor) Stop() {
+	sv.mu.Lock()
+	if !sv.started {
+		sv.mu.Unlock()
+		return
+	}
+	sv.started = false
+	close(sv.stop)
+	sv.mu.Unlock()
+	sv.wg.Wait()
+}
+
+// Timeouts returns how many polls exceeded the per-poll watchdog.
+func (sv *Supervisor) Timeouts() int { return int(sv.timeouts.Load()) }
+
+// run is one sniffer's polling loop.
+func (sv *Supervisor) run(s *Sniffer) {
+	defer sv.wg.Done()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-sv.stop:
+			return
+		default:
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.Poll() // errors land in the sniffer's breaker + health
+		}()
+		timer.Reset(sv.cfg.PollTimeout)
+		select {
+		case <-done:
+			stopTimer(timer)
+		case <-timer.C:
+			sv.timeouts.Add(1)
+			// Wait the hung poll out (its lock serializes the source)
+			// unless we are asked to stop.
+			select {
+			case <-done:
+			case <-sv.stop:
+				return
+			}
+		case <-sv.stop:
+			stopTimer(timer)
+			return
+		}
+		timer.Reset(sv.cfg.Interval)
+		select {
+		case <-sv.stop:
+			stopTimer(timer)
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// stopTimer drains a timer so it can be safely reused.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}

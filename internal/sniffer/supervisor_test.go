@@ -1,0 +1,144 @@
+package sniffer
+
+import (
+	"testing"
+	"time"
+
+	"trac/internal/gridsim"
+)
+
+func TestSupervisorOneFailingSourceNeverStopsTheFleet(t *testing.T) {
+	db := newDB(t)
+	var faulty []*gridsim.FaultyLog
+	cfg := gridsim.Config{Machines: 4, Schedulers: 1, Seed: 21, JobRate: 1, HeartbeatEvery: 2,
+		NewLog: func(machine string) (gridsim.Log, error) {
+			fl := gridsim.NewFaultyLog(gridsim.NewMemoryLog(), gridsim.Faults{})
+			faulty = append(faulty, fl)
+			return fl, nil
+		}}
+	sim, err := gridsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	// Tao2's log fails on every read from the start.
+	faulty[1].SetFaults(gridsim.Faults{ReadError: 1, Seed: 3})
+
+	fleet := NewFleet(db, sim)
+	for _, s := range fleet.Sniffers {
+		fastTune(s, NewBreaker(2, time.Hour))
+		s.Retry.MaxAttempts = 1
+	}
+	sv := NewSupervisor(fleet, SupervisorConfig{Interval: time.Millisecond, PollTimeout: time.Second})
+	sv.Start()
+	defer sv.Stop()
+
+	// Every healthy source fully drains and Tao2's breaker trips, all while
+	// Tao2 keeps failing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		caught := fleet.Get("Tao2").Health().Status == StatusOpenCircuit
+		for i, s := range fleet.Sniffers {
+			if i == 1 {
+				continue
+			}
+			lag, err := s.Lag()
+			if err != nil || lag != 0 {
+				caught = false
+			}
+		}
+		if caught {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached drained-but-Tao2-quarantined; Tao2 = %+v",
+				fleet.Get("Tao2").Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sv.Stop()
+	for _, h := range fleet.Health() {
+		if h.Source != "Tao2" && h.Status == StatusOpenCircuit {
+			t.Errorf("%s was quarantined by a neighbor's failure", h.Source)
+		}
+	}
+
+	// Second Start after Stop works (restart-ability), and Tao2 recovers once
+	// its log heals and its breaker cools down.
+	faulty[1].SetFaults(gridsim.Faults{})
+	fleet.Get("Tao2").Breaker().Cooldown = time.Millisecond
+	sv2 := NewSupervisor(fleet, SupervisorConfig{Interval: time.Millisecond, PollTimeout: time.Second})
+	sv2.Start()
+	defer sv2.Stop()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if lag, err := fleet.Get("Tao2").Lag(); err == nil && lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Tao2 did not recover after its log healed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := fleet.Get("Tao2").Health().Status; st != StatusOK {
+		t.Errorf("Tao2 status = %s after recovery", st)
+	}
+}
+
+// blockingLog hangs ReadFrom until released, simulating a source that
+// stops responding entirely (no error, no data).
+type blockingLog struct {
+	inner   gridsim.Log
+	release chan struct{}
+}
+
+func (l *blockingLog) Append(e gridsim.Event) error { return l.inner.Append(e) }
+func (l *blockingLog) Len() (int, error)            { return l.inner.Len() }
+func (l *blockingLog) Close() error                 { return l.inner.Close() }
+
+func (l *blockingLog) ReadFrom(offset int) ([]gridsim.Event, int, error) {
+	<-l.release
+	return l.inner.ReadFrom(offset)
+}
+
+func TestSupervisorWatchdogCountsHungPolls(t *testing.T) {
+	db := newDB(t)
+	bl := &blockingLog{inner: heartbeatLog(t, 2), release: make(chan struct{})}
+	hung := New(db, "m1", bl)
+	healthy := New(db, "m2", func() gridsim.Log {
+		l := gridsim.NewMemoryLog()
+		l.Append(gridsim.Event{Time: time.Date(2006, 3, 15, 12, 0, 0, 0, time.UTC),
+			Machine: "m2", Type: gridsim.HeartbeatEvent})
+		return l
+	}())
+	fleet := &Fleet{Sniffers: []*Sniffer{hung, healthy}}
+
+	sv := NewSupervisor(fleet, SupervisorConfig{Interval: time.Millisecond, PollTimeout: 5 * time.Millisecond})
+	sv.Start()
+
+	// The healthy source drains while m1 hangs; the watchdog notices the
+	// hung poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if lag, err := healthy.Lag(); err == nil && lag == 0 && sv.Timeouts() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeouts = %d, healthy lag unknown; watchdog never fired", sv.Timeouts())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stop returns promptly even with a poll still hung (the loop abandons
+	// waiting for it). Release the log afterwards so the goroutine exits.
+	stopped := make(chan struct{})
+	go func() { sv.Stop(); close(stopped) }()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop blocked on a hung poll")
+	}
+	close(bl.release)
+}
