@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check chaos bench bench-parallel
+.PHONY: build test lint check chaos bench bench-parallel
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,16 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: vet everything, then run the concurrency-sensitive
-# packages (parallel scan, plan cache, MVCC) under the race detector.
-check:
+# lint runs the stock vet plus tracvet, the repo's own invariant suite
+# (catalog-version bumps, lock pairing, error wrapping, cancelable loops,
+# owned goroutines). Exits non-zero on any finding.
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/tracvet ./...
+
+# check is the CI gate: lint everything, then run the concurrency-sensitive
+# packages (parallel scan, plan cache, MVCC) under the race detector.
+check: lint
 	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/txn/...
 
 # chaos runs the ingestion robustness suite with elevated fault-injection

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// catbump enforces the plan-cache coherence invariant from PR 1: the recency
+// plan cache keys entries by the catalog version, so any exported entry
+// point whose execution mutates catalog state (table create/drop, index
+// creation, CHECK/source-column/domain registration) must bump the catalog
+// version before returning — otherwise cached recency plans are served
+// against a schema they were not generated for, and the recency report is no
+// longer consistent with the query snapshot (TRAC §3).
+//
+// The check is flow-insensitive and call-graph aware within a package: a
+// mutation is "covered" if the function performing it, or an exported caller
+// reaching it, calls BumpVersion anywhere in its body. The storage and types
+// packages define the primitives themselves and are exempt.
+var catbumpAnalyzer = &Analyzer{
+	Name: "catbump",
+	Doc:  "catalog mutations must bump the catalog version (plan-cache coherence)",
+	Run:  runCatbump,
+}
+
+// catbumpExempt lists the layers that define the catalog primitives; the
+// invariant binds their callers, not their implementations.
+var catbumpExempt = map[string]bool{
+	"trac/internal/storage": true,
+	"trac/internal/types":   true,
+}
+
+// catalog-mutator shapes: method calls on storage-layer types, and direct
+// field writes to schema metadata.
+var (
+	catbumpMutMethods = map[string]bool{"SetSourceColumn": true, "CreateIndex": true}
+	catbumpCatMethods = map[string]bool{"Create": true, "Drop": true}
+	catbumpMutFields  = map[string]bool{"Domain": true, "Checks": true, "SourceColumn": true}
+	catbumpOwnerTypes = map[string]bool{"Catalog": true, "Schema": true, "Table": true, "Column": true}
+)
+
+// catbumpFacts are the per-function facts the call-graph walk combines.
+type catbumpFacts struct {
+	decl    *ast.FuncDecl
+	bumps   bool
+	mutPos  token.Pos // first direct mutation (NoPos if none)
+	mutWhat string
+	callees []*types.Func
+}
+
+func runCatbump(p *Pass) {
+	if catbumpExempt[p.Path] {
+		return
+	}
+	facts := make(map[*types.Func]*catbumpFacts)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			facts[fn] = catbumpCollect(p, fd)
+		}
+	}
+
+	// A function is "uncovered" if it can reach a catalog mutation (directly
+	// or through same-package callees) without a BumpVersion call of its own
+	// and without the mutation being covered below it.
+	memo := make(map[*types.Func]int) // 0 unknown, 1 in-progress, 2 covered, 3 uncovered
+	var uncovered func(fn *types.Func) bool
+	uncovered = func(fn *types.Func) bool {
+		switch memo[fn] {
+		case 1, 2:
+			return false // cycle or known covered
+		case 3:
+			return true
+		}
+		fc := facts[fn]
+		if fc == nil {
+			return false
+		}
+		memo[fn] = 1
+		bad := false
+		if !fc.bumps {
+			if fc.mutPos.IsValid() {
+				bad = true
+			} else {
+				for _, callee := range fc.callees {
+					if uncovered(callee) {
+						bad = true
+						break
+					}
+				}
+			}
+		}
+		if bad {
+			memo[fn] = 3
+		} else {
+			memo[fn] = 2
+		}
+		return bad
+	}
+
+	for fn, fc := range facts {
+		// Entry points: exported functions/methods, plus main/init in
+		// commands (nothing exported sits above them).
+		name := fc.decl.Name.Name
+		entry := fc.decl.Name.IsExported() || name == "main" || name == "init"
+		if !entry || !uncovered(fn) {
+			continue
+		}
+		what := fc.mutWhat
+		if what == "" {
+			what = "a callee that mutates catalog state"
+		}
+		p.Reportf(fc.decl.Name.Pos(),
+			"%s mutates catalog state (%s) without bumping the catalog version; stale recency plans will be served from the plan cache",
+			name, what)
+	}
+}
+
+// catbumpCollect gathers one function's facts (nested literals count as part
+// of the enclosing function: their effects happen before it returns).
+func catbumpCollect(p *Pass, fd *ast.FuncDecl) *catbumpFacts {
+	fc := &catbumpFacts{decl: fd}
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && !p.isPkgName(sel.X) {
+				name := sel.Sel.Name
+				recv := p.namedTypeName(sel.X)
+				switch {
+				case name == "BumpVersion":
+					fc.bumps = true
+				case catbumpMutMethods[name] && catbumpOwnerTypes[recv]:
+					fc.noteMutation(n.Pos(), "call to "+recv+"."+name)
+				case catbumpCatMethods[name] && recv == "Catalog":
+					fc.noteMutation(n.Pos(), "call to Catalog."+name)
+				}
+			}
+			if fn := p.calleeFunc(n); fn != nil && fn.Pkg() == p.Pkg && !seen[fn] {
+				seen[fn] = true
+				fc.callees = append(fc.callees, fn)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || !catbumpMutFields[sel.Sel.Name] {
+					continue
+				}
+				if catbumpOwnerTypes[p.namedTypeName(sel.X)] {
+					fc.noteMutation(sel.Pos(), "write to ."+sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+	return fc
+}
+
+func (fc *catbumpFacts) noteMutation(pos token.Pos, what string) {
+	if !fc.mutPos.IsValid() {
+		fc.mutPos = pos
+		fc.mutWhat = what
+	}
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxloop enforces cancellation discipline in the ingestion layer's
+// retry/poll loops (sniffer backoff, fleet drains, breaker half-open
+// probes): a loop that sleeps must be cancelable, or a wedged source pins
+// its goroutine forever and Supervisor.Stop/test timeouts hang with it.
+//
+//  1. A sleep-shaped call (time.Sleep, or an injected sleep func) inside a
+//     for-loop is flagged unless the loop body consults a context
+//     (ctx.Err()/ctx.Done()/a context-aware wait helper).
+//  2. An infinite for-loop in a function that takes a context.Context but
+//     whose body never mentions it is flagged: the loop can never observe
+//     cancellation.
+var ctxloopAnalyzer = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "retry/poll loops must be context-aware: no un-cancelable sleeps",
+	Run:  runCtxloop,
+}
+
+func runCtxloop(p *Pass) {
+	for _, u := range funcUnits(p) {
+		hasCtxParam := unitHasCtxParam(p, u)
+		walkShallow(u.Body, func(n ast.Node) bool {
+			body, isInfinite := loopBody(n)
+			if body == nil {
+				return true
+			}
+			aware := loopMentionsContext(p, body)
+			if !aware {
+				for _, call := range loopSleepCalls(p, body) {
+					p.Reportf(call.Pos(),
+						"blocking sleep inside a loop with no context check; a wedged source cannot be canceled — thread ctx and use a context-aware wait")
+				}
+				if isInfinite && hasCtxParam && bodyHasCall(body) {
+					p.Reportf(n.Pos(),
+						"infinite loop in a context-taking function never checks ctx.Err()/ctx.Done(); cancellation is unobservable")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// loopBody returns the body of a for/range statement (nil otherwise) and
+// whether the loop is unconditionally infinite.
+func loopBody(n ast.Node) (*ast.BlockStmt, bool) {
+	switch s := n.(type) {
+	case *ast.ForStmt:
+		return s.Body, s.Cond == nil
+	case *ast.RangeStmt:
+		return s.Body, false
+	}
+	return nil, false
+}
+
+// loopSleepCalls finds sleep-shaped calls directly in a loop body (not in
+// nested function literals): time.Sleep, or any call whose terminal name is
+// sleep-ish — covering injected `sleep func(time.Duration)` fields.
+func loopSleepCalls(p *Pass, body *ast.BlockStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	walkShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := p.calleeFunc(call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+			out = append(out, call)
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.HasPrefix(strings.ToLower(name), "sleep") {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// loopMentionsContext reports whether a loop body references any expression
+// of type context.Context (ctx.Err(), ctx.Done(), passing ctx to a helper).
+func loopMentionsContext(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	walkShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isContextType(p.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func unitHasCtxParam(p *Pass, u funcUnit) bool {
+	if u.Decl == nil || u.Decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range u.Decl.Type.Params.List {
+		if isContextType(p.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyHasCall reports whether the loop body performs any call (a loop doing
+// real work, as opposed to a pure counting loop).
+func bodyHasCall(body *ast.BlockStmt) bool {
+	has := false
+	walkShallow(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			has = true
+			return false
+		}
+		return true
+	})
+	return has
+}

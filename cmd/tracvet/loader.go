@@ -1,0 +1,233 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pkgInfo is one loaded, type-checked package.
+type pkgInfo struct {
+	Dir     string
+	Path    string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	Errs    []error
+	loading bool
+}
+
+// loader parses and type-checks packages of the enclosing module using only
+// the standard library: module-internal imports are resolved against the
+// module root, everything else goes to the GOROOT source importer. Results
+// are cached, so shared dependencies are checked once per run.
+type loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+
+	std    types.Importer
+	byDir  map[string]*pkgInfo
+	byPath map[string]*pkgInfo
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		Fset:    fset,
+		ModRoot: modRoot,
+		ModPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		byDir:   make(map[string]*pkgInfo),
+		byPath:  make(map[string]*pkgInfo),
+	}
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("tracvet: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("tracvet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module-internal paths load from source
+// within the module, anything else is delegated to the GOROOT importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pi, err := l.LoadDir(filepath.Join(l.ModRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if len(pi.Errs) > 0 {
+			return nil, fmt.Errorf("tracvet: package %s has type errors: %w", path, pi.Errs[0])
+		}
+		return pi.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// importPath maps a directory inside the module to its import path.
+func (l *loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files only).
+// A directory without Go files yields a pkgInfo with no files and no error.
+func (l *loader) LoadDir(dir string) (*pkgInfo, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pi, ok := l.byDir[abs]; ok {
+		if pi.loading {
+			return nil, fmt.Errorf("tracvet: import cycle through %s", abs)
+		}
+		return pi, nil
+	}
+	pi := &pkgInfo{Dir: abs, Path: l.importPath(abs), loading: true}
+	l.byDir[abs] = pi
+	defer func() { pi.loading = false }()
+
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(abs, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, perr
+		}
+		pi.Files = append(pi.Files, f)
+	}
+	if len(pi.Files) == 0 {
+		return pi, nil
+	}
+
+	pi.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pi.Errs = append(pi.Errs, err) },
+	}
+	pkg, _ := conf.Check(pi.Path, l.Fset, pi.Files, pi.Info)
+	pi.Pkg = pkg
+	l.byPath[pi.Path] = pi
+	return pi, nil
+}
+
+// expandPatterns resolves command-line package patterns into package
+// directories: "dir" loads one directory, "dir/..." (and "./...") walk
+// recursively. Directories named testdata or vendor, and hidden or
+// underscore-prefixed directories, are skipped during walks (but may be
+// named explicitly).
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			return
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "..."); ok {
+			root = strings.TrimSuffix(root, "/")
+			if root == "" || root == "." {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		st, err := os.Stat(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			return nil, fmt.Errorf("tracvet: %s is not a directory", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

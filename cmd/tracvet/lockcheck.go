@@ -1,0 +1,415 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockcheck enforces two mutex disciplines:
+//
+//  1. Every mu.Lock()/mu.RLock() must be released by a deferred unlock in
+//     the same function, or by an explicit matching unlock on every path the
+//     checker can see (same statement list, with any early return preceded
+//     by its own unlock). A lock the checker cannot prove released is a
+//     latent deadlock under the morsel-driven executor.
+//  2. While a method holds its receiver's lock, it must not call an exported
+//     method on the same receiver that acquires the same lock —
+//     sync.(RW)Mutex is not reentrant, so that is a guaranteed or
+//     writer-starvation self-deadlock.
+var lockcheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "lock/unlock pairing and self-deadlock detection for sync mutexes",
+	Run:  runLockcheck,
+}
+
+var lockPairs = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// lockOp is one mutex acquire or release in a function body.
+type lockOp struct {
+	call   *ast.CallExpr
+	key    string // lock expression, e.g. "s.mu"
+	method string // Lock, RLock, Unlock, RUnlock
+}
+
+// syncMutexOp recognizes a call to a sync.Mutex/RWMutex method (including
+// through embedding) and returns its lock expression key and method name.
+func syncMutexOp(p *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return lockOp{call: call, key: exprKey(p.Fset, sel.X), method: fn.Name()}, true
+	}
+	return lockOp{}, false
+}
+
+func runLockcheck(p *Pass) {
+	units := funcUnits(p)
+	methodLocks := collectMethodLocks(p, units)
+	for _, u := range units {
+		checkLockPairing(p, u)
+		checkSelfDeadlock(p, u, methodLocks)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// sub-check 1: pairing
+
+func checkLockPairing(p *Pass, u funcUnit) {
+	// Deferred unlocks anywhere in the unit release that lock for the whole
+	// function.
+	deferred := make(map[string]bool) // key+method released by defer
+	walkShallow(u.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if op, ok := syncMutexOp(p, d.Call); ok {
+			deferred[op.key+"."+op.method] = true
+		}
+		return true
+	})
+
+	var checkList func(list []ast.Stmt)
+	checkList = func(list []ast.Stmt) {
+		for i, stmt := range list {
+			// Recurse into nested statement lists first.
+			for _, sub := range stmtLists(stmt) {
+				checkList(sub)
+			}
+			op, ok := stmtMutexOp(p, stmt)
+			if !ok || lockPairs[op.method] == "" {
+				continue // not an acquire
+			}
+			unlock := lockPairs[op.method]
+			if deferred[op.key+"."+unlock] {
+				continue
+			}
+			rest := list[i+1:]
+			endHeld, _, vio := heldWalk(p, rest, op.key, unlock, true)
+			if vio.IsValid() {
+				p.Reportf(op.call.Pos(),
+					"%s.%s() is still held at a return on line %d; add `defer %s.%s()` or unlock on every path",
+					op.key, op.method, p.Fset.Position(vio).Line, op.key, unlock)
+			} else if endHeld {
+				p.Reportf(op.call.Pos(),
+					"%s.%s() is still held at the end of the block; add `defer %s.%s()` or unlock on every path",
+					op.key, op.method, op.key, unlock)
+			}
+		}
+	}
+	checkList(u.Body.List)
+}
+
+// stmtMutexOp matches a statement that is exactly one mutex method call.
+func stmtMutexOp(p *Pass, stmt ast.Stmt) (lockOp, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return lockOp{}, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	return syncMutexOp(p, call)
+}
+
+// heldWalk abstractly interprets a statement list with respect to one lock.
+// It returns whether the lock is held when control falls off the end of the
+// list, whether the list always terminates control flow (return/panic/
+// break/continue on every path), and the position of the first return
+// reached while the lock is held (NoPos if none). Branch bodies are walked
+// with the current state; a branch that returns does not affect the
+// fall-through state, which is what makes the classic
+// `if cond { mu.Unlock(); return }` prologue pattern check out.
+func heldWalk(p *Pass, list []ast.Stmt, key, unlock string, held bool) (endHeld, terminated bool, violation token.Pos) {
+	for _, stmt := range list {
+		if op, ok := stmtMutexOp(p, stmt); ok && op.key == key {
+			switch op.method {
+			case unlock:
+				held = false
+			case "Lock", "RLock":
+				held = true
+			}
+			continue
+		}
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			if held {
+				return held, true, s.Pos()
+			}
+			return false, true, token.NoPos
+		case *ast.BranchStmt: // break/continue/goto: leave the list
+			return held, true, token.NoPos
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return held, true, token.NoPos
+				}
+			}
+		}
+		subs, exhaustive := branchLists(stmt)
+		if len(subs) == 0 {
+			continue
+		}
+		nextHeld := held && !exhaustive // the "no branch taken" path
+		allTerminate := exhaustive
+		for _, sub := range subs {
+			h, term, vio := heldWalk(p, sub, key, unlock, held)
+			if vio.IsValid() {
+				return held, false, vio
+			}
+			if term {
+				continue // this branch leaves the function/loop; no fall-through
+			}
+			allTerminate = false
+			if h {
+				nextHeld = true
+			}
+		}
+		if exhaustive && allTerminate {
+			// Nothing falls through; the rest of the list is unreachable.
+			return false, true, token.NoPos
+		}
+		held = nextHeld
+	}
+	return held, false, token.NoPos
+}
+
+// branchLists returns the nested statement lists of a compound statement and
+// whether exactly one of them is guaranteed to execute (exhaustive).
+func branchLists(stmt ast.Stmt) ([][]ast.Stmt, bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}, true
+	case *ast.IfStmt:
+		out := [][]ast.Stmt{s.Body.List}
+		exhaustive := false
+		if s.Else != nil {
+			sub, subEx := branchLists(s.Else)
+			out = append(out, sub...)
+			exhaustive = subEx
+		}
+		return out, exhaustive
+	case *ast.ForStmt:
+		return [][]ast.Stmt{s.Body.List}, false
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{s.Body.List}, false
+	case *ast.SwitchStmt:
+		return switchLists(s.Body)
+	case *ast.TypeSwitchStmt:
+		return switchLists(s.Body)
+	case *ast.SelectStmt:
+		subs, _ := switchLists(s.Body)
+		return subs, true // select blocks until some case runs
+	case *ast.LabeledStmt:
+		return branchLists(s.Stmt)
+	}
+	return nil, false
+}
+
+func switchLists(body *ast.BlockStmt) ([][]ast.Stmt, bool) {
+	var out [][]ast.Stmt
+	exhaustive := false
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, cc.Body)
+			if cc.List == nil { // default clause
+				exhaustive = true
+			}
+		case *ast.CommClause:
+			out = append(out, cc.Body)
+		}
+	}
+	return out, exhaustive
+}
+
+// stmtLists returns the nested statement lists of a compound statement
+// (branch bodies, loop bodies, switch/select clauses).
+func stmtLists(stmt ast.Stmt) [][]ast.Stmt {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}
+	case *ast.IfStmt:
+		out := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			out = append(out, stmtLists(s.Else)...)
+		}
+		return out
+	case *ast.ForStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.SwitchStmt:
+		return clauseLists(s.Body)
+	case *ast.TypeSwitchStmt:
+		return clauseLists(s.Body)
+	case *ast.SelectStmt:
+		return clauseLists(s.Body)
+	case *ast.LabeledStmt:
+		return stmtLists(s.Stmt)
+	}
+	return nil
+}
+
+func clauseLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, cc.Body)
+		case *ast.CommClause:
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// sub-check 2: self-deadlock
+
+// collectMethodLocks maps each method to the receiver locks it acquires,
+// with the receiver name normalized so callers can compare across methods.
+func collectMethodLocks(p *Pass, units []funcUnit) map[*types.Func]map[string]bool {
+	out := make(map[*types.Func]map[string]bool)
+	for _, u := range units {
+		if u.Decl == nil || u.RecvName == "" {
+			continue
+		}
+		fn, _ := p.Info.Defs[u.Decl.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		locks := make(map[string]bool)
+		walkShallow(u.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, ok := syncMutexOp(p, call); ok && lockPairs[op.method] != "" {
+				if norm, ok := normalizeRecvKey(op.key, u.RecvName); ok {
+					locks[norm] = true
+				}
+			}
+			return true
+		})
+		if len(locks) > 0 {
+			out[fn] = locks
+		}
+	}
+	return out
+}
+
+// normalizeRecvKey rewrites "s.mu" to "@recv.mu" for receiver s.
+func normalizeRecvKey(key, recv string) (string, bool) {
+	if rest, ok := cutPrefixDot(key, recv); ok {
+		return "@recv." + rest, true
+	}
+	return "", false
+}
+
+func cutPrefixDot(s, prefix string) (string, bool) {
+	if len(s) > len(prefix)+1 && s[:len(prefix)] == prefix && s[len(prefix)] == '.' {
+		return s[len(prefix)+1:], true
+	}
+	return "", false
+}
+
+// checkSelfDeadlock flags r.Exported() calls made while r's own lock is held
+// when the callee acquires the same lock.
+func checkSelfDeadlock(p *Pass, u funcUnit, methodLocks map[*types.Func]map[string]bool) {
+	if u.RecvName == "" || u.RecvType == nil {
+		return
+	}
+	// Held regions: defer-released locks are held to the end of the unit;
+	// explicitly released locks are held to the lexically next matching
+	// unlock.
+	type region struct {
+		norm     string
+		from, to token.Pos
+	}
+	var regions []region
+	var ops []lockOp
+	walkShallow(u.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := syncMutexOp(p, call); ok {
+			ops = append(ops, op)
+		}
+		return true
+	})
+	deferred := make(map[string]bool)
+	walkShallow(u.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if op, ok := syncMutexOp(p, d.Call); ok {
+				deferred[op.key+"."+op.method] = true
+			}
+		}
+		return true
+	})
+	for i, op := range ops {
+		unlock := lockPairs[op.method]
+		if unlock == "" {
+			continue
+		}
+		norm, ok := normalizeRecvKey(op.key, u.RecvName)
+		if !ok {
+			continue
+		}
+		to := u.Body.End()
+		if !deferred[op.key+"."+unlock] {
+			for _, later := range ops[i+1:] {
+				if later.key == op.key && later.method == unlock {
+					to = later.call.Pos()
+					break
+				}
+			}
+		}
+		regions = append(regions, region{norm: norm, from: op.call.End(), to: to})
+	}
+	if len(regions) == 0 {
+		return
+	}
+
+	walkShallow(u.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != u.RecvName {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || !fn.Exported() || fn.Pkg() != p.Pkg {
+			return true
+		}
+		calleeLocks := methodLocks[fn]
+		if calleeLocks == nil {
+			return true
+		}
+		for _, r := range regions {
+			if call.Pos() > r.from && call.Pos() < r.to && calleeLocks[r.norm] {
+				p.Reportf(call.Pos(),
+					"%s calls exported method %s.%s while holding %s, which %s also acquires: self-deadlock",
+					u.Name, u.RecvType.Obj().Name(), fn.Name(), r.norm[len("@recv."):], fn.Name())
+				return true
+			}
+		}
+		return true
+	})
+}

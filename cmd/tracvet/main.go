@@ -1,0 +1,178 @@
+// Command tracvet is TRAC's repo-specific static-analysis suite. It enforces
+// the invariants the recency/consistency machinery depends on but that the
+// compiler cannot check:
+//
+//	catbump        catalog mutations bump the catalog version (plan-cache coherence)
+//	lockcheck      locks are released on every path; no self-deadlock via exported methods
+//	errwrap        sentinel comparisons use errors.Is; fmt.Errorf wraps with %w
+//	ctxloop        retry/poll loops are cancelable
+//	nakedgoroutine goroutines recover or route failures to an owner
+//
+// Usage:
+//
+//	tracvet [-json] [-disable a,b] [packages]
+//
+// Packages default to "./...". Exit status: 0 clean, 1 findings, 2 usage or
+// load errors. False positives are silenced in place with a justified
+// comment on (or the line before) the flagged line:
+//
+//	//tracvet:ignore <analyzer> <reason>
+//
+// Malformed or unknown suppressions are themselves findings, so a typo
+// cannot silently disable a check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+var allAnalyzers = []*Analyzer{
+	catbumpAnalyzer,
+	lockcheckAnalyzer,
+	errwrapAnalyzer,
+	ctxloopAnalyzer,
+	nakedgoroutineAnalyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("tracvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tracvet [-json] [-disable a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range allAnalyzers {
+			fmt.Fprintf(stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range allAnalyzers {
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	enabled, err := selectAnalyzers(*disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracvet:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := vet(patterns, enabled)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracvet:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(stderr, "tracvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+		if n := len(res.Suppressed); n > 0 {
+			fmt.Fprintf(stdout, "tracvet: %d finding(s) suppressed by //tracvet:ignore\n", n)
+		}
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vet loads the packages matched by patterns and runs the enabled analyzers.
+func vet(patterns []string, analyzers []*Analyzer) (*result, error) {
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	modRoot, modPath, err := findModule(dirs[0])
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(modRoot, modPath)
+	var pkgs []*pkgInfo
+	for _, dir := range dirs {
+		pi, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(pi.Errs) > 0 {
+			return nil, fmt.Errorf("%s: %w", pi.Path, pi.Errs[0])
+		}
+		pkgs = append(pkgs, pi)
+	}
+	cwd, _ := os.Getwd()
+	return runAnalyzers(l, pkgs, analyzers, cwd), nil
+}
+
+// selectAnalyzers filters allAnalyzers by the -disable list.
+func selectAnalyzers(disable string) ([]*Analyzer, error) {
+	if disable == "" {
+		return allAnalyzers, nil
+	}
+	off := make(map[string]bool)
+	for _, name := range strings.Split(disable, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range allAnalyzers {
+			if a.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("-disable: unknown analyzer %q", name)
+		}
+		off[name] = true
+	}
+	var enabled []*Analyzer
+	for _, a := range allAnalyzers {
+		if !off[a.Name] {
+			enabled = append(enabled, a)
+		}
+	}
+	return enabled, nil
+}
+
+// relPath returns target relative to base when that makes it shorter and does
+// not escape upward past the module; otherwise an error.
+func relPath(base, target string) (string, error) {
+	rel, err := filepath.Rel(base, target)
+	if err != nil {
+		return "", err
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("outside base")
+	}
+	return rel, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nakedgoroutine enforces the fleet's ownership discipline for concurrency:
+// every goroutine must either guard against panics (deferred recover) or
+// route its completion/failure to an owner — a WaitGroup Done, a channel
+// send or close, or writing into an owner-provided slot — the
+// Supervisor/Fleet pattern from PR 2. A goroutine with none of these drops
+// its failure on the floor: the fleet's health surface never sees it and a
+// panic kills the process.
+var nakedgoroutineAnalyzer = &Analyzer{
+	Name: "nakedgoroutine",
+	Doc:  "goroutines must recover or route errors/completion to an owner",
+	Run:  runNakedgoroutine,
+}
+
+func runNakedgoroutine(p *Pass) {
+	// Map same-package functions to their declarations so `go s.run()` can
+	// be checked through the callee's body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				body = lit.Body
+			} else if fn := p.calleeFunc(g.Call); fn != nil {
+				if fd := decls[fn]; fd != nil {
+					body = fd.Body
+				}
+			}
+			if body == nil {
+				p.Reportf(g.Pos(),
+					"goroutine runs a function this package cannot see; wrap it so panics are recovered and errors reach an owner")
+				return true
+			}
+			if !goroutineRoutesToOwner(p, body) {
+				p.Reportf(g.Pos(),
+					"goroutine neither recovers panics nor routes its result to an owner (WaitGroup/channel/error slot); failures vanish silently")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineRoutesToOwner reports whether a goroutine body shows any
+// ownership signal: a deferred recover, a WaitGroup Done, a channel
+// send/close, or an assignment into an indexed (owner-provided) slot.
+func goroutineRoutesToOwner(p *Pass, body *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if deferRecovers(n) {
+				ok = true
+			}
+		case *ast.SendStmt:
+			ok = true
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					ok = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					ok = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+					ok = true
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// deferRecovers matches `defer func() { ... recover() ... }()` and deferred
+// calls to a helper whose name mentions recovery.
+func deferRecovers(d *ast.DeferStmt) bool {
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}

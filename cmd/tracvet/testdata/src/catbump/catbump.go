@@ -1,0 +1,62 @@
+// Package catbump exercises the catbump analyzer: any exported entry point
+// that mutates catalog state must bump the catalog version, directly or in
+// a callee, before returning.
+package catbump
+
+// Catalog and Schema mirror the storage-layer shapes the analyzer matches
+// by owner-type and method name.
+type Catalog struct{ version int }
+
+func (c *Catalog) Create(name string) error { return nil }
+func (c *Catalog) Drop(name string) error   { return nil }
+func (c *Catalog) BumpVersion()             { c.version++ }
+
+type Schema struct{ SourceColumn int }
+
+func (s *Schema) SetSourceColumn(col string) error { return nil }
+
+type DB struct {
+	cat    *Catalog
+	schema *Schema
+}
+
+func (db *DB) BadCreate() error { // want "BadCreate mutates catalog state"
+	return db.cat.Create("t")
+}
+
+func (db *DB) BadFieldWrite() { // want "BadFieldWrite mutates catalog state"
+	db.schema.SourceColumn = 1
+}
+
+func (db *DB) BadViaHelper() error { // want "BadViaHelper mutates catalog state"
+	return db.dropInternal()
+}
+
+func (db *DB) GoodCreate() error {
+	if err := db.cat.Create("t"); err != nil {
+		return err
+	}
+	db.cat.BumpVersion()
+	return nil
+}
+
+func (db *DB) GoodSetSource() error {
+	defer db.cat.BumpVersion()
+	return db.schema.SetSourceColumn("mach_id")
+}
+
+// GoodViaHelper is covered because the mutation happens below a helper that
+// bumps on its own.
+func (db *DB) GoodViaHelper() error {
+	return db.createBumped()
+}
+
+// dropInternal mutates without bumping, but is not an entry point itself:
+// the diagnostic lands on its exported caller (BadViaHelper).
+func (db *DB) dropInternal() error { return db.cat.Drop("t") }
+
+func (db *DB) createBumped() error {
+	err := db.cat.Create("t")
+	db.cat.BumpVersion()
+	return err
+}

@@ -1,0 +1,73 @@
+// Package ctxloop exercises cancellation discipline in retry/poll loops.
+package ctxloop
+
+import (
+	"context"
+	"time"
+)
+
+func work() {}
+
+func BadSleep() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond) // want "blocking sleep inside a loop"
+	}
+}
+
+// poller models the sniffer's injected sleeper: sleep-shaped calls count
+// even when they are not time.Sleep itself.
+type poller struct{ sleep func(time.Duration) }
+
+func (p *poller) BadInjectedSleep() {
+	for i := 0; i < 3; i++ {
+		p.sleep(time.Millisecond) // want "blocking sleep inside a loop"
+	}
+}
+
+func BadInfinite(ctx context.Context) {
+	for { // want "never checks"
+		work()
+	}
+}
+
+func GoodCheck(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+}
+
+func GoodSelectWait(ctx context.Context) error {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			work()
+		}
+	}
+}
+
+// GoodSleepWithCtx may sleep: the loop observes cancellation each round.
+func GoodSleepWithCtx(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// GoodFiniteNoSleep is a plain computation loop; nothing to cancel.
+func GoodFiniteNoSleep(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

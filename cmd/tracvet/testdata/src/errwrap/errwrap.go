@@ -1,0 +1,35 @@
+// Package errwrap exercises the error-chain discipline: sentinel
+// comparisons via errors.Is, wrapping via %w.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("gone")
+
+func BadCompare(err error) bool {
+	return err == ErrGone // want "error compared with =="
+}
+
+func BadCompareNeq(err error) bool {
+	return err != ErrGone // want "error compared with !="
+}
+
+// GoodCompare uses errors.Is; nil comparisons are always fine.
+func GoodCompare(err error) bool {
+	return err != nil && errors.Is(err, ErrGone)
+}
+
+func BadWrap(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want "without %w"
+}
+
+func GoodWrap(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func GoodNoErrArg(n int) error {
+	return fmt.Errorf("bad count: %d", n)
+}

@@ -1,0 +1,83 @@
+// Package lockcheck exercises lock/unlock pairing and self-deadlock
+// detection on sync mutexes.
+package lockcheck
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) GoodDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// GoodExplicit releases on both the early-return path and the fall-through.
+func (s *S) GoodExplicit() int {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// BadLeakReturn unlocks on the early-return path but leaks the lock on the
+// fall-through return.
+func (s *S) BadLeakReturn() int {
+	s.mu.Lock() // want "still held at a return"
+	if s.n > 0 {
+		s.mu.Unlock()
+		return 1
+	}
+	return 0
+}
+
+// BadLeakEnd never releases at all.
+func (s *S) BadLeakEnd() {
+	s.mu.Lock() // want "still held at the end of the block"
+	s.n++
+}
+
+func (s *S) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// BadNested calls an exported method that re-acquires the lock it already
+// holds: sync.Mutex is not reentrant.
+func (s *S) BadNested() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Len() // want "self-deadlock"
+}
+
+// GoodAfterUnlock calls the exported method only after releasing.
+func (s *S) GoodAfterUnlock() int {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return s.Len()
+}
+
+type R struct {
+	mu sync.RWMutex
+	v  map[string]int
+}
+
+func (r *R) GoodRead(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v[k]
+}
+
+func (r *R) BadRead(k string) int {
+	r.mu.RLock() // want "still held at a return"
+	v := r.v[k]
+	return v
+}

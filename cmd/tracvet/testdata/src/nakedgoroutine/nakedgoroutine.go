@@ -1,0 +1,85 @@
+// Package nakedgoroutine exercises goroutine ownership discipline: recover,
+// or route completion/failure to an owner.
+package nakedgoroutine
+
+import (
+	"sync"
+	"time"
+)
+
+func work() {}
+
+func compute() error { return nil }
+
+func BadAnonymous() {
+	go func() { // want "neither recovers panics nor routes"
+		work()
+	}()
+}
+
+func runner() { work() }
+
+func BadNamed() {
+	go runner() // want "neither recovers panics nor routes"
+}
+
+func BadExternal() {
+	go time.Sleep(time.Millisecond) // want "cannot see"
+}
+
+func GoodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func GoodErrChannel() <-chan error {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- compute()
+	}()
+	return errs
+}
+
+func GoodRecover() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				work()
+			}
+		}()
+		work()
+	}()
+}
+
+// GoodErrSlot is the Fleet.PollAll shape: each goroutine writes its error
+// into an owner-provided slot.
+func GoodErrSlot(n int) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = compute()
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+func goodNamedWorker(done chan<- struct{}) {
+	defer close(done)
+	work()
+}
+
+// GoodNamedOwner: named same-package callees are checked through their body.
+func GoodNamedOwner() {
+	done := make(chan struct{})
+	go goodNamedWorker(done)
+	<-done
+}

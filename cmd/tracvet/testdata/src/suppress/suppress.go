@@ -1,0 +1,28 @@
+// Package suppress exercises //tracvet:ignore parsing: a justified
+// suppression silences a finding; malformed ones are findings themselves.
+package suppress
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("x")
+
+// Suppressed has a real errwrap finding silenced with a reason.
+func Suppressed(err error) error {
+	//tracvet:ignore errwrap user-facing summary drops the chain deliberately
+	return fmt.Errorf("summary: %v", err)
+}
+
+// The driver reports an unknown analyzer name instead of obeying it.
+//tracvet:ignore nosuchanalyzer this should be a finding
+func Unknown() error { return errSentinel }
+
+// Suppressions without a reason are rejected.
+//tracvet:ignore errwrap
+func NoReason() error { return errSentinel }
+
+// A bare marker is malformed.
+//tracvet:ignore
+func Bare() error { return errSentinel }

@@ -85,6 +85,10 @@ func Load(r io.Reader) (*DB, error) {
 			return nil, err
 		}
 	}
+	// The tables, indexes, and schema metadata restored above all bypass
+	// Exec, so settle the catalog version once here: recency plans cached
+	// against the empty pre-load catalog must not survive the load.
+	db.catalog.BumpVersion()
 	return db, nil
 }
 

@@ -28,6 +28,13 @@ func (s *Session) DB() *DB { return s.db }
 // CreateTempTable materializes rows into a fresh catalog-registered table
 // named with the given prefix (e.g. "sys_temp_a"), and returns its full
 // name. The table is queryable with ordinary SQL until the session closes.
+//
+// Temp-table churn deliberately does not bump the catalog version: names
+// are globally unique (tempSeq), so no cached recency plan can ever resolve
+// against the wrong table, and bumping per session interaction would evict
+// the entire plan cache each time.
+//
+//tracvet:ignore catbump temp tables are uniquely named and session-private; bumping would evict the plan cache per interaction
 func (s *Session) CreateTempTable(prefix string, cols []storage.Column, rows [][]types.Value) (string, error) {
 	name := fmt.Sprintf("%s%d", prefix, s.db.tempSeq.Add(1))
 	schema, err := storage.NewSchema(cols)
@@ -67,6 +74,10 @@ func (s *Session) Persist(tempName, permanentName string) error {
 	if err := s.db.catalog.Create(dst); err != nil {
 		return err
 	}
+	// A permanent table under a user-chosen name is visible to every future
+	// query; cached plans compiled against the narrower catalog must not
+	// outlive its creation.
+	s.db.catalog.BumpVersion()
 	snap := s.db.Snapshot()
 	tx := s.db.mgr.Begin()
 	for _, r := range src.Rows() {
@@ -88,7 +99,11 @@ func (s *Session) TempTables() []string {
 	return append([]string(nil), s.temps...)
 }
 
-// Close drops all session temp tables.
+// Close drops all session temp tables. Like CreateTempTable, it leaves the
+// catalog version alone: the dropped names can never recur, so no cached
+// plan can be replayed against them.
+//
+//tracvet:ignore catbump dropped temp-table names never recur; see CreateTempTable
 func (s *Session) Close() error {
 	s.mu.Lock()
 	temps := s.temps

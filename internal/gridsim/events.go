@@ -76,7 +76,7 @@ func ParseEvent(line string) (Event, error) {
 	}
 	ts, err := time.Parse(timeLayoutNanos, parts[0])
 	if err != nil {
-		return Event{}, fmt.Errorf("gridsim: bad timestamp in %q: %v", line, err)
+		return Event{}, fmt.Errorf("gridsim: bad timestamp in %q: %w", line, err)
 	}
 	e := Event{Time: ts.UTC(), Machine: parts[1], Type: EventType(parts[2])}
 	if parts[3] != "" {

@@ -1,0 +1,71 @@
+package sniffer
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPollContextCanceledBeforeStart(t *testing.T) {
+	db := newDB(t)
+	s := New(db, "m1", heartbeatLog(t, 3))
+	fastTune(s, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.PollContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PollContext on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestPollContextCancelCutsBackoffShort(t *testing.T) {
+	db := newDB(t)
+	fl := &flakyLog{inner: heartbeatLog(t, 3)}
+	fl.setFailures(100)
+	s := New(db, "m1", fl)
+	// A backoff far longer than the test: only cancellation can end the wait.
+	s.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Minute, MaxDelay: time.Minute}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := s.PollContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PollContext = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation did not cut the backoff short: took %v", elapsed)
+	}
+}
+
+func TestDrainAllContextCanceled(t *testing.T) {
+	db := newDB(t)
+	f := &Fleet{Sniffers: []*Sniffer{New(db, "m1", heartbeatLog(t, 1))}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.DrainAllContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DrainAllContext on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// Background-context wrappers must keep using the injected sleeper (tests
+// depend on never really sleeping).
+func TestPollBackgroundUsesInjectedSleep(t *testing.T) {
+	db := newDB(t)
+	fl := &flakyLog{inner: heartbeatLog(t, 2)}
+	fl.setFailures(1)
+	s := New(db, "m1", fl)
+	slept := 0
+	s.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Minute, MaxDelay: time.Minute}
+	s.sleep = func(time.Duration) { slept++ }
+	n, err := s.Poll()
+	if err != nil || n != 2 {
+		t.Fatalf("Poll = %d, %v", n, err)
+	}
+	if slept != 1 {
+		t.Fatalf("injected sleeper called %d times, want 1", slept)
+	}
+}

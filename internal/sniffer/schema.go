@@ -89,6 +89,9 @@ func InstallMetadata(db *engine.DB) error {
 		return err
 	}
 	jl.Schema.Columns[2].Domain = types.FiniteStringDomain("finish", "route", "start", "submit")
+	// Source columns and domains change which recency plans are valid;
+	// invalidate anything compiled before the metadata landed.
+	db.Catalog().BumpVersion()
 	return nil
 }
 

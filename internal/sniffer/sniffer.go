@@ -1,6 +1,7 @@
 package sniffer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -171,7 +172,13 @@ func (s *Sniffer) durable() bool {
 // Transient read failures are retried per s.Retry; a poll that still fails
 // counts against the circuit breaker, and while the breaker is open Poll
 // fails fast with ErrCircuitOpen.
-func (s *Sniffer) Poll() (int, error) {
+func (s *Sniffer) Poll() (int, error) { return s.PollContext(context.Background()) }
+
+// PollContext is Poll with cancellation: a canceled context aborts retry
+// backoff waits between read attempts and returns ctx.Err(). Cancellation
+// never interrupts a batch mid-commit — the atomic apply is all-or-nothing
+// regardless.
+func (s *Sniffer) PollContext(ctx context.Context) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.paused {
@@ -188,7 +195,7 @@ func (s *Sniffer) Poll() (int, error) {
 		s.lastErr = err
 		return 0, err
 	}
-	n, err := s.pollLocked()
+	n, err := s.pollLocked(ctx)
 	if err != nil {
 		s.breaker.Failure()
 		s.lastErr = err
@@ -199,8 +206,8 @@ func (s *Sniffer) Poll() (int, error) {
 	return n, nil
 }
 
-func (s *Sniffer) pollLocked() (int, error) {
-	events, next, err := s.readWithRetry(s.offset)
+func (s *Sniffer) pollLocked(ctx context.Context) (int, error) {
+	events, next, err := s.readWithRetry(ctx, s.offset)
 	if err != nil {
 		return 0, err
 	}
@@ -270,14 +277,20 @@ func (s *Sniffer) pollLocked() (int, error) {
 }
 
 // readWithRetry reads the log, retrying transient failures with jittered
-// exponential backoff.
-func (s *Sniffer) readWithRetry(offset int) ([]gridsim.Event, int, error) {
+// exponential backoff. The backoff wait is context-aware: cancellation cuts
+// the retry loop short instead of sleeping through it.
+func (s *Sniffer) readWithRetry(ctx context.Context, offset int) ([]gridsim.Event, int, error) {
 	p := s.Retry.withDefaults()
 	var lastErr error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		if attempt > 0 {
 			s.retries++
-			s.sleep(p.backoff(attempt-1, s.rng))
+			if err := s.sleepCtx(ctx, p.backoff(attempt-1, s.rng)); err != nil {
+				return nil, 0, err
+			}
 		}
 		events, next, err := s.log.ReadFrom(offset)
 		if err == nil {
@@ -290,6 +303,25 @@ func (s *Sniffer) readWithRetry(offset int) ([]gridsim.Event, int, error) {
 	}
 	return nil, 0, fmt.Errorf("sniffer: %s: read failed after %d attempts: %w",
 		s.source, p.MaxAttempts, lastErr)
+}
+
+// sleepCtx waits for d or for cancellation, whichever comes first. A
+// context that can never be canceled takes the injected sleeper (real
+// time.Sleep in production, a fake in tests), preserving the pre-context
+// behaviour of Poll().
+func (s *Sniffer) sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		s.sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // dropDuplicates removes up to surplus adjacent-equal records, counting
@@ -454,7 +486,11 @@ func NewFleet(db *engine.DB, sim *gridsim.Simulator) *Fleet {
 // total number of events applied across the whole fleet; errors from
 // individual sniffers are aggregated with errors.Join, so one failing
 // source never hides the others' progress or errors.
-func (f *Fleet) PollAll() (int, error) {
+func (f *Fleet) PollAll() (int, error) { return f.PollAllContext(context.Background()) }
+
+// PollAllContext is PollAll with cancellation, passed through to each
+// sniffer's retry backoff.
+func (f *Fleet) PollAllContext(ctx context.Context) (int, error) {
 	var wg sync.WaitGroup
 	counts := make([]int, len(f.Sniffers))
 	errs := make([]error, len(f.Sniffers))
@@ -462,7 +498,7 @@ func (f *Fleet) PollAll() (int, error) {
 		wg.Add(1)
 		go func(i int, s *Sniffer) {
 			defer wg.Done()
-			counts[i], errs[i] = s.Poll()
+			counts[i], errs[i] = s.PollContext(ctx)
 		}(i, s)
 	}
 	wg.Wait()
@@ -489,14 +525,21 @@ func (f *Fleet) Get(source string) *Sniffer {
 // (with a short pause, letting backoff and breaker cooldowns do their work)
 // up to DrainStallLimit consecutive times before the aggregated error is
 // returned.
-func (f *Fleet) DrainAll() error {
+func (f *Fleet) DrainAll() error { return f.DrainAllContext(context.Background()) }
+
+// DrainAllContext is DrainAll with cancellation: the drain stops at the next
+// round boundary (or stall pause) once ctx is canceled and returns ctx.Err().
+func (f *Fleet) DrainAllContext(ctx context.Context) error {
 	limit := f.DrainStallLimit
 	if limit <= 0 {
 		limit = 50
 	}
 	stalled := 0
 	for {
-		n, err := f.PollAll()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, err := f.PollAllContext(ctx)
 		if n > 0 {
 			stalled = 0
 			continue
@@ -508,6 +551,14 @@ func (f *Fleet) DrainAll() error {
 		if stalled >= limit {
 			return err
 		}
-		time.Sleep(2 * time.Millisecond)
+		// Stall pause, cut short by cancellation. With a Background context
+		// this degenerates to a plain 2ms timer sleep.
+		t := time.NewTimer(2 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
 	}
 }

@@ -80,6 +80,9 @@ func Build(spec Spec) (*engine.DB, error) {
 	act.Schema.SetSourceColumn("mach_id")
 	rout.Schema.SetSourceColumn("mach_id")
 	act.Schema.Columns[1].Domain = types.FiniteStringDomain("busy", "idle")
+	// The metadata writes above bypass Exec; settle the catalog version so
+	// no recency plan compiled mid-build survives.
+	db.Catalog().BumpVersion()
 
 	rng := rand.New(rand.NewSource(spec.Seed))
 	ratio := spec.TotalRows / spec.DataSources
