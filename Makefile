@@ -26,8 +26,14 @@ check: lint
 chaos:
 	TRAC_CHAOS=1 $(GO) test -race -count=1 ./internal/gridsim/... ./internal/sniffer/...
 
+# bench runs the Go benchmarks once through, then regenerates BENCH_exec.json
+# (the checked-in vectorized-vs-row executor report) via tracbench. The
+# execbench total matches the 200k-row Go benchmark dataset: per-row executor
+# overhead — what vectorization removes — dominates there, while much larger
+# heaps leave both sides memory-bound on the row heap.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/tracbench -execbench -total 200000 -iterations 11 -o BENCH_exec.json
 
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkParallelScan|BenchmarkPreparedReportCached' -benchtime 3x .

@@ -3,6 +3,7 @@
 //	tracbench -figure 1            # Figure 1: overhead vs data ratio, Q1–Q4
 //	tracbench -figure 2            # Figure 2: absolute times for Q1/Q3
 //	tracbench -fpr                 # the §5.2 false-positive-rate table
+//	tracbench -execbench           # vectorized-vs-row executor microbench
 //	tracbench -all                 # everything
 //
 // The sweep defaults to 1,000,000 Activity rows (the paper used 10,000,000
@@ -30,13 +31,16 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	chart := flag.Bool("chart", false, "also draw ASCII log-log charts for Figure 1")
+	execbench := flag.Bool("execbench", false, "run the vectorized-vs-row executor microbenchmarks")
+	execOut := flag.String("o", "BENCH_exec.json", "output path for the -execbench report")
 	flag.Parse()
 
 	if *all {
 		*figure = 1
 		*fpr = true
+		*execbench = true
 	}
-	if *figure == 0 && !*fpr {
+	if *figure == 0 && !*fpr && !*execbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -79,6 +83,30 @@ func main() {
 			if *figure == 2 || *all {
 				fmt.Println(benchharness.RenderFigure2(points, 0))
 			}
+		}
+	}
+
+	if *execbench {
+		progress := func(string) {}
+		if !*quiet {
+			progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		report, err := benchharness.RunExecBench(*total, 1_000, *iters, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "execbench failed:", err)
+			os.Exit(1)
+		}
+		out, err := benchharness.MarshalExecBench(report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "execbench marshal failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*execOut, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "execbench write failed:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *execOut)
 		}
 	}
 

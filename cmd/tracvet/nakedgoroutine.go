@@ -50,7 +50,7 @@ func runNakedgoroutine(p *Pass) {
 					"goroutine runs a function this package cannot see; wrap it so panics are recovered and errors reach an owner")
 				return true
 			}
-			if !goroutineRoutesToOwner(p, body) {
+			if !goroutineRoutesToOwner(p, body, decls) {
 				p.Reportf(g.Pos(),
 					"goroutine neither recovers panics nor routes its result to an owner (WaitGroup/channel/error slot); failures vanish silently")
 			}
@@ -61,8 +61,18 @@ func runNakedgoroutine(p *Pass) {
 
 // goroutineRoutesToOwner reports whether a goroutine body shows any
 // ownership signal: a deferred recover, a WaitGroup Done, a channel
-// send/close, or an assignment into an indexed (owner-provided) slot.
-func goroutineRoutesToOwner(p *Pass, body *ast.BlockStmt) bool {
+// send/close, or an assignment into an indexed (owner-provided) slot. The
+// signal may also live one level down, in a same-package callee — the
+// batched-exchange shape, `go func() { e.produce(op) }()`, where produce
+// owns the channel sends.
+func goroutineRoutesToOwner(p *Pass, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	return routesToOwner(p, body, decls)
+}
+
+// routesToOwner scans one body for an ownership signal. When decls is
+// non-nil, calls to same-package functions are followed one level (the
+// recursive scan passes decls=nil so the walk cannot go deeper or cycle).
+func routesToOwner(p *Pass, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl) bool {
 	ok := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if ok {
@@ -84,6 +94,15 @@ func goroutineRoutesToOwner(p *Pass, body *ast.BlockStmt) bool {
 			case *ast.SelectorExpr:
 				if fun.Sel.Name == "Done" {
 					ok = true
+				}
+			}
+			if !ok && decls != nil {
+				if fn := p.calleeFunc(n); fn != nil {
+					if fd := decls[fn]; fd != nil && fd.Body != nil {
+						if routesToOwner(p, fd.Body, nil) {
+							ok = true
+						}
+					}
 				}
 			}
 		case *ast.AssignStmt:

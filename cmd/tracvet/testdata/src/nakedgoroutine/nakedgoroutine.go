@@ -83,3 +83,32 @@ func GoodNamedOwner() {
 	go goodNamedWorker(done)
 	<-done
 }
+
+type producer struct {
+	ch chan error
+}
+
+// produce owns the channel sends: it routes both errors and completion to
+// whoever reads p.ch.
+func (p *producer) produce() {
+	p.ch <- compute()
+}
+
+// GoodHelperRouted is the batched-exchange shape: the goroutine body is a
+// thin wrapper and the ownership signal lives one level down, in a
+// same-package callee.
+func GoodHelperRouted(p *producer) {
+	go func() {
+		p.produce()
+	}()
+}
+
+func silentHelper() { work() }
+
+// BadHelperSilent: following one level of callees must not excuse helpers
+// with no ownership signal of their own.
+func BadHelperSilent() {
+	go func() { // want "neither recovers panics nor routes"
+		silentHelper()
+	}()
+}

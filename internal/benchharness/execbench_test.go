@@ -1,0 +1,120 @@
+package benchharness
+
+import (
+	"sync"
+	"testing"
+)
+
+// The benchmark dataset is built once and shared: 200k Activity rows over
+// 1k sources keeps `go test -bench` runs quick while staying large enough
+// that per-row overheads dominate setup noise.
+var (
+	execBenchOnce sync.Once
+	execBenchData *ExecDataset
+	execBenchErr  error
+)
+
+func benchDataset(b *testing.B) *ExecDataset {
+	b.Helper()
+	execBenchOnce.Do(func() {
+		execBenchData, execBenchErr = BuildExecDataset(200_000, 1_000)
+	})
+	if execBenchErr != nil {
+		b.Fatal(execBenchErr)
+	}
+	return execBenchData
+}
+
+func runSide(b *testing.B, inputRows int, fn func() (int, error)) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*inputRows), "ns/row")
+}
+
+func BenchmarkRowFilter(b *testing.B) {
+	sc, err := benchDataset(b).FilterScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSide(b, sc.InputRows, sc.Row)
+}
+
+func BenchmarkVectorizedFilter(b *testing.B) {
+	sc, err := benchDataset(b).FilterScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSide(b, sc.InputRows, sc.Vec)
+}
+
+func BenchmarkRowJoinProbe(b *testing.B) {
+	sc, err := benchDataset(b).JoinProbeScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSide(b, sc.InputRows, sc.Row)
+}
+
+func BenchmarkVectorizedJoinProbe(b *testing.B) {
+	sc, err := benchDataset(b).JoinProbeScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSide(b, sc.InputRows, sc.Vec)
+}
+
+func BenchmarkExchangeRows(b *testing.B) {
+	sc, err := benchDataset(b).ExchangeScenario(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSide(b, sc.InputRows, sc.Row)
+}
+
+func BenchmarkExchangeBatched(b *testing.B) {
+	sc, err := benchDataset(b).ExchangeScenario(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSide(b, sc.InputRows, sc.Vec)
+}
+
+// TestExecScenariosAgree is the cheap correctness gate for the benchmark
+// scenarios themselves: each pair must produce identical cardinalities.
+func TestExecScenariosAgree(t *testing.T) {
+	d, err := BuildExecDataset(20_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := d.FilterScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, err := d.JoinProbeScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exch, err := d.ExchangeScenario(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []*ExecScenario{filter, join, exch} {
+		rowN, err := sc.Row()
+		if err != nil {
+			t.Fatalf("%s row side: %v", sc.Name, err)
+		}
+		vecN, err := sc.Vec()
+		if err != nil {
+			t.Fatalf("%s vectorized side: %v", sc.Name, err)
+		}
+		if rowN != vecN {
+			t.Errorf("%s: row %d rows, vectorized %d", sc.Name, rowN, vecN)
+		}
+	}
+}

@@ -72,6 +72,8 @@ type Result struct {
 	Rows    [][]types.Value
 	// Parallel is the plan's parallel scan degree (1 = single-threaded).
 	Parallel int
+	// Vectorized reports whether the plan executed batch-at-a-time.
+	Vectorized bool
 }
 
 // Format renders the result as an aligned text table (psql-like), used by
@@ -120,6 +122,9 @@ func (r *Result) Format() string {
 	if r.Parallel > 1 {
 		fmt.Fprintf(&sb, "(parallel degree %d)\n", r.Parallel)
 	}
+	if r.Vectorized {
+		sb.WriteString("(vectorized)\n")
+	}
 	return sb.String()
 }
 
@@ -167,7 +172,7 @@ func (db *DB) QueryStmtAt(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Result
 	if parallel < 1 {
 		parallel = 1
 	}
-	return &Result{Columns: plan.Columns, Rows: rows, Parallel: parallel}, nil
+	return &Result{Columns: plan.Columns, Rows: rows, Parallel: parallel, Vectorized: plan.Vectorized}, nil
 }
 
 // ExplainAt plans a SELECT and returns the planner's notes without running

@@ -1,0 +1,318 @@
+package exec
+
+import (
+	"testing"
+
+	"trac/internal/sqlparser"
+	"trac/internal/types"
+)
+
+func TestBatchAppendAndSelection(t *testing.T) {
+	b := GetBatch()
+	defer PutBatch(b)
+	for i := 0; i < 10; i++ {
+		b.Append([]types.Value{types.NewInt(int64(i))})
+	}
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", b.Len())
+	}
+	// Narrow the selection to even rows; Row/Col follow Sel, not Rows.
+	sel := b.Sel[:0]
+	for _, ri := range b.Sel {
+		if b.Rows[ri][0].Int()%2 == 0 {
+			sel = append(sel, ri)
+		}
+	}
+	b.Sel = sel
+	if b.Len() != 5 {
+		t.Fatalf("after narrowing Len = %d, want 5", b.Len())
+	}
+	if got := b.Col(2, 0).Int(); got != 4 {
+		t.Errorf("Col(2,0) = %d, want 4", got)
+	}
+}
+
+func TestBatchPoolResetDropsRows(t *testing.T) {
+	b := GetBatch()
+	b.Append([]types.Value{types.NewInt(1)})
+	PutBatch(b)
+	b2 := GetBatch()
+	defer PutBatch(b2)
+	if b2.Len() != 0 || len(b2.Rows) != 0 {
+		t.Fatalf("pooled batch not reset: len=%d rows=%d", b2.Len(), len(b2.Rows))
+	}
+}
+
+func TestToBatchRoundTripUnwraps(t *testing.T) {
+	tbl, m := testActivity(t)
+	var src BatchOperator = &BatchScan{Table: tbl, Snap: m.ReadSnapshot()}
+	row := &RowFromBatch{Src: src}
+	if got := ToBatch(row); got != src {
+		t.Errorf("ToBatch(RowFromBatch{src}) = %T, want the original source", got)
+	}
+	if got, ok := AsBatch(row); !ok || got != src {
+		t.Errorf("AsBatch(RowFromBatch{src}) = %T ok=%v", got, ok)
+	}
+}
+
+func TestRowSourceBatchesRowOperator(t *testing.T) {
+	tbl, m := testActivity(t)
+	scan := &SeqScan{Table: tbl, Snap: m.ReadSnapshot()}
+	src := ToBatch(scan)
+	if err := src.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	total := 0
+	for {
+		b, err := src.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() == 0 {
+			t.Fatal("batch contract violated: empty batch returned")
+		}
+		total += b.Len()
+		PutBatch(b)
+	}
+	if total != 3 {
+		t.Errorf("rows through rowSource = %d, want 3", total)
+	}
+}
+
+func TestBatchScanMatchesSeqScan(t *testing.T) {
+	tbl, m := bigActivity(t, 5000)
+	layout := layoutFor(tbl, "a")
+	e, err := sqlparser.ParseExpr("value = 'idle'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _, _, err := CompileKernel(e, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Drain(&RowFromBatch{Src: &BatchScan{Table: tbl, Snap: m.ReadSnapshot(), Kernel: k}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Drain(&Filter{
+		Child: &SeqScan{Table: tbl, Snap: m.ReadSnapshot()},
+		Pred:  compileOn(t, layout, "value = 'idle'"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(row) {
+		t.Fatalf("batch %d rows, row %d rows", len(batch), len(row))
+	}
+	for i := range batch {
+		if batch[i][0].Str() != row[i][0].Str() {
+			t.Fatalf("row %d differs: %v vs %v", i, batch[i], row[i])
+		}
+	}
+}
+
+func TestBatchScanPadsWiderLayouts(t *testing.T) {
+	tbl, m := testActivity(t)
+	rows, err := Drain(&RowFromBatch{Src: &BatchScan{Table: tbl, Snap: m.ReadSnapshot(), Offset: 2, Width: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 6 {
+		t.Fatalf("width = %d, want 6", len(rows[0]))
+	}
+	if !rows[0][0].IsNull() || !rows[0][1].IsNull() {
+		t.Error("padding should be NULL")
+	}
+	if rows[0][2].Kind() != types.KindString {
+		t.Error("values should start at offset 2")
+	}
+}
+
+func TestBatchProjectMatchesProject(t *testing.T) {
+	tbl, m := testActivity(t)
+	layout := layoutFor(tbl, "a")
+	exprs := []Evaluator{compileOn(t, layout, "mach_id"), compileOn(t, layout, "load * 2")}
+	batch, err := Drain(&RowFromBatch{Src: &BatchProject{
+		Child: &BatchScan{Table: tbl, Snap: m.ReadSnapshot()},
+		Exprs: exprs,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Drain(&Project{Child: &SeqScan{Table: tbl, Snap: m.ReadSnapshot()}, Exprs: exprs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(row) {
+		t.Fatalf("batch %d rows, row %d", len(batch), len(row))
+	}
+	for i := range batch {
+		if batch[i][0].Str() != row[i][0].Str() || batch[i][1].Float() != row[i][1].Float() {
+			t.Fatalf("row %d differs: %v vs %v", i, batch[i], row[i])
+		}
+	}
+}
+
+// joinFixture builds the two-sided padded scans and key evaluators for a
+// mach_id equijoin of bigActivity against itself.
+func joinFixture(t *testing.T, n int) (build, probe func() Operator, buildKeys, probeKeys []Evaluator) {
+	t.Helper()
+	tbl, m := bigActivity(t, n)
+	layout := NewLayout([]Binding{{Name: "a", Table: tbl}, {Name: "b", Table: tbl}})
+	width := layout.Width()
+	arity := tbl.Schema.NumColumns()
+	build = func() Operator {
+		return &SeqScan{Table: tbl, Snap: m.ReadSnapshot(), Offset: 0, Width: width}
+	}
+	probe = func() Operator {
+		return &RowFromBatch{Src: &BatchScan{Table: tbl, Snap: m.ReadSnapshot(), Offset: arity, Width: width}}
+	}
+	bk, err := Compile(&sqlparser.ColumnRef{Table: "a", Column: "mach_id"}, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := Compile(&sqlparser.ColumnRef{Table: "b", Column: "mach_id"}, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return build, probe, []Evaluator{bk}, []Evaluator{pk}
+}
+
+func TestBatchHashJoinMatchesRowHashJoin(t *testing.T) {
+	build, probe, bk, pk := joinFixture(t, 300)
+	batchJoin := &RowFromBatch{Src: &BatchHashJoin{
+		Build: build(), Probe: ToBatch(probe()), BuildKeys: bk, ProbeKeys: pk,
+	}}
+	rowJoin := &HashJoin{Build: build(), Probe: probe(), BuildKeys: bk, ProbeKeys: pk}
+
+	batchRows, err := Drain(batchJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRows, err := Drain(rowJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchRows) != len(rowRows) {
+		t.Fatalf("batch join %d rows, row join %d", len(batchRows), len(rowRows))
+	}
+	seen := make(map[string]int)
+	for _, r := range batchRows {
+		seen[RowKey(r)]++
+	}
+	for _, r := range rowRows {
+		seen[RowKey(r)]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("multiset mismatch at %q: %+d", k, v)
+		}
+	}
+}
+
+// TestBatchHashJoinNarrowProbe checks narrow-probe mode: the probe scan
+// runs in zero-copy alias mode, its key evaluator addresses the narrow row,
+// and the join slots probe columns in at ProbeOffset during the merge.
+func TestBatchHashJoinNarrowProbe(t *testing.T) {
+	build, probe, bk, pk := joinFixture(t, 300)
+	tbl, m := bigActivity(t, 300)
+	arity := tbl.Schema.NumColumns()
+	narrow := NewLayout([]Binding{{Name: "b", Table: tbl}})
+	nk, err := Compile(&sqlparser.ColumnRef{Table: "b", Column: "mach_id"}, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowJoin := &RowFromBatch{Src: &BatchHashJoin{
+		Build: build(), Probe: &BatchScan{Table: tbl, Snap: m.ReadSnapshot()},
+		BuildKeys: bk, ProbeKeys: []Evaluator{nk}, ProbeOffset: arity,
+	}}
+	rowJoin := &HashJoin{Build: build(), Probe: probe(), BuildKeys: bk, ProbeKeys: pk}
+
+	narrowRows, err := Drain(narrowJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRows, err := Drain(rowJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(narrowRows) != len(rowRows) {
+		t.Fatalf("narrow-probe join %d rows, row join %d", len(narrowRows), len(rowRows))
+	}
+	seen := make(map[string]int)
+	for _, r := range narrowRows {
+		seen[RowKey(r)]++
+	}
+	for _, r := range rowRows {
+		seen[RowKey(r)]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("multiset mismatch at %q: %+d", k, v)
+		}
+	}
+}
+
+func TestExchangeBatchChildren(t *testing.T) {
+	tbl, m := bigActivity(t, 4000)
+	ps := &ParallelScan{Table: tbl, Snap: m.ReadSnapshot(), Workers: 4, MorselSize: 256}
+	if err := ps.Open(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		b, err := ps.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() == 0 {
+			t.Fatal("batch contract violated: empty batch from exchange")
+		}
+		total += b.Len()
+		PutBatch(b)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 4000 {
+		t.Errorf("rows through batched exchange = %d, want 4000", total)
+	}
+}
+
+func TestVectorizedWalker(t *testing.T) {
+	tbl, m := testActivity(t)
+	snap := m.ReadSnapshot()
+	if Vectorized(&SeqScan{Table: tbl, Snap: snap}) {
+		t.Error("SeqScan must not report vectorized")
+	}
+	if !Vectorized(&RowFromBatch{Src: &BatchScan{Table: tbl, Snap: snap}}) {
+		t.Error("RowFromBatch must report vectorized")
+	}
+	if !Vectorized(&Project{Child: &Limit{Child: &ParallelScan{Table: tbl, Snap: snap, Workers: 2}, N: 1}}) {
+		t.Error("nested ParallelScan must report vectorized")
+	}
+}
+
+func TestBatchParallelDegree(t *testing.T) {
+	tbl, m := bigActivity(t, 1000)
+	snap := m.ReadSnapshot()
+	ps := &ParallelScan{Table: tbl, Snap: snap, Workers: 6}
+	root := &RowFromBatch{Src: &BatchProject{
+		Child: &BatchFilter{Child: ps},
+		Exprs: nil,
+	}}
+	if got := ParallelDegree(root); got != 6 {
+		t.Errorf("ParallelDegree through batch pipeline = %d, want 6", got)
+	}
+	join := &RowFromBatch{Src: &BatchHashJoin{Build: &SeqScan{Table: tbl, Snap: snap}, Probe: ps}}
+	if got := ParallelDegree(join); got != 6 {
+		t.Errorf("ParallelDegree through batch join probe = %d, want 6", got)
+	}
+}

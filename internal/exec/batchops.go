@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+// BatchScan is the batch-at-a-time heap scan: it extracts a window of
+// visible rows from storage into a batch and applies the pushed-down
+// predicate as a fused kernel over the whole window.
+//
+// When the scan's output layout is exactly the table's own columns
+// (Offset 0, Width = arity) the batch rows alias heap storage directly —
+// zero per-row copying; see the Batch immutability contract. Wider layouts
+// (join padding) copy into fresh padded tuples, like SeqScan.
+type BatchScan struct {
+	Table  *storage.Table
+	Snap   txn.Snapshot
+	Kernel Kernel // may be nil
+	Offset int    // where this table's columns start in the output tuple
+	Width  int    // total output tuple width (0 means table arity)
+
+	win   *storage.Windows
+	alias bool
+}
+
+// Open snapshots the heap as batch-sized windows.
+func (s *BatchScan) Open() error {
+	s.win = s.Table.Windows(BatchSize)
+	n := s.Table.Schema.NumColumns()
+	if s.Width == 0 {
+		s.Width = n
+	}
+	s.alias = s.Offset == 0 && s.Width == n
+	return nil
+}
+
+// NextBatch emits the next non-empty batch of visible, kernel-passing rows.
+// Padded (non-alias) rows are carved out of one arena allocation per batch;
+// the arena is never pooled, so rows stay valid after the batch is
+// recycled. A zero types.Value is NULL, which provides the padding.
+func (s *BatchScan) NextBatch() (*Batch, error) {
+	n := s.Table.Schema.NumColumns()
+	for {
+		rows, ok := s.win.Next()
+		if !ok {
+			return nil, nil
+		}
+		b := GetBatch()
+		var arena []types.Value
+		for _, r := range rows {
+			if !s.Snap.Visible(r) {
+				continue
+			}
+			if s.alias {
+				b.Append(r.Values)
+			} else {
+				if len(arena) < s.Width {
+					arena = make([]types.Value, BatchSize*s.Width)
+				}
+				row := arena[:s.Width:s.Width]
+				arena = arena[s.Width:]
+				copy(row[s.Offset:s.Offset+n], r.Values)
+				b.Append(row)
+			}
+		}
+		if s.Kernel != nil {
+			if err := s.Kernel(b); err != nil {
+				PutBatch(b)
+				return nil, err
+			}
+		}
+		if b.Len() == 0 {
+			PutBatch(b)
+			continue
+		}
+		return b, nil
+	}
+}
+
+// Close releases the heap snapshot.
+func (s *BatchScan) Close() error {
+	s.win = nil
+	return nil
+}
+
+// BatchFilter narrows each incoming batch's selection vector with a fused
+// kernel. Empty survivors are recycled without crossing the operator
+// boundary.
+type BatchFilter struct {
+	Child  BatchOperator
+	Kernel Kernel
+}
+
+// Open opens the child.
+func (f *BatchFilter) Open() error { return f.Child.Open() }
+
+// NextBatch emits the next batch with at least one surviving row.
+func (f *BatchFilter) NextBatch() (*Batch, error) {
+	for {
+		b, err := f.Child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if f.Kernel != nil {
+			if err := f.Kernel(b); err != nil {
+				PutBatch(b)
+				return nil, err
+			}
+		}
+		if b.Len() == 0 {
+			PutBatch(b)
+			continue
+		}
+		return b, nil
+	}
+}
+
+// Close closes the child.
+func (f *BatchFilter) Close() error { return f.Child.Close() }
+
+// BatchProject evaluates output expressions over every selected row of each
+// incoming batch, emitting fresh projected batches.
+type BatchProject struct {
+	Child BatchOperator
+	Exprs []Evaluator
+}
+
+// Open opens the child.
+func (p *BatchProject) Open() error { return p.Child.Open() }
+
+// NextBatch projects the next batch. Output rows are carved out of one
+// arena allocation per batch (never pooled, so they outlive recycling).
+func (p *BatchProject) NextBatch() (*Batch, error) {
+	in, err := p.Child.NextBatch()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	w := len(p.Exprs)
+	out := GetBatch()
+	var arena []types.Value
+	for i := 0; i < in.Len(); i++ {
+		row := in.Row(i)
+		if len(arena) < w {
+			arena = make([]types.Value, BatchSize*w)
+		}
+		proj := arena[:w:w]
+		arena = arena[w:]
+		for ci, e := range p.Exprs {
+			proj[ci], err = e(row)
+			if err != nil {
+				PutBatch(in)
+				PutBatch(out)
+				return nil, err
+			}
+		}
+		out.Append(proj)
+	}
+	PutBatch(in)
+	return out, nil
+}
+
+// Close closes the child.
+func (p *BatchProject) Close() error { return p.Child.Close() }
+
+// BatchHashJoin is the batched hash-join probe: the build side is
+// materialized exactly like HashJoin (including the parallel partial-build
+// path), and the probe side streams batches, hashing a whole window of keys
+// per operator call. Output batches hold merged tuples.
+//
+// The probe side may produce rows narrower than the build side's padded
+// width ("narrow probe" mode: an alias-mode scan of just the probe table).
+// In that mode ProbeKeys must be compiled against the probe rows' own
+// narrow layout, and ProbeOffset says where the probe columns land in the
+// merged tuple. Narrow probing skips the per-row padding copy the probe
+// scan would otherwise do — the merge places the columns directly.
+type BatchHashJoin struct {
+	Build                Operator
+	Probe                BatchOperator
+	BuildKeys, ProbeKeys []Evaluator
+	Residual             Evaluator // may be nil
+	ProbeOffset          int       // merged-tuple offset of narrow probe rows
+
+	table map[string][][]types.Value
+	buf   []byte
+}
+
+// Open materializes the build side.
+func (j *BatchHashJoin) Open() error {
+	if err := j.Probe.Open(); err != nil {
+		return err
+	}
+	table, err := buildHashTable(j.Build, j.BuildKeys)
+	if err != nil {
+		return err
+	}
+	j.table = table
+	return nil
+}
+
+// NextBatch probes the next input batch and emits all its matches.
+func (j *BatchHashJoin) NextBatch() (*Batch, error) {
+	for {
+		in, err := j.Probe.NextBatch()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		out := GetBatch()
+		var arena []types.Value
+		for i := 0; i < in.Len(); i++ {
+			probe := in.Row(i)
+			key, null, err := evalKeys(j.ProbeKeys, probe, j.buf[:0])
+			j.buf = key[:0]
+			if err != nil {
+				PutBatch(in)
+				PutBatch(out)
+				return nil, err
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			for _, build := range j.table[string(key)] {
+				// Merged tuples come from a per-batch arena (never pooled,
+				// so they outlive the batch's recycling).
+				w := len(build)
+				if len(arena) < w {
+					arena = make([]types.Value, BatchSize*w)
+				}
+				merged := arena[:w:w]
+				if len(probe) < w {
+					// Narrow probe: build is full width, probe columns slot
+					// into their region directly.
+					copy(merged, build)
+					copy(merged[j.ProbeOffset:], probe)
+				} else {
+					mergeInto(merged, build, probe)
+				}
+				ok, err := EvalPredicate(j.Residual, merged)
+				if err != nil {
+					PutBatch(in)
+					PutBatch(out)
+					return nil, err
+				}
+				if ok {
+					arena = arena[w:]
+					out.Append(merged)
+				}
+			}
+		}
+		PutBatch(in)
+		if out.Len() == 0 {
+			PutBatch(out)
+			continue
+		}
+		return out, nil
+	}
+}
+
+// Close releases both sides.
+func (j *BatchHashJoin) Close() error {
+	j.table = nil
+	return j.Probe.Close()
+}

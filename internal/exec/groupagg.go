@@ -60,6 +60,10 @@ func (g *GroupAggregate) Open() error {
 		return st
 	}
 
+	// keyScratch and keyBuf are reused for every input row; a fresh key
+	// slice is allocated only when a row opens a new group.
+	keyScratch := make([]types.Value, len(g.Keys))
+	var keyBuf []byte
 	for {
 		row, ok, err := g.Child.Next()
 		if err != nil {
@@ -68,18 +72,19 @@ func (g *GroupAggregate) Open() error {
 		if !ok {
 			break
 		}
-		keys := make([]types.Value, len(g.Keys))
 		for i, k := range g.Keys {
-			keys[i], err = k(row)
+			keyScratch[i], err = k(row)
 			if err != nil {
 				return err
 			}
 		}
-		kid := RowKey(keys)
-		st, exists := groups[kid]
+		keyBuf = AppendKey(keyBuf[:0], keyScratch...)
+		st, exists := groups[string(keyBuf)]
 		if !exists {
+			keys := make([]types.Value, len(g.Keys))
+			copy(keys, keyScratch)
 			st = newState(keys)
-			groups[kid] = st
+			groups[string(keyBuf)] = st
 		}
 		for i, spec := range g.Specs {
 			if spec.Star {

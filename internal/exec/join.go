@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"strings"
 	"sync"
 
 	"trac/internal/types"
@@ -20,82 +19,101 @@ type HashJoin struct {
 	current [][]types.Value // pending matches for the current probe row
 	probed  []types.Value
 	curIdx  int
+	buf     []byte
 }
 
-// Open materializes the build side into the hash table. When the build side
-// is a multi-worker ParallelScan, each worker builds a partial hash table
-// over the morsels it claims — including key evaluation, the expensive part
-// — and the partials are merged once here; otherwise the build side is
-// drained single-threaded.
+// Open materializes the build side into the hash table (see
+// buildHashTable for the parallel partial-build path).
 func (j *HashJoin) Open() error {
 	if err := j.Probe.Open(); err != nil {
 		return err
 	}
-	if ps, ok := j.Build.(*ParallelScan); ok && ps.Degree() > 1 {
-		if err := j.openParallelBuild(ps); err != nil {
-			return err
-		}
-		j.current = nil
-		j.curIdx = 0
-		return nil
-	}
-	rows, err := Drain(j.Build)
+	table, err := buildHashTable(j.Build, j.BuildKeys)
 	if err != nil {
 		return err
 	}
-	j.table = make(map[string][][]types.Value, len(rows))
-	var sb strings.Builder
-	for _, row := range rows {
-		key, null, err := evalKeys(j.BuildKeys, row, &sb)
-		if err != nil {
-			return err
-		}
-		if null {
-			continue // NULL keys never join
-		}
-		j.table[key] = append(j.table[key], row)
-	}
+	j.table = table
 	j.current = nil
 	j.curIdx = 0
 	return nil
 }
 
-// openParallelBuild fans the build-side morsel partials across goroutines,
+// buildHashTable materializes a join build side into a hash table. When the
+// build side is a multi-worker ParallelScan (possibly under a batch
+// bridge), each worker builds a partial hash table over the morsels it
+// claims — including key evaluation, the expensive part — and the partials
+// are merged once here; otherwise the build side is drained
+// single-threaded.
+func buildHashTable(build Operator, keys []Evaluator) (map[string][][]types.Value, error) {
+	if ps, ok := build.(*ParallelScan); ok && ps.Degree() > 1 {
+		return parallelBuild(ps.BatchPartials(), keys)
+	}
+	if src, ok := AsBatch(build); ok {
+		if ps, ok := src.(*ParallelScan); ok && ps.Degree() > 1 {
+			return parallelBuild(ps.BatchPartials(), keys)
+		}
+	}
+	rows, err := Drain(build)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[string][][]types.Value, len(rows))
+	var buf []byte
+	for _, row := range rows {
+		key, null, err := evalKeys(keys, row, buf[:0])
+		buf = key
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		table[string(key)] = append(table[string(key)], row)
+	}
+	return table, nil
+}
+
+// parallelBuild fans the build-side morsel partials across goroutines,
 // each hashing into its own partial map, then merges the partials.
-func (j *HashJoin) openParallelBuild(ps *ParallelScan) error {
-	partials := ps.Partials()
+func parallelBuild(partials []BatchOperator, keys []Evaluator) (map[string][][]types.Value, error) {
 	maps := make([]map[string][][]types.Value, len(partials))
 	errs := make([]error, len(partials))
 	var wg sync.WaitGroup
 	for i, part := range partials {
 		wg.Add(1)
-		go func(i int, op Operator) {
+		go func(i int, op BatchOperator) {
 			defer wg.Done()
 			m := make(map[string][][]types.Value)
-			var sb strings.Builder
+			var buf []byte
 			if err := op.Open(); err != nil {
 				errs[i] = err
 				return
 			}
 			defer op.Close()
 			for {
-				row, ok, err := op.Next()
+				b, err := op.NextBatch()
 				if err != nil {
 					errs[i] = err
 					return
 				}
-				if !ok {
+				if b == nil {
 					break
 				}
-				key, null, err := evalKeys(j.BuildKeys, row, &sb)
-				if err != nil {
-					errs[i] = err
-					return
+				for ri := 0; ri < b.Len(); ri++ {
+					row := b.Row(ri)
+					key, null, err := evalKeys(keys, row, buf[:0])
+					buf = key
+					if err != nil {
+						errs[i] = err
+						PutBatch(b)
+						return
+					}
+					if null {
+						continue // NULL keys never join
+					}
+					m[string(key)] = append(m[string(key)], row)
 				}
-				if null {
-					continue // NULL keys never join
-				}
-				m[key] = append(m[key], row)
+				PutBatch(b)
 			}
 			maps[i] = m
 		}(i, part)
@@ -103,25 +121,24 @@ func (j *HashJoin) openParallelBuild(ps *ParallelScan) error {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	total := 0
 	for _, m := range maps {
 		total += len(m)
 	}
-	j.table = make(map[string][][]types.Value, total)
+	table := make(map[string][][]types.Value, total)
 	for _, m := range maps {
 		for key, rows := range m {
-			j.table[key] = append(j.table[key], rows...)
+			table[key] = append(table[key], rows...)
 		}
 	}
-	return nil
+	return table, nil
 }
 
 // Next emits the next joined tuple.
 func (j *HashJoin) Next() ([]types.Value, bool, error) {
-	var sb strings.Builder
 	for {
 		for j.curIdx < len(j.current) {
 			build := j.current[j.curIdx]
@@ -139,7 +156,8 @@ func (j *HashJoin) Next() ([]types.Value, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		key, null, err := evalKeys(j.ProbeKeys, probe, &sb)
+		key, null, err := evalKeys(j.ProbeKeys, probe, j.buf[:0])
+		j.buf = key
 		if err != nil {
 			return nil, false, err
 		}
@@ -147,7 +165,7 @@ func (j *HashJoin) Next() ([]types.Value, bool, error) {
 			continue
 		}
 		j.probed = probe
-		j.current = j.table[key]
+		j.current = j.table[string(key)]
 		j.curIdx = 0
 	}
 }
@@ -159,19 +177,21 @@ func (j *HashJoin) Close() error {
 	return j.Probe.Close()
 }
 
-func evalKeys(keys []Evaluator, row []types.Value, sb *strings.Builder) (string, bool, error) {
-	sb.Reset()
+// evalKeys appends the encoded key values to buf, returning the extended
+// buffer. null is true when any key value is NULL (the row never joins).
+// Callers keep the returned slice as their scratch buffer for the next row.
+func evalKeys(keys []Evaluator, row []types.Value, buf []byte) ([]byte, bool, error) {
 	for _, k := range keys {
 		v, err := k(row)
 		if err != nil {
-			return "", false, err
+			return buf, false, err
 		}
 		if v.IsNull() {
-			return "", true, nil
+			return buf, true, nil
 		}
-		EncodeKey(sb, v)
+		buf = AppendKey(buf, v)
 	}
-	return sb.String(), false, nil
+	return buf, false, nil
 }
 
 // mergeTuples overlays the non-NULL regions of two same-width padded tuples.
@@ -179,13 +199,18 @@ func evalKeys(keys []Evaluator, row []types.Value, sb *strings.Builder) (string,
 // range), so a plain position-wise overlay is correct.
 func mergeTuples(a, b []types.Value) []types.Value {
 	out := make([]types.Value, len(a))
-	copy(out, a)
+	mergeInto(out, a, b)
+	return out
+}
+
+// mergeInto is mergeTuples into caller-provided storage (batch arenas).
+func mergeInto(dst, a, b []types.Value) {
+	copy(dst, a)
 	for i, v := range b {
 		if !v.IsNull() {
-			out[i] = v
+			dst[i] = v
 		}
 	}
-	return out
 }
 
 // NestedLoopJoin materializes the inner side and runs the (smaller) loop for

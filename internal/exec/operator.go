@@ -38,51 +38,58 @@ func Drain(op Operator) ([][]types.Value, error) {
 	}
 }
 
-// EncodeKey appends a canonical, collision-free encoding of the values to
-// sb. It is used for hash-join keys, DISTINCT, and UNION deduplication.
-func EncodeKey(sb *strings.Builder, vals ...types.Value) {
+// AppendKey appends a canonical, collision-free encoding of the values to
+// dst and returns the extended slice. It is used for hash-join keys,
+// DISTINCT, GROUP BY, and UNION deduplication; append-style so hot loops
+// can reuse one scratch buffer and look up maps via string(buf) without
+// allocating.
+func AppendKey(dst []byte, vals ...types.Value) []byte {
 	for _, v := range vals {
 		switch v.Kind() {
 		case types.KindNull:
-			sb.WriteByte('n')
+			dst = append(dst, 'n')
 		case types.KindBool:
-			sb.WriteByte('b')
+			dst = append(dst, 'b')
 			if v.Bool() {
-				sb.WriteByte('1')
+				dst = append(dst, '1')
 			} else {
-				sb.WriteByte('0')
+				dst = append(dst, '0')
 			}
 		case types.KindInt:
-			sb.WriteByte('i')
-			sb.WriteString(strconv.FormatInt(v.Int(), 10))
+			dst = append(dst, 'i')
+			dst = strconv.AppendInt(dst, v.Int(), 10)
 		case types.KindFloat:
 			// Integral floats encode like ints so 3 and 3.0 hash equal,
 			// matching their comparison behaviour, without losing int64
 			// precision on large values.
 			f := v.Float()
 			if f == math.Trunc(f) && f >= -9.007199254740992e15 && f <= 9.007199254740992e15 {
-				sb.WriteByte('i')
-				sb.WriteString(strconv.FormatInt(int64(f), 10))
+				dst = append(dst, 'i')
+				dst = strconv.AppendInt(dst, int64(f), 10)
 			} else {
-				sb.WriteByte('f')
-				sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+				dst = append(dst, 'f')
+				dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
 			}
 		case types.KindString:
-			sb.WriteByte('s')
-			sb.WriteString(strconv.Itoa(len(v.Str())))
-			sb.WriteByte(':')
-			sb.WriteString(v.Str())
+			dst = append(dst, 's')
+			dst = strconv.AppendInt(dst, int64(len(v.Str())), 10)
+			dst = append(dst, ':')
+			dst = append(dst, v.Str()...)
 		case types.KindTime:
-			sb.WriteByte('t')
-			sb.WriteString(strconv.FormatInt(v.TimeNanos(), 10))
+			dst = append(dst, 't')
+			dst = strconv.AppendInt(dst, v.TimeNanos(), 10)
 		}
-		sb.WriteByte('|')
+		dst = append(dst, '|')
 	}
+	return dst
+}
+
+// EncodeKey appends the canonical value encoding to sb (see AppendKey).
+func EncodeKey(sb *strings.Builder, vals ...types.Value) {
+	sb.Write(AppendKey(make([]byte, 0, 32), vals...))
 }
 
 // RowKey returns the canonical encoding of a full row.
 func RowKey(vals []types.Value) string {
-	var sb strings.Builder
-	EncodeKey(&sb, vals...)
-	return sb.String()
+	return string(AppendKey(make([]byte, 0, 32), vals...))
 }

@@ -9,34 +9,39 @@ import (
 	"trac/internal/types"
 )
 
-// exchBatchSize is how many tuples a producer accumulates before one channel
-// send; batching amortizes channel synchronization over the hot scan loop.
-const exchBatchSize = 64
-
 // exchMsg is one producer→consumer hand-off: a batch of tuples or a terminal
 // error.
 type exchMsg struct {
-	rows [][]types.Value
-	err  error
+	batch *Batch
+	err   error
 }
 
 // Exchange merges the outputs of concurrently-running children into one
-// single-threaded Next() stream — the gather side of a parallel plan
-// fragment. Each child runs to exhaustion on its own goroutine; tuples cross
-// the goroutine boundary in batches. Children MUST emit retention-safe
-// tuples (freshly allocated, no reused buffers): the consumer and producer
-// are concurrent, so a recycled slice would be a data race, not just an
-// aliasing hazard.
+// single-threaded stream — the gather side of a parallel plan fragment.
+// Each child runs to exhaustion on its own goroutine; tuples cross the
+// goroutine boundary as *Batch values (~BatchSize rows per channel send),
+// recycled through the batch pool. Row children (Children) are adapted
+// through ToBatch; batch children (BatchChildren) forward their batches
+// without repacking.
+//
+// Children MUST emit retention-safe tuples: the consumer and producer are
+// concurrent, so a recycled row buffer would be a data race, not just an
+// aliasing hazard. (Batch headers are recycled only after the hand-off, on
+// the consumer side, which is safe; the row slices inside are never reused.)
 //
 // Row order across children is nondeterministic, which is fine everywhere
 // the planner inserts one: below joins, aggregation, DISTINCT, sorts, and
 // set-semantics recency arms.
+//
+// An Exchange is consumed either row-at-a-time (Next) or batch-at-a-time
+// (NextBatch), not both.
 type Exchange struct {
-	Children []Operator
+	Children      []Operator
+	BatchChildren []BatchOperator
 
 	ch   chan exchMsg
 	stop chan struct{}
-	cur  [][]types.Value
+	cur  *Batch
 	pos  int
 	err  error
 	done bool
@@ -44,14 +49,22 @@ type Exchange struct {
 
 // Open launches one producer goroutine per child.
 func (e *Exchange) Open() error {
-	e.ch = make(chan exchMsg, len(e.Children)*2)
+	n := len(e.Children) + len(e.BatchChildren)
+	e.ch = make(chan exchMsg, n*2)
 	e.stop = make(chan struct{})
 	e.cur, e.pos, e.err, e.done = nil, 0, nil, false
 
 	var wg sync.WaitGroup
 	for _, child := range e.Children {
 		wg.Add(1)
-		go func(op Operator) {
+		go func(op BatchOperator) {
+			defer wg.Done()
+			e.produce(op)
+		}(ToBatch(child))
+	}
+	for _, child := range e.BatchChildren {
+		wg.Add(1)
+		go func(op BatchOperator) {
 			defer wg.Done()
 			e.produce(op)
 		}(child)
@@ -64,12 +77,14 @@ func (e *Exchange) Open() error {
 }
 
 // produce drains one child into the exchange channel.
-func (e *Exchange) produce(op Operator) {
+func (e *Exchange) produce(op BatchOperator) {
 	send := func(m exchMsg) bool {
 		select {
 		case e.ch <- m:
 			return true
 		case <-e.stop:
+			// The consumer never saw this batch; recycle it here.
+			PutBatch(m.batch)
 			return false
 		}
 	}
@@ -78,25 +93,17 @@ func (e *Exchange) produce(op Operator) {
 		return
 	}
 	defer op.Close()
-	batch := make([][]types.Value, 0, exchBatchSize)
 	for {
-		row, ok, err := op.Next()
+		b, err := op.NextBatch()
 		if err != nil {
 			send(exchMsg{err: err})
 			return
 		}
-		if !ok {
-			if len(batch) > 0 {
-				send(exchMsg{rows: batch})
-			}
+		if b == nil {
 			return
 		}
-		batch = append(batch, row)
-		if len(batch) == exchBatchSize {
-			if !send(exchMsg{rows: batch}) {
-				return
-			}
-			batch = make([][]types.Value, 0, exchBatchSize)
+		if !send(exchMsg{batch: b}) {
+			return
 		}
 	}
 }
@@ -107,10 +114,14 @@ func (e *Exchange) Next() ([]types.Value, bool, error) {
 		return nil, false, e.err
 	}
 	for {
-		if e.pos < len(e.cur) {
-			row := e.cur[e.pos]
+		if e.cur != nil && e.pos < e.cur.Len() {
+			row := e.cur.Row(e.pos)
 			e.pos++
 			return row, true, nil
+		}
+		if e.cur != nil {
+			PutBatch(e.cur)
+			e.cur = nil
 		}
 		if e.done {
 			return nil, false, nil
@@ -125,8 +136,33 @@ func (e *Exchange) Next() ([]types.Value, bool, error) {
 			e.shutdown()
 			return nil, false, m.err
 		}
-		e.cur, e.pos = m.rows, 0
+		e.cur, e.pos = m.batch, 0
 	}
+}
+
+// NextBatch hands the next child batch to the caller (ownership included).
+func (e *Exchange) NextBatch() (*Batch, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	for !e.done {
+		m, ok := <-e.ch
+		if !ok {
+			e.done = true
+			break
+		}
+		if m.err != nil {
+			e.err = m.err
+			e.shutdown()
+			return nil, m.err
+		}
+		if m.batch.Len() == 0 {
+			PutBatch(m.batch) // defensive; producers skip empties
+			continue
+		}
+		return m.batch, nil
+	}
+	return nil, nil
 }
 
 // Close stops producers and drains the channel so their goroutines exit.
@@ -135,7 +171,8 @@ func (e *Exchange) Close() error {
 	return nil
 }
 
-// shutdown signals producers to stop and drains until the channel closes.
+// shutdown signals producers to stop and drains until the channel closes,
+// recycling in-flight batches.
 func (e *Exchange) shutdown() {
 	if e.stop == nil {
 		return
@@ -145,33 +182,49 @@ func (e *Exchange) shutdown() {
 	default:
 		close(e.stop)
 	}
-	for range e.ch {
+	for m := range e.ch {
+		PutBatch(m.batch)
 	}
 	e.stop = nil
-	e.cur = nil
+	if e.cur != nil {
+		PutBatch(e.cur)
+		e.cur = nil
+	}
 	e.done = true
 }
 
 // ParallelScan is a morsel-driven parallel heap scan: Workers goroutines
 // share one storage.Morsels partitioning of the heap snapshot, each claiming
 // fixed-size morsels, applying the MVCC visibility check and the pushed-down
-// filter locally, and padding the table's columns into the output layout —
-// all without synchronization beyond the per-morsel atomic claim. An
-// internal Exchange gathers worker output back into the single-threaded
-// Next() pipeline.
+// predicate locally, and accumulating survivors into dense batches — all
+// without synchronization beyond the per-morsel atomic claim. An internal
+// Exchange gathers worker batches back into the single-threaded pipeline;
+// it serves both the row interface (Next) and the batch interface
+// (NextBatch).
 //
-// Every emitted tuple is freshly allocated; ParallelScan has no Reuse mode,
-// because its rows cross goroutine boundaries (see Exchange).
+// The predicate is either a fused Kernel (set by the planner's vectorized
+// pipelines) or a compiled row Evaluator (Filter); Kernel wins when both
+// are set.
+//
+// By default every emitted tuple is freshly allocated, so rows are safe to
+// retain and mutate. Alias mode (planner batch pipelines only) lets workers
+// emit heap-aliased rows when the output layout is exactly the table's own
+// columns; see the Batch immutability contract.
 type ParallelScan struct {
 	Table  *storage.Table
 	Snap   txn.Snapshot
 	Filter Evaluator // may be nil; evaluated against the padded tuple
+	Kernel Kernel    // may be nil; preferred over Filter when set
 	Offset int       // where this table's columns start in the output tuple
 	Width  int       // total output tuple width (0 means table arity)
 	// Workers is the parallel degree; <= 0 selects GOMAXPROCS.
 	Workers int
 	// MorselSize overrides storage.DefaultMorselSize (tests).
 	MorselSize int
+	// Alias permits heap-aliased batch rows (no per-row copy). Only the
+	// planner sets it, and only for pipelines that never mutate rows in
+	// place.
+	Alias bool
 
 	ex *Exchange
 }
@@ -184,36 +237,56 @@ func (s *ParallelScan) Degree() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Partials snapshots the heap once and returns one per-worker scan operator
-// per worker, all sharing the same morsel source. Callers that gather
+// BatchPartials snapshots the heap once and returns one per-worker batch
+// scan per worker, all sharing the same morsel source. Callers that gather
 // through their own machinery (e.g. a parallel hash-join build) use this
-// directly instead of Open/Next.
-func (s *ParallelScan) Partials() []Operator {
+// directly instead of Open/NextBatch.
+func (s *ParallelScan) BatchPartials() []BatchOperator {
 	width := s.Width
 	if width == 0 {
 		width = s.Table.Schema.NumColumns()
 	}
+	kernel := s.Kernel
+	if kernel == nil {
+		kernel = KernelFromEvaluator(s.Filter)
+	}
 	src := s.Table.Morsels(s.MorselSize)
 	n := s.Degree()
-	out := make([]Operator, n)
+	out := make([]BatchOperator, n)
 	for i := range out {
-		out[i] = &morselScan{
-			src: src, table: s.Table, snap: s.Snap, filter: s.Filter,
-			offset: s.Offset, width: width,
+		out[i] = &batchMorselScan{
+			src: src, table: s.Table, snap: s.Snap, kernel: kernel,
+			offset: s.Offset, width: width, alias: s.Alias,
 		}
+	}
+	return out
+}
+
+// Partials is BatchPartials bridged to the row interface, for callers that
+// consume per-worker output tuple-at-a-time.
+func (s *ParallelScan) Partials() []Operator {
+	bp := s.BatchPartials()
+	out := make([]Operator, len(bp))
+	for i, b := range bp {
+		out[i] = &RowFromBatch{Src: b}
 	}
 	return out
 }
 
 // Open partitions the heap and starts the workers.
 func (s *ParallelScan) Open() error {
-	s.ex = &Exchange{Children: s.Partials()}
+	s.ex = &Exchange{BatchChildren: s.BatchPartials()}
 	return s.ex.Open()
 }
 
-// Next emits the next visible, filter-passing row from any worker.
+// Next emits the next visible, predicate-passing row from any worker.
 func (s *ParallelScan) Next() ([]types.Value, bool, error) {
 	return s.ex.Next()
+}
+
+// NextBatch emits the next worker batch.
+func (s *ParallelScan) NextBatch() (*Batch, error) {
+	return s.ex.NextBatch()
 }
 
 // Close stops the workers.
@@ -226,50 +299,98 @@ func (s *ParallelScan) Close() error {
 	return err
 }
 
-// morselScan is one worker's view of a shared morsel source. It is a plain
-// single-threaded Operator; concurrency lives entirely in the shared claim.
-type morselScan struct {
+// batchMorselScan is one worker's view of a shared morsel source: a plain
+// single-threaded BatchOperator; concurrency lives entirely in the shared
+// claim. It scans BatchSize-row windows into a scratch batch, runs the
+// kernel over each window, and compacts survivors into dense output
+// batches, so downstream hand-off cost tracks output (not input)
+// cardinality even under selective predicates.
+type batchMorselScan struct {
 	src    *storage.Morsels
 	table  *storage.Table
 	snap   txn.Snapshot
-	filter Evaluator
+	kernel Kernel
 	offset int
 	width  int
+	alias  bool
 
-	cur []*storage.Row
-	pos int
+	cur   []*storage.Row
+	pos   int
+	arena []types.Value
 }
 
-func (m *morselScan) Open() error { return nil }
+func (m *batchMorselScan) Open() error { return nil }
 
-func (m *morselScan) Next() ([]types.Value, bool, error) {
+func (m *batchMorselScan) NextBatch() (*Batch, error) {
 	n := m.table.Schema.NumColumns()
+	alias := m.alias && m.offset == 0 && m.width == n
+	out := GetBatch()
+	scratch := GetBatch()
+	defer PutBatch(scratch)
+
+	flush := func() error {
+		if m.kernel != nil {
+			if err := m.kernel(scratch); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < scratch.Len(); i++ {
+			out.Append(scratch.Row(i))
+		}
+		scratch.reset()
+		return nil
+	}
+
 	for {
-		for m.pos < len(m.cur) {
+		if m.pos >= len(m.cur) {
+			cur, ok := m.src.Claim()
+			if !ok {
+				if err := flush(); err != nil {
+					PutBatch(out)
+					return nil, err
+				}
+				if out.Len() == 0 {
+					PutBatch(out)
+					return nil, nil
+				}
+				return out, nil
+			}
+			m.cur, m.pos = cur, 0
+		}
+		for m.pos < len(m.cur) && !scratch.Full() {
 			r := m.cur[m.pos]
 			m.pos++
 			if !m.snap.Visible(r) {
 				continue
 			}
-			row := make([]types.Value, m.width)
-			copy(row[m.offset:m.offset+n], r.Values)
-			ok, err := EvalPredicate(m.filter, row)
-			if err != nil {
-				return nil, false, err
-			}
-			if ok {
-				return row, true, nil
+			if alias {
+				scratch.Append(r.Values)
+			} else {
+				// Padded rows come from a per-worker arena (never pooled,
+				// so survivors stay valid after batch recycling); the zero
+				// types.Value provides the NULL padding.
+				if len(m.arena) < m.width {
+					m.arena = make([]types.Value, BatchSize*m.width)
+				}
+				row := m.arena[:m.width:m.width]
+				m.arena = m.arena[m.width:]
+				copy(row[m.offset:m.offset+n], r.Values)
+				scratch.Append(row)
 			}
 		}
-		cur, ok := m.src.Claim()
-		if !ok {
-			return nil, false, nil
+		if scratch.Full() {
+			if err := flush(); err != nil {
+				PutBatch(out)
+				return nil, err
+			}
+			if out.Full() {
+				return out, nil
+			}
 		}
-		m.cur, m.pos = cur, 0
 	}
 }
 
-func (m *morselScan) Close() error {
+func (m *batchMorselScan) Close() error {
 	m.cur = nil
 	return nil
 }
@@ -295,10 +416,19 @@ func ParallelDegree(op Operator) int {
 			max = d
 		}
 	case *Exchange:
-		if len(n.Children) > max {
-			max = len(n.Children)
+		if w := len(n.Children) + len(n.BatchChildren); w > max {
+			max = w
 		}
 		consider(n.Children...)
+		for _, c := range n.BatchChildren {
+			if d := BatchParallelDegree(c); d > max {
+				max = d
+			}
+		}
+	case *RowFromBatch:
+		if d := BatchParallelDegree(n.Src); d > max {
+			max = d
+		}
 	case *Filter:
 		consider(n.Child)
 	case *Project:
@@ -324,4 +454,27 @@ func ParallelDegree(op Operator) int {
 		consider(n.Children...)
 	}
 	return max
+}
+
+// BatchParallelDegree is ParallelDegree over a batch operator subtree.
+func BatchParallelDegree(op BatchOperator) int {
+	switch n := op.(type) {
+	case *ParallelScan:
+		return n.Degree()
+	case *BatchFilter:
+		return BatchParallelDegree(n.Child)
+	case *BatchProject:
+		return BatchParallelDegree(n.Child)
+	case *BatchHashJoin:
+		d := ParallelDegree(n.Build)
+		if p := BatchParallelDegree(n.Probe); p > d {
+			d = p
+		}
+		return d
+	case *Exchange:
+		return ParallelDegree(n)
+	case *rowSource:
+		return ParallelDegree(n.child)
+	}
+	return 1
 }

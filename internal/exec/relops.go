@@ -200,30 +200,33 @@ type Sort struct {
 	pos  int
 }
 
-// Open materializes and sorts the input.
+// Open materializes and sorts the input. Sort keys are precomputed once
+// per row into a single contiguous buffer (decorate-sort-undecorate), so
+// the comparator touches only the flat key array — no per-comparison
+// expression evaluation and no per-row key allocation.
 func (s *Sort) Open() error {
 	rows, err := Drain(s.Child)
 	if err != nil {
 		return err
 	}
-	type keyed struct {
-		row  []types.Value
-		keys []types.Value
-	}
-	ks := make([]keyed, len(rows))
+	nk := len(s.Keys)
+	keys := make([]types.Value, len(rows)*nk)
 	for i, row := range rows {
-		keys := make([]types.Value, len(s.Keys))
 		for j, k := range s.Keys {
-			keys[j], err = k.Expr(row)
+			keys[i*nk+j], err = k.Expr(row)
 			if err != nil {
 				return err
 			}
 		}
-		ks[i] = keyed{row: row, keys: keys}
 	}
-	sort.SliceStable(ks, func(i, j int) bool {
-		for k := range s.Keys {
-			a, b := ks[i].keys[k], ks[j].keys[k]
+	perm := make([]int, len(rows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		ki, kj := keys[perm[i]*nk:], keys[perm[j]*nk:]
+		for k := 0; k < nk; k++ {
+			a, b := ki[k], kj[k]
 			if types.Less(a, b) {
 				return !s.Keys[k].Desc
 			}
@@ -233,9 +236,9 @@ func (s *Sort) Open() error {
 		}
 		return false
 	})
-	s.rows = make([][]types.Value, len(ks))
-	for i := range ks {
-		s.rows[i] = ks[i].row
+	s.rows = make([][]types.Value, len(rows))
+	for i, p := range perm {
+		s.rows[i] = rows[p]
 	}
 	s.pos = 0
 	return nil
@@ -292,6 +295,7 @@ type Distinct struct {
 	Child Operator
 
 	seen map[string]struct{}
+	buf  []byte // scratch key buffer, reused across rows
 }
 
 // Open opens the child and resets the seen set.
@@ -300,18 +304,20 @@ func (d *Distinct) Open() error {
 	return d.Child.Open()
 }
 
-// Next emits the next previously-unseen row.
+// Next emits the next previously-unseen row. The row key is materialized
+// into a reusable scratch buffer; the map lookup via string(buf) does not
+// allocate, so only genuinely new rows pay for a key string.
 func (d *Distinct) Next() ([]types.Value, bool, error) {
 	for {
 		row, ok, err := d.Child.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		key := RowKey(row)
-		if _, dup := d.seen[key]; dup {
+		d.buf = AppendKey(d.buf[:0], row...)
+		if _, dup := d.seen[string(d.buf)]; dup {
 			continue
 		}
-		d.seen[key] = struct{}{}
+		d.seen[string(d.buf)] = struct{}{}
 		return row, true, nil
 	}
 }
@@ -384,6 +390,7 @@ type Union struct {
 
 	cur  int
 	seen map[string]struct{}
+	buf  []byte // scratch key buffer, reused across rows
 }
 
 // Open opens the first child.
@@ -415,11 +422,11 @@ func (u *Union) Next() ([]types.Value, bool, error) {
 			}
 			continue
 		}
-		key := RowKey(row)
-		if _, dup := u.seen[key]; dup {
+		u.buf = AppendKey(u.buf[:0], row...)
+		if _, dup := u.seen[string(u.buf)]; dup {
 			continue
 		}
-		u.seen[key] = struct{}{}
+		u.seen[string(u.buf)] = struct{}{}
 		return row, true, nil
 	}
 	return nil, false, nil

@@ -152,8 +152,41 @@ func (p *Planner) accessPath(layout *exec.Layout, i int, conjuncts []*conjunct, 
 	}
 	// Heap scan: parallelize when the INPUT cardinality (every heap version
 	// is visited regardless of filter selectivity) clears the threshold and
-	// more than one CPU is available.
-	if workers := p.parallelWorkers(totalRows); workers > 1 {
+	// more than one CPU is available. Unless vectorization is disabled, heap
+	// scans run batch-at-a-time with the predicate compiled into a fused
+	// kernel (type-specialized comparison loops over whole batches).
+	workers := p.parallelWorkers(totalRows)
+	if !p.DisableVectorized {
+		var pred sqlparser.Expr
+		if len(exprs) > 0 {
+			pred = sqlparser.AndAll(exprs...)
+		}
+		kernel, fused, total, err := exec.CompileKernel(pred, layout)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		fusedNote := ""
+		if total > 0 {
+			fusedNote = fmt.Sprintf("fused %d/%d predicates, ", fused, total)
+		}
+		if workers > 1 {
+			op := &exec.ParallelScan{
+				Table: tbl, Snap: snap, Kernel: kernel,
+				Offset: b.Offset, Width: layout.Width(), Workers: workers,
+				Alias: true,
+			}
+			note := fmt.Sprintf("vectorized parallel seq scan on %s (%d workers, %sest %.0f rows)",
+				b.Name, workers, fusedNote, est)
+			return op, est, note, nil
+		}
+		op := &exec.RowFromBatch{Src: &exec.BatchScan{
+			Table: tbl, Snap: snap, Kernel: kernel,
+			Offset: b.Offset, Width: layout.Width(),
+		}}
+		note := fmt.Sprintf("vectorized seq scan on %s (%sest %.0f rows)", b.Name, fusedNote, est)
+		return op, est, note, nil
+	}
+	if workers > 1 {
 		op := &exec.ParallelScan{
 			Table: tbl, Snap: snap, Filter: filter,
 			Offset: b.Offset, Width: layout.Width(), Workers: workers,

@@ -7,12 +7,14 @@ import (
 	"trac/internal/exec"
 )
 
-// findParallelScan walks down through single-child wrappers looking for a
-// ParallelScan.
+// findParallelScan walks down through single-child wrappers (row and batch)
+// looking for a ParallelScan.
 func findParallelScan(op exec.Operator) *exec.ParallelScan {
 	switch n := op.(type) {
 	case *exec.ParallelScan:
 		return n
+	case *exec.RowFromBatch:
+		return findBatchParallelScan(n.Src)
 	case *exec.Filter:
 		return findParallelScan(n.Child)
 	case *exec.Project:
@@ -27,6 +29,23 @@ func findParallelScan(op exec.Operator) *exec.ParallelScan {
 		return findParallelScan(n.Child)
 	case *exec.GroupAggregate:
 		return findParallelScan(n.Child)
+	}
+	return nil
+}
+
+func findBatchParallelScan(op exec.BatchOperator) *exec.ParallelScan {
+	switch n := op.(type) {
+	case *exec.ParallelScan:
+		return n
+	case *exec.BatchFilter:
+		return findBatchParallelScan(n.Child)
+	case *exec.BatchProject:
+		return findBatchParallelScan(n.Child)
+	case *exec.BatchHashJoin:
+		if ps := findParallelScan(n.Build); ps != nil {
+			return ps
+		}
+		return findBatchParallelScan(n.Probe)
 	}
 	return nil
 }

@@ -34,6 +34,10 @@ type Planner struct {
 	ParallelThreshold int
 	// MaxParallel caps the per-scan worker count; <= 0 means GOMAXPROCS.
 	MaxParallel int
+	// DisableVectorized forces tuple-at-a-time plans (equivalence testing
+	// and ablation benchmarks). The default is batch-at-a-time pipelines
+	// for heap scans, filters, projections, and hash-join probes.
+	DisableVectorized bool
 }
 
 // New returns a planner over the catalog.
@@ -77,13 +81,20 @@ type Plan struct {
 	// Parallel is the maximum parallel worker degree anywhere in the plan
 	// (1 = fully single-threaded).
 	Parallel int
+	// Vectorized reports whether any part of the plan executes
+	// batch-at-a-time.
+	Vectorized bool
 }
 
-// Describe renders the planning notes, including the plan's parallel degree.
+// Describe renders the planning notes, including the plan's parallel degree
+// and whether it runs vectorized.
 func (p *Plan) Describe() string {
 	out := strings.Join(p.Notes, "\n")
 	if p.Parallel > 1 {
 		out += fmt.Sprintf("\nparallel degree: %d", p.Parallel)
+	}
+	if p.Vectorized {
+		out += "\nvectorized execution"
 	}
 	return out
 }
@@ -101,6 +112,7 @@ func (p *Planner) PlanSelect(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Pla
 		return nil, err
 	}
 	plan.Parallel = exec.ParallelDegree(plan.Root)
+	plan.Vectorized = !p.DisableVectorized && exec.Vectorized(plan.Root)
 	return plan, nil
 }
 
@@ -294,10 +306,9 @@ func (p *Planner) planBlock(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Plan
 	for i := range layout.Bindings {
 		joinedAll[i] = true
 	}
-	if filt, err := p.residualFilter(conjuncts, layout, joinedAll); err != nil {
+	root, err = p.applyResidualFilter(root, conjuncts, layout, joinedAll)
+	if err != nil {
 		return nil, err
-	} else if filt != nil {
-		root = &exec.Filter{Child: root, Pred: filt}
 	}
 
 	if hasAgg || len(sel.GroupBy) > 0 || sel.Having != nil {
@@ -352,12 +363,16 @@ func (p *Planner) planBlock(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Plan
 			return nil, err
 		}
 	}
-	if len(sel.OrderBy) == 0 {
-		// Projection copies values out; without a pre-projection Sort
-		// (which retains raw tuples) a scan feeding it may reuse buffers.
-		markScanReuse(root)
+	if src, ok := exec.AsBatch(root); ok && !p.DisableVectorized && len(sel.OrderBy) == 0 {
+		root = &exec.RowFromBatch{Src: &exec.BatchProject{Child: src, Exprs: evals}}
+	} else {
+		if len(sel.OrderBy) == 0 {
+			// Projection copies values out; without a pre-projection Sort
+			// (which retains raw tuples) a scan feeding it may reuse buffers.
+			markScanReuse(root)
+		}
+		root = &exec.Project{Child: root, Exprs: evals}
 	}
-	root = &exec.Project{Child: root, Exprs: evals}
 	if sel.Distinct {
 		root = &exec.Distinct{Child: root}
 	}
@@ -399,10 +414,9 @@ func (p *Planner) joinTree(layout *exec.Layout, members []int, conjuncts []*conj
 		rootEst = nodes[best].est
 		joined[best] = true
 	}
-	if filt, err := p.residualFilter(conjuncts, layout, joined); err != nil {
+	root, err := p.applyResidualFilter(root, conjuncts, layout, joined)
+	if err != nil {
 		return nil, err
-	} else if filt != nil {
-		root = &exec.Filter{Child: root, Pred: filt}
 	}
 	for len(joined) < len(members) {
 		// Find candidate: prefer equijoin-connected, then cheapest.
@@ -442,13 +456,11 @@ func (p *Planner) joinTree(layout *exec.Layout, members []int, conjuncts []*conj
 				}
 			}
 			if n.est <= rootEst {
-				markScanReuse(root) // probe side: rows are merged, not retained
-				root = &exec.HashJoin{Build: n.op, Probe: root, BuildKeys: buildKeys, ProbeKeys: probeKeys}
+				root = p.makeHashJoin(n.op, root, buildKeys, probeKeys)
 				*notes = append(*notes, fmt.Sprintf("hash join: build %s (est %.0f), probe so-far (est %.0f)",
 					layout.Bindings[cand].Name, n.est, rootEst))
 			} else {
-				markScanReuse(n.op)
-				root = &exec.HashJoin{Build: root, Probe: n.op, BuildKeys: buildKeys, ProbeKeys: probeKeys}
+				root = p.makeHashJoin(root, n.op, buildKeys, probeKeys)
 				*notes = append(*notes, fmt.Sprintf("hash join: build so-far (est %.0f), probe %s (est %.0f)",
 					rootEst, layout.Bindings[cand].Name, n.est))
 			}
@@ -461,13 +473,27 @@ func (p *Planner) joinTree(layout *exec.Layout, members []int, conjuncts []*conj
 		}
 		joined[cand] = true
 		// Apply any now-eligible residual conjuncts.
-		if filt, err := p.residualFilter(conjuncts, layout, joined); err != nil {
+		root, err = p.applyResidualFilter(root, conjuncts, layout, joined)
+		if err != nil {
 			return nil, err
-		} else if filt != nil {
-			root = &exec.Filter{Child: root, Pred: filt}
 		}
 	}
 	return root, nil
+}
+
+// makeHashJoin builds the physical hash join. A probe side that is (or
+// bridges to) a batch pipeline gets the batched probe operator, which
+// hashes whole batches of keys per call; otherwise the row probe. The
+// build side stays a row operator either way — buildHashTable handles the
+// parallel partial-build internally.
+func (p *Planner) makeHashJoin(build, probe exec.Operator, buildKeys, probeKeys []exec.Evaluator) exec.Operator {
+	if src, ok := exec.AsBatch(probe); ok && !p.DisableVectorized {
+		return &exec.RowFromBatch{Src: &exec.BatchHashJoin{
+			Build: build, Probe: src, BuildKeys: buildKeys, ProbeKeys: probeKeys,
+		}}
+	}
+	markScanReuse(probe) // probe side: rows are merged, not retained
+	return &exec.HashJoin{Build: build, Probe: probe, BuildKeys: buildKeys, ProbeKeys: probeKeys}
 }
 
 // markScanReuse enables scan-buffer reuse on a direct scan (possibly under
@@ -679,9 +705,9 @@ func splitAnd(e sqlparser.Expr) []sqlparser.Expr {
 	return []sqlparser.Expr{e}
 }
 
-// residualFilter compiles the conjunction of all unused conjuncts whose
-// bindings are fully joined, marking them used.
-func (p *Planner) residualFilter(conjuncts []*conjunct, layout *exec.Layout, joined map[int]bool) (exec.Evaluator, error) {
+// residualExprs collects all unused conjuncts whose bindings are fully
+// joined, marking them used.
+func residualExprs(conjuncts []*conjunct, joined map[int]bool) []sqlparser.Expr {
 	var exprs []sqlparser.Expr
 	for _, c := range conjuncts {
 		if c.used {
@@ -699,8 +725,29 @@ func (p *Planner) residualFilter(conjuncts []*conjunct, layout *exec.Layout, joi
 			c.used = true
 		}
 	}
+	return exprs
+}
+
+// applyResidualFilter applies the now-eligible residual conjuncts on top of
+// root. When root is (or bridges to) a batch pipeline, the predicate is
+// compiled into a fused kernel and applied as a BatchFilter extending that
+// pipeline; otherwise it compiles to an ordinary row Filter.
+func (p *Planner) applyResidualFilter(root exec.Operator, conjuncts []*conjunct, layout *exec.Layout, joined map[int]bool) (exec.Operator, error) {
+	exprs := residualExprs(conjuncts, joined)
 	if len(exprs) == 0 {
-		return nil, nil
+		return root, nil
 	}
-	return exec.Compile(sqlparser.AndAll(exprs...), layout)
+	pred := sqlparser.AndAll(exprs...)
+	if src, ok := exec.AsBatch(root); ok && !p.DisableVectorized {
+		k, _, _, err := exec.CompileKernel(pred, layout)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.RowFromBatch{Src: &exec.BatchFilter{Child: src, Kernel: k}}, nil
+	}
+	ev, err := exec.Compile(pred, layout)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Filter{Child: root, Pred: ev}, nil
 }

@@ -48,6 +48,45 @@ func (m *Morsels) Claim() ([]*Row, bool) {
 // Len returns the total number of row slots in the snapshot.
 func (m *Morsels) Len() int { return len(m.rows) }
 
+// Windows iterates a stable heap snapshot in fixed-size runs for a single
+// consumer — the serial counterpart of Morsels, with a plain cursor instead
+// of an atomic claim. Batch scans use it to pull one batch-sized window of
+// row slots per step.
+type Windows struct {
+	rows []*Row
+	size int
+	next int
+}
+
+// Windows snapshots the heap and partitions it into runs of the given size
+// (<= 0 selects DefaultMorselSize). Versions appended after the call are
+// not included, exactly like Rows. Not safe for concurrent use; workers
+// share a Morsels instead.
+func (t *Table) Windows(size int) *Windows {
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	return &Windows{rows: t.Rows(), size: size}
+}
+
+// Next hands out the next window, or ok=false when the snapshot is
+// exhausted.
+func (w *Windows) Next() ([]*Row, bool) {
+	if w.next >= len(w.rows) {
+		return nil, false
+	}
+	end := w.next + w.size
+	if end > len(w.rows) {
+		end = len(w.rows)
+	}
+	rows := w.rows[w.next:end]
+	w.next = end
+	return rows, true
+}
+
+// Len returns the total number of row slots in the snapshot.
+func (w *Windows) Len() int { return len(w.rows) }
+
 // NumMorsels returns how many morsels the snapshot partitions into.
 func (m *Morsels) NumMorsels() int {
 	if len(m.rows) == 0 {

@@ -100,3 +100,54 @@ func TestMorselsSnapshotIgnoresLaterInserts(t *testing.T) {
 		t.Errorf("claimed %d rows, want the 100 present at partition time", n)
 	}
 }
+
+func TestWindowsCoverEveryRowInOrder(t *testing.T) {
+	for _, tc := range []struct{ rows, size int }{
+		{0, 10}, {1, 10}, {10, 10}, {25, 10}, {1000, 64},
+	} {
+		tbl := morselFixture(t, tc.rows)
+		w := tbl.Windows(tc.size)
+		if w.Len() != tc.rows {
+			t.Errorf("Len = %d, want %d", w.Len(), tc.rows)
+		}
+		seen := 0
+		for {
+			rows, ok := w.Next()
+			if !ok {
+				break
+			}
+			if len(rows) == 0 || len(rows) > tc.size {
+				t.Fatalf("window of %d rows with size %d", len(rows), tc.size)
+			}
+			for _, r := range rows {
+				if got := r.Values[0].Int(); got != int64(seen) {
+					t.Fatalf("row %d out of order: got %d", seen, got)
+				}
+				seen++
+			}
+		}
+		if seen != tc.rows {
+			t.Errorf("windows covered %d rows, want %d", seen, tc.rows)
+		}
+		if _, ok := w.Next(); ok {
+			t.Error("Next after exhaustion returned a window")
+		}
+	}
+}
+
+func TestWindowsSnapshotStable(t *testing.T) {
+	tbl := morselFixture(t, 5)
+	w := tbl.Windows(0)
+	tbl.Append(NewRow([]types.Value{types.NewInt(99)}, 1))
+	total := 0
+	for {
+		rows, ok := w.Next()
+		if !ok {
+			break
+		}
+		total += len(rows)
+	}
+	if total != 5 {
+		t.Errorf("snapshot saw %d rows, want 5 (append after Windows must not leak in)", total)
+	}
+}

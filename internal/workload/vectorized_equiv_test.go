@@ -1,0 +1,153 @@
+package workload_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"trac/internal/core/recgen"
+	"trac/internal/engine"
+	"trac/internal/exec"
+	"trac/internal/sqlparser"
+	"trac/internal/workload"
+)
+
+// equivCorpus assembles the query corpus: the paper's four test queries,
+// the recency-report query generated for each of them, and ad-hoc shapes
+// covering NULL/UNKNOWN predicates, grouping, ordering, DISTINCT, joins
+// and UNION.
+func equivCorpus(t *testing.T, db *engine.DB) []string {
+	t.Helper()
+	var corpus []string
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q4"} {
+		sql, err := workload.Query(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, sql)
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		gen, err := recgen.Generate(sel, db.Catalog(), recgen.Options{})
+		if err != nil {
+			t.Fatalf("recgen %s: %v", name, err)
+		}
+		if !gen.Empty {
+			corpus = append(corpus, gen.SQL)
+		}
+	}
+	corpus = append(corpus,
+		`SELECT mach_id, value FROM Activity WHERE value = 'idle'`,
+		`SELECT mach_id FROM Activity WHERE value <> 'idle' AND event_time > '2006-03-15 00:00:30'`,
+		`SELECT COUNT(*), MIN(event_time), MAX(event_time) FROM Activity`,
+		`SELECT value, COUNT(*) FROM Activity GROUP BY value ORDER BY value`,
+		`SELECT DISTINCT value FROM Activity ORDER BY value`,
+		`SELECT A.mach_id FROM Activity A, Routing R WHERE A.mach_id = R.neighbor AND A.value = 'busy' ORDER BY A.mach_id LIMIT 20`,
+		`SELECT mach_id FROM Activity WHERE value LIKE 'b%' ORDER BY mach_id LIMIT 10`,
+		`SELECT mach_id FROM Activity WHERE value IN ('idle') UNION SELECT mach_id FROM Routing WHERE neighbor = 'Tao1'`,
+		// NULL/UNKNOWN semantics over a table with NULLs in every column.
+		`SELECT id FROM NullProbe WHERE name = 'idle'`,
+		`SELECT id FROM NullProbe WHERE name <> 'idle'`,
+		`SELECT id FROM NullProbe WHERE score > 0.4`,
+		`SELECT id FROM NullProbe WHERE score <= 0.4`,
+		`SELECT id FROM NullProbe WHERE name IN ('idle', 'down')`,
+		`SELECT id FROM NullProbe WHERE name NOT IN ('idle')`,
+		`SELECT id FROM NullProbe WHERE name IN ('idle', NULL)`,
+		`SELECT id FROM NullProbe WHERE name NOT IN ('idle', NULL)`,
+		`SELECT id FROM NullProbe WHERE score BETWEEN 0.1 AND 0.5`,
+		`SELECT id FROM NullProbe WHERE name IS NULL`,
+		`SELECT id FROM NullProbe WHERE name IS NOT NULL AND score IS NULL`,
+		`SELECT id FROM NullProbe WHERE name = 'idle' OR score > 0.45`,
+		`SELECT n.id, a.value FROM NullProbe n, Activity a WHERE n.name = a.value AND a.mach_id = 'Tao1'`,
+	)
+	return corpus
+}
+
+func addNullProbe(t *testing.T, db *engine.DB) {
+	t.Helper()
+	db.MustExec(`CREATE TABLE NullProbe (id INT, name TEXT, score FLOAT)`)
+	for _, row := range []string{
+		`(1, 'idle', 0.1)`,
+		`(2, NULL, 0.9)`,
+		`(3, 'busy', NULL)`,
+		`(4, NULL, NULL)`,
+		`(5, 'down', 0.5)`,
+		`(6, 'idle', 0.45)`,
+	} {
+		db.MustExec(`INSERT INTO NullProbe VALUES ` + row)
+	}
+}
+
+// rowSet renders a result as a sorted multiset of canonical row keys.
+func rowSet(res *engine.Result) []string {
+	keys := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		keys[i] = exec.RowKey(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestVectorizedMatchesRowExecution is the batch/row equivalence property
+// test: every corpus query must produce the identical result multiset
+// under tuple-at-a-time plans (DisableVectorized), vectorized plans, and
+// vectorized plans forced onto the parallel morsel-driven path.
+func TestVectorizedMatchesRowExecution(t *testing.T) {
+	db, err := workload.Build(workload.Spec{TotalRows: 4000, DataSources: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addNullProbe(t, db)
+	corpus := equivCorpus(t, db)
+
+	type mode struct {
+		name              string
+		disableVectorized bool
+		parallelThreshold int
+		maxParallel       int
+	}
+	modes := []mode{
+		{name: "row", disableVectorized: true},
+		{name: "vectorized"},
+		{name: "vectorized-parallel", parallelThreshold: 50, maxParallel: 4},
+		{name: "row-parallel", disableVectorized: true, parallelThreshold: 50, maxParallel: 4},
+	}
+
+	sawVectorized := false
+	for qi, sql := range corpus {
+		var baseline []string
+		for _, m := range modes {
+			pl := db.Planner()
+			pl.DisableVectorized = m.disableVectorized
+			pl.ParallelThreshold = m.parallelThreshold
+			pl.MaxParallel = m.maxParallel
+			res, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("q%d [%s] %s: %v", qi, m.name, sql, err)
+			}
+			if res.Vectorized {
+				sawVectorized = true
+			}
+			if m.disableVectorized && res.Vectorized {
+				t.Errorf("q%d [%s]: result claims vectorized with vectorization disabled", qi, m.name)
+			}
+			got := rowSet(res)
+			if baseline == nil {
+				baseline = got
+				continue
+			}
+			if fmt.Sprint(got) != fmt.Sprint(baseline) {
+				t.Errorf("q%d [%s] diverges from row baseline\nquery: %s\nrow:   %v\ngot:   %v",
+					qi, m.name, sql, baseline, got)
+			}
+		}
+		pl := db.Planner()
+		pl.DisableVectorized = false
+		pl.ParallelThreshold = 0
+		pl.MaxParallel = 0
+	}
+	if !sawVectorized {
+		t.Error("no corpus query ever executed vectorized")
+	}
+}
