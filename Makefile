@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check chaos bench bench-parallel
+.PHONY: build test lint check chaos bench bench-smoke bench-parallel
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,16 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/tracvet ./...
 
-# check is the CI gate: lint everything, then run the concurrency-sensitive
-# packages (parallel scan, plan cache, MVCC) under the race detector.
-check: lint
+# check is the CI gate: lint everything, run the concurrency-sensitive
+# packages (parallel scan, plan cache, MVCC) under the race detector, then
+# smoke every benchmark so bench-only code paths cannot rot unnoticed.
+check: lint bench-smoke
 	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/txn/...
+
+# bench-smoke runs every Go benchmark exactly once — not for numbers, just
+# to prove the benchmark harnesses still build, run, and cross-check.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # chaos runs the ingestion robustness suite with elevated fault-injection
 # rates and the race detector: fault-injected logs, retry/backoff, circuit
@@ -34,6 +40,7 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/tracbench -execbench -total 200000 -iterations 11 -o BENCH_exec.json
+	$(GO) run ./cmd/tracbench -storagebench -total 200000 -iterations 11 -storage-o BENCH_storage.json
 
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkParallelScan|BenchmarkPreparedReportCached' -benchtime 3x .

@@ -143,6 +143,8 @@ func dispatch(db *trac.DB, sess *trac.Session, line string) (*trac.DB, *trac.Ses
 		}
 	case line == `\sources` || strings.HasPrefix(line, `\sources `):
 		showSources(db, strings.TrimSpace(strings.TrimPrefix(line, `\sources`)))
+	case line == `\seal` || strings.HasPrefix(line, `\seal `):
+		sealTables(db, strings.TrimSpace(strings.TrimPrefix(line, `\seal`)))
 	case line == `\cache`:
 		hits, misses := db.Engine().PlanCache().Stats()
 		fmt.Printf("plan cache: %d entries, %d hits, %d misses (catalog version %d)\n",
@@ -158,7 +160,7 @@ func dispatch(db *trac.DB, sess *trac.Session, line string) (*trac.DB, *trac.Ses
 		sess = db.NewSession()
 		fmt.Println("loaded; tables:", strings.Join(db.Catalog(), ", "))
 	case strings.HasPrefix(line, `\`):
-		fmt.Println("unknown meta command; try \\recency, \\gen, \\explain, \\save, \\load, \\cache, \\sources, \\d, \\q")
+		fmt.Println("unknown meta command; try \\recency, \\gen, \\explain, \\save, \\load, \\cache, \\sources, \\seal, \\d, \\q")
 	default:
 		runSQL(db, line)
 	}
@@ -182,6 +184,29 @@ func runSQL(db *trac.DB, sql string) {
 		return
 	}
 	fmt.Printf("OK (%d rows affected)\n", n)
+}
+
+// sealTables seals one table (or all) into columnar segments and prints the
+// resulting dual-format layout: sealed segment count, rows covered, and the
+// remaining unsealed tail per table.
+func sealTables(db *trac.DB, arg string) {
+	names := db.Catalog()
+	if arg != "" {
+		names = []string{arg}
+	}
+	for _, name := range names {
+		if _, err := db.Engine().SealTable(name); err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		tbl, err := db.InternalCatalog().Get(name)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Printf("  %-16s %4d segments, %d rows sealed, tail %d rows\n",
+			tbl.Name, tbl.NumSegments(), tbl.SealedRows(), tbl.NumVersions()-tbl.SealedRows())
+	}
 }
 
 // showSources prints per-source ingestion health from the Heartbeat and

@@ -4,6 +4,7 @@
 //	tracbench -figure 2            # Figure 2: absolute times for Q1/Q3
 //	tracbench -fpr                 # the §5.2 false-positive-rate table
 //	tracbench -execbench           # vectorized-vs-row executor microbench
+//	tracbench -storagebench        # columnar-segment-vs-row storage microbench
 //	tracbench -all                 # everything
 //
 // The sweep defaults to 1,000,000 Activity rows (the paper used 10,000,000
@@ -33,14 +34,18 @@ func main() {
 	chart := flag.Bool("chart", false, "also draw ASCII log-log charts for Figure 1")
 	execbench := flag.Bool("execbench", false, "run the vectorized-vs-row executor microbenchmarks")
 	execOut := flag.String("o", "BENCH_exec.json", "output path for the -execbench report")
+	storagebench := flag.Bool("storagebench", false, "run the columnar-segment-vs-row storage microbenchmarks")
+	storageOut := flag.String("storage-o", "BENCH_storage.json", "output path for the -storagebench report")
+	segSize := flag.Int("segment-size", 0, "segment size for -storagebench (0 = storage default)")
 	flag.Parse()
 
 	if *all {
 		*figure = 1
 		*fpr = true
 		*execbench = true
+		*storagebench = true
 	}
-	if *figure == 0 && !*fpr && !*execbench {
+	if *figure == 0 && !*fpr && !*execbench && !*storagebench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -107,6 +112,30 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *execOut)
+		}
+	}
+
+	if *storagebench {
+		progress := func(string) {}
+		if !*quiet {
+			progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		report, err := benchharness.RunStorageBench(*total, 1_000, *segSize, *iters, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "storagebench failed:", err)
+			os.Exit(1)
+		}
+		out, err := benchharness.MarshalStorageBench(report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "storagebench marshal failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*storageOut, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "storagebench write failed:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *storageOut)
 		}
 	}
 

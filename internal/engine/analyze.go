@@ -37,8 +37,12 @@ func (db *DB) execAnalyze(s *sqlparser.AnalyzeStmt) error {
 }
 
 // analyzeTable samples the visible rows and publishes per-column statistics.
+// Column min/max comes from sealed-segment zone maps when segments cover the
+// whole heap (exact, zero value passes); otherwise from the sample.
 func analyzeTable(tbl *storage.Table, snap interface{ Visible(*storage.Row) bool }) {
-	all := tbl.Rows()
+	heap := tbl.Snap()
+	all := heap.Rows
+	covered := len(all) > 0 && heap.Sealed == len(all)
 	visible := make([]*storage.Row, 0, len(all))
 	for _, r := range all {
 		if snap.Visible(r) {
@@ -94,6 +98,21 @@ func analyzeTable(tbl *storage.Table, snap interface{ Visible(*storage.Row) bool
 			cs.Distinct = d
 		}
 		cs.Histogram = storage.BuildHistogram(vals, analyzeBuckets)
+		if covered {
+			if mn, mx, ok := storage.MinMaxFromZones(heap.Segments, ci); ok {
+				cs.Min, cs.Max, cs.MinMaxExact = mn, mx, true
+			}
+		}
+		if !cs.MinMaxExact {
+			for _, v := range vals {
+				if cs.Min.IsNull() || types.Less(v, cs.Min) {
+					cs.Min = v
+				}
+				if cs.Max.IsNull() || types.Less(cs.Max, v) {
+					cs.Max = v
+				}
+			}
+		}
 		stats.Columns[ci] = cs
 	}
 	tbl.SetStats(stats)

@@ -1,0 +1,34 @@
+package engine
+
+// Sealing converts a table's unsealed row tail into immutable column
+// segments (typed vectors + zone maps; see storage.Segment). Tables already
+// auto-seal as inserts cross the storage threshold, so these entry points
+// exist for bulk loads, benchmarks, and operators that want full columnar
+// coverage immediately — e.g. right before a read-heavy reporting phase.
+// Sealing changes no schema and no visible data, so it deliberately does
+// not bump the catalog version: cached plans stay valid (scans take a fresh
+// heap snapshot at Open and pick up new segments automatically).
+
+// SealTable seals the named table's current tail, returning the number of
+// segments created.
+func (db *DB) SealTable(name string) (int, error) {
+	tbl, err := db.catalog.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.Seal(), nil
+}
+
+// SealAll seals every table's current tail, returning the total number of
+// segments created.
+func (db *DB) SealAll() int {
+	total := 0
+	for _, name := range db.catalog.Names() {
+		tbl, err := db.catalog.Get(name)
+		if err != nil {
+			continue
+		}
+		total += tbl.Seal()
+	}
+	return total
+}

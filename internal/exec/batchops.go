@@ -6,9 +6,18 @@ import (
 	"trac/internal/types"
 )
 
-// BatchScan is the batch-at-a-time heap scan: it extracts a window of
-// visible rows from storage into a batch and applies the pushed-down
-// predicate as a fused kernel over the whole window.
+// BatchScan is the batch-at-a-time heap scan over dual-format storage. The
+// heap snapshot arrives as units: sealed column segments first, then
+// batch-sized windows of the unsealed row tail.
+//
+// Sealed segments take the columnar path: the optional SegFilter first
+// consults per-segment zone maps (a pruned segment costs one check and zero
+// value touches), then narrows a selection vector of visible positions with
+// fused loops over the segment's typed column vectors. Rows are
+// materialized late — only surviving positions are ever aliased or copied
+// into a batch — and the non-fused Rest of the predicate runs on those
+// survivors. Tail windows take the row path: visibility filter, then the
+// full Kernel, exactly as before segments existed.
 //
 // When the scan's output layout is exactly the table's own columns
 // (Offset 0, Width = arity) the batch rows alias heap storage directly —
@@ -17,15 +26,29 @@ import (
 type BatchScan struct {
 	Table  *storage.Table
 	Snap   txn.Snapshot
-	Kernel Kernel // may be nil
-	Offset int    // where this table's columns start in the output tuple
-	Width  int    // total output tuple width (0 means table arity)
+	Kernel Kernel // full predicate for tail windows; may be nil
+	// SegFilter is the predicate's columnar form for sealed segments; when
+	// nil, segments are materialized (visible rows only) and run through
+	// Kernel like a tail window.
+	SegFilter *SegmentFilter
+	Offset    int // where this table's columns start in the output tuple
+	Width     int // total output tuple width (0 means table arity)
 
-	win   *storage.Windows
-	alias bool
+	// PrunedSegments/ScannedSegments count zone-map outcomes for this
+	// execution (reset by Open); EXPLAIN and benches read them.
+	PrunedSegments  int
+	ScannedSegments int
+
+	win    *storage.Windows
+	alias  bool
+	curSeg *storage.Segment
+	sel    []int
+	selPos int
+	selbuf []int
+	arena  []types.Value
 }
 
-// Open snapshots the heap as batch-sized windows.
+// Open snapshots the heap as scan units and resets per-execution state.
 func (s *BatchScan) Open() error {
 	s.win = s.Table.Windows(BatchSize)
 	n := s.Table.Schema.NumColumns()
@@ -33,37 +56,98 @@ func (s *BatchScan) Open() error {
 		s.Width = n
 	}
 	s.alias = s.Offset == 0 && s.Width == n
+	s.curSeg, s.sel, s.selPos = nil, nil, 0
+	s.PrunedSegments, s.ScannedSegments = 0, 0
 	return nil
 }
 
-// NextBatch emits the next non-empty batch of visible, kernel-passing rows.
-// Padded (non-alias) rows are carved out of one arena allocation per batch;
-// the arena is never pooled, so rows stay valid after the batch is
-// recycled. A zero types.Value is NULL, which provides the padding.
+// appendRow adds one heap row to the batch: aliased when the layout allows,
+// otherwise copied into a padded tuple carved from the scan's arena (never
+// pooled, so rows stay valid after the batch is recycled; the zero
+// types.Value provides the NULL padding).
+func (s *BatchScan) appendRow(b *Batch, r *storage.Row, n int) {
+	if s.alias {
+		b.Append(r.Values)
+		return
+	}
+	if len(s.arena) < s.Width {
+		s.arena = make([]types.Value, BatchSize*s.Width)
+	}
+	row := s.arena[:s.Width:s.Width]
+	s.arena = s.arena[s.Width:]
+	copy(row[s.Offset:s.Offset+n], r.Values)
+	b.Append(row)
+}
+
+// NextBatch emits the next non-empty batch of visible, predicate-passing
+// rows.
 func (s *BatchScan) NextBatch() (*Batch, error) {
 	n := s.Table.Schema.NumColumns()
 	for {
-		rows, ok := s.win.Next()
+		if s.curSeg != nil && s.selPos < len(s.sel) {
+			// Late materialization: emit the next chunk of survivors.
+			b := GetBatch()
+			rows := s.curSeg.Rows
+			for s.selPos < len(s.sel) && !b.Full() {
+				s.appendRow(b, rows[s.sel[s.selPos]], n)
+				s.selPos++
+			}
+			k := s.Kernel
+			if s.SegFilter != nil {
+				k = s.SegFilter.Rest
+			}
+			if k != nil {
+				if err := k(b); err != nil {
+					PutBatch(b)
+					return nil, err
+				}
+			}
+			if b.Len() == 0 {
+				PutBatch(b)
+				continue
+			}
+			return b, nil
+		}
+		s.curSeg = nil
+		u, ok := s.win.Next()
 		if !ok {
 			return nil, nil
 		}
+		if u.Seg != nil {
+			seg := u.Seg
+			if s.SegFilter != nil && s.SegFilter.Prune(seg) {
+				s.PrunedSegments++
+				continue
+			}
+			s.ScannedSegments++
+			if cap(s.selbuf) < seg.Len() {
+				s.selbuf = make([]int, 0, seg.Len())
+			}
+			sel := s.selbuf[:0]
+			for i, r := range seg.Rows {
+				if s.Snap.Visible(r) {
+					sel = append(sel, i)
+				}
+			}
+			if s.SegFilter != nil {
+				var err error
+				sel, err = s.SegFilter.Narrow(seg, sel)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if len(sel) == 0 {
+				continue
+			}
+			s.curSeg, s.sel, s.selPos = seg, sel, 0
+			continue
+		}
 		b := GetBatch()
-		var arena []types.Value
-		for _, r := range rows {
+		for _, r := range u.Rows {
 			if !s.Snap.Visible(r) {
 				continue
 			}
-			if s.alias {
-				b.Append(r.Values)
-			} else {
-				if len(arena) < s.Width {
-					arena = make([]types.Value, BatchSize*s.Width)
-				}
-				row := arena[:s.Width:s.Width]
-				arena = arena[s.Width:]
-				copy(row[s.Offset:s.Offset+n], r.Values)
-				b.Append(row)
-			}
+			s.appendRow(b, r, n)
 		}
 		if s.Kernel != nil {
 			if err := s.Kernel(b); err != nil {
@@ -82,6 +166,7 @@ func (s *BatchScan) NextBatch() (*Batch, error) {
 // Close releases the heap snapshot.
 func (s *BatchScan) Close() error {
 	s.win = nil
+	s.curSeg, s.sel = nil, nil
 	return nil
 }
 

@@ -215,8 +215,12 @@ type ParallelScan struct {
 	Snap   txn.Snapshot
 	Filter Evaluator // may be nil; evaluated against the padded tuple
 	Kernel Kernel    // may be nil; preferred over Filter when set
-	Offset int       // where this table's columns start in the output tuple
-	Width  int       // total output tuple width (0 means table arity)
+	// SegFilter is the predicate's columnar form for sealed segments (zone
+	// map pruning + fused vector loops); workers fall back to Kernel/Filter
+	// on tail morsels and on segments when it is nil.
+	SegFilter *SegmentFilter
+	Offset    int // where this table's columns start in the output tuple
+	Width     int // total output tuple width (0 means table arity)
 	// Workers is the parallel degree; <= 0 selects GOMAXPROCS.
 	Workers int
 	// MorselSize overrides storage.DefaultMorselSize (tests).
@@ -256,7 +260,7 @@ func (s *ParallelScan) BatchPartials() []BatchOperator {
 	for i := range out {
 		out[i] = &batchMorselScan{
 			src: src, table: s.Table, snap: s.Snap, kernel: kernel,
-			offset: s.Offset, width: width, alias: s.Alias,
+			segf: s.SegFilter, offset: s.Offset, width: width, alias: s.Alias,
 		}
 	}
 	return out
@@ -301,25 +305,41 @@ func (s *ParallelScan) Close() error {
 
 // batchMorselScan is one worker's view of a shared morsel source: a plain
 // single-threaded BatchOperator; concurrency lives entirely in the shared
-// claim. It scans BatchSize-row windows into a scratch batch, runs the
-// kernel over each window, and compacts survivors into dense output
-// batches, so downstream hand-off cost tracks output (not input)
-// cardinality even under selective predicates.
+// claim. Tail morsels are scanned into a scratch batch and compacted by the
+// full kernel; sealed-segment morsels take the columnar path (zone-map
+// prune, vector-loop narrowing, late materialization, then only the
+// predicate's non-fused Rest). Either way survivors are compacted into
+// dense output batches, so downstream hand-off cost tracks output (not
+// input) cardinality even under selective predicates.
 type batchMorselScan struct {
 	src    *storage.Morsels
 	table  *storage.Table
 	snap   txn.Snapshot
 	kernel Kernel
+	segf   *SegmentFilter
 	offset int
 	width  int
 	alias  bool
 
-	cur   []*storage.Row
-	pos   int
-	arena []types.Value
+	cur    storage.Morsel
+	pos    int // cursor into cur.Rows (tail morsels)
+	sel    []int
+	selPos int
+	selbuf []int
+	arena  []types.Value
 }
 
 func (m *batchMorselScan) Open() error { return nil }
+
+// restKernel is the kernel owed on rows materialized from a narrowed
+// segment: the predicate's non-fused remainder, or the full kernel when no
+// columnar form exists.
+func (m *batchMorselScan) restKernel() Kernel {
+	if m.segf != nil {
+		return m.segf.Rest
+	}
+	return m.kernel
+}
 
 func (m *batchMorselScan) NextBatch() (*Batch, error) {
 	n := m.table.Schema.NumColumns()
@@ -328,9 +348,12 @@ func (m *batchMorselScan) NextBatch() (*Batch, error) {
 	scratch := GetBatch()
 	defer PutBatch(scratch)
 
-	flush := func() error {
-		if m.kernel != nil {
-			if err := m.kernel(scratch); err != nil {
+	// flush compacts the scratch window with the given kernel and appends
+	// survivors to out. Scratch only ever holds rows from one scan unit, so
+	// the right kernel (full vs. Rest) is unambiguous.
+	flush := func(k Kernel) error {
+		if k != nil {
+			if err := k(scratch); err != nil {
 				return err
 			}
 		}
@@ -340,58 +363,98 @@ func (m *batchMorselScan) NextBatch() (*Batch, error) {
 		scratch.reset()
 		return nil
 	}
+	appendRow := func(r *storage.Row) {
+		if alias {
+			scratch.Append(r.Values)
+			return
+		}
+		// Padded rows come from a per-worker arena (never pooled, so
+		// survivors stay valid after batch recycling); the zero types.Value
+		// provides the NULL padding.
+		if len(m.arena) < m.width {
+			m.arena = make([]types.Value, BatchSize*m.width)
+		}
+		row := m.arena[:m.width:m.width]
+		m.arena = m.arena[m.width:]
+		copy(row[m.offset:m.offset+n], r.Values)
+		scratch.Append(row)
+	}
 
 	for {
-		if m.pos >= len(m.cur) {
-			cur, ok := m.src.Claim()
-			if !ok {
-				if err := flush(); err != nil {
-					PutBatch(out)
-					return nil, err
-				}
-				if out.Len() == 0 {
-					PutBatch(out)
-					return nil, nil
-				}
-				return out, nil
+		switch {
+		case m.cur.Seg != nil && m.selPos < len(m.sel):
+			rows := m.cur.Seg.Rows
+			for m.selPos < len(m.sel) && !scratch.Full() {
+				appendRow(rows[m.sel[m.selPos]])
+				m.selPos++
 			}
-			m.cur, m.pos = cur, 0
-		}
-		for m.pos < len(m.cur) && !scratch.Full() {
-			r := m.cur[m.pos]
-			m.pos++
-			if !m.snap.Visible(r) {
-				continue
-			}
-			if alias {
-				scratch.Append(r.Values)
-			} else {
-				// Padded rows come from a per-worker arena (never pooled,
-				// so survivors stay valid after batch recycling); the zero
-				// types.Value provides the NULL padding.
-				if len(m.arena) < m.width {
-					m.arena = make([]types.Value, BatchSize*m.width)
-				}
-				row := m.arena[:m.width:m.width]
-				m.arena = m.arena[m.width:]
-				copy(row[m.offset:m.offset+n], r.Values)
-				scratch.Append(row)
-			}
-		}
-		if scratch.Full() {
-			if err := flush(); err != nil {
+			if err := flush(m.restKernel()); err != nil {
 				PutBatch(out)
 				return nil, err
 			}
 			if out.Full() {
 				return out, nil
 			}
+		case m.cur.Seg == nil && m.pos < len(m.cur.Rows):
+			for m.pos < len(m.cur.Rows) && !scratch.Full() {
+				r := m.cur.Rows[m.pos]
+				m.pos++
+				if !m.snap.Visible(r) {
+					continue
+				}
+				appendRow(r)
+			}
+			if scratch.Full() || m.pos >= len(m.cur.Rows) {
+				if err := flush(m.kernel); err != nil {
+					PutBatch(out)
+					return nil, err
+				}
+				if out.Full() {
+					return out, nil
+				}
+			}
+		default:
+			cur, ok := m.src.Claim()
+			if !ok {
+				if out.Len() == 0 {
+					PutBatch(out)
+					return nil, nil
+				}
+				return out, nil
+			}
+			m.cur, m.pos, m.sel, m.selPos = cur, 0, nil, 0
+			if cur.Seg == nil {
+				continue
+			}
+			if m.segf != nil && m.segf.Prune(cur.Seg) {
+				m.cur = storage.Morsel{}
+				continue
+			}
+			if cap(m.selbuf) < cur.Seg.Len() {
+				m.selbuf = make([]int, 0, cur.Seg.Len())
+			}
+			sel := m.selbuf[:0]
+			for i, r := range cur.Seg.Rows {
+				if m.snap.Visible(r) {
+					sel = append(sel, i)
+				}
+			}
+			if m.segf != nil {
+				var err error
+				sel, err = m.segf.Narrow(cur.Seg, sel)
+				if err != nil {
+					PutBatch(out)
+					return nil, err
+				}
+			}
+			m.sel = sel
 		}
 	}
 }
 
 func (m *batchMorselScan) Close() error {
-	m.cur = nil
+	m.cur = storage.Morsel{}
+	m.sel = nil
 	return nil
 }
 

@@ -1,0 +1,664 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/types"
+)
+
+// SegmentFilter is the columnar form of a pushed-down scan predicate, used
+// by segment-aware scans on sealed storage.Segment units. Each fusable
+// conjunct carries two compiled parts:
+//
+//   - a zone-map prune check deciding from the segment's per-column min/max,
+//     null-count, and distinct-source summaries that NO row in the segment
+//     can satisfy the conjunct — the whole segment is skipped without
+//     touching a single value;
+//   - a columnar narrow loop over the segment's typed vectors that shrinks a
+//     selection vector of segment-relative positions, so rows are
+//     materialized late: only survivors are ever copied (or aliased) into a
+//     batch.
+//
+// Conjuncts with no fusable columnar form are compiled into Rest, a row
+// kernel the scan applies after materialization — together the two halves
+// evaluate exactly the predicate CompileKernel would.
+//
+// Pruning and seg-before-Rest evaluation reorder the AND chain, which is
+// legal for the same reason CompileKernel's early-out is (see its doc
+// comment): both orders agree wherever no conjunct raises an error, and a
+// conjunct is only seg-fused for kind pairings whose row kernel cannot
+// raise one on values a zone map admits. On error-free inputs the outputs
+// are identical to the row path.
+type SegmentFilter struct {
+	conjs []segConjunct
+	// Rest evaluates the non-fused conjuncts against materialized batch
+	// rows; nil when every conjunct fused.
+	Rest Kernel
+	// Fused counts seg-fused conjuncts out of Total, for explain notes.
+	Fused, Total int
+}
+
+// segConjunct is one seg-fused conjunct: an optional zone-map prune check
+// plus a selection-narrowing loop over the column vectors.
+type segConjunct struct {
+	prune  func(*storage.Segment) bool
+	narrow func(*storage.Segment, []int) ([]int, error)
+}
+
+// CompileSegmentFilter translates a pushed-down scan predicate into a
+// SegmentFilter against the given layout. base is the tuple offset where
+// the scanned table's columns start (the scan's Offset) and tblCols its
+// arity: only conjuncts over those columns can fuse to column vectors.
+// A nil expression yields a nil filter.
+func CompileSegmentFilter(e sqlparser.Expr, layout *Layout, base, tblCols int) (*SegmentFilter, error) {
+	if e == nil {
+		return nil, nil
+	}
+	conjuncts := splitAndExpr(e)
+	f := &SegmentFilter{Total: len(conjuncts)}
+	var rest []sqlparser.Expr
+	for _, cj := range conjuncts {
+		if sc, ok := fuseSegConjunct(cj, layout, base, tblCols); ok {
+			f.conjs = append(f.conjs, sc)
+			f.Fused++
+			continue
+		}
+		rest = append(rest, cj)
+	}
+	if len(rest) > 0 {
+		k, _, _, err := CompileKernel(andAll(rest), layout)
+		if err != nil {
+			return nil, err
+		}
+		f.Rest = k
+	}
+	return f, nil
+}
+
+// andAll rebuilds an AND chain from conjuncts.
+func andAll(conjs []sqlparser.Expr) sqlparser.Expr {
+	e := conjs[0]
+	for _, cj := range conjs[1:] {
+		e = &sqlparser.Logical{Op: sqlparser.LogicAnd, Left: e, Right: cj}
+	}
+	return e
+}
+
+// Prune reports that no row of the segment can satisfy the predicate: some
+// conjunct's zone-map check proves every row FALSE or UNKNOWN.
+func (f *SegmentFilter) Prune(seg *storage.Segment) bool {
+	for _, c := range f.conjs {
+		if c.prune != nil && c.prune(seg) {
+			return true
+		}
+	}
+	return false
+}
+
+// Narrow runs the fused conjuncts' columnar loops over the selection vector
+// (segment-relative positions), returning the survivors. The caller still
+// owes the Rest kernel on materialized rows.
+func (f *SegmentFilter) Narrow(seg *storage.Segment, sel []int) ([]int, error) {
+	for _, c := range f.conjs {
+		if len(sel) == 0 {
+			return sel, nil
+		}
+		var err error
+		sel, err = c.narrow(seg, sel)
+		if err != nil {
+			return sel, err
+		}
+	}
+	return sel, nil
+}
+
+// segColIndex resolves a column reference to a segment-relative column
+// position: the layout offset shifted by the scan's base, valid only within
+// the scanned table's arity.
+func segColIndex(layout *Layout, cr *sqlparser.ColumnRef, base, tblCols int) (int, types.Kind, bool) {
+	off, kind, ok := colOffset(layout, cr)
+	if !ok {
+		return 0, types.KindNull, false
+	}
+	col := off - base
+	if col < 0 || col >= tblCols {
+		return 0, types.KindNull, false
+	}
+	return col, kind, true
+}
+
+// fuseSegConjunct returns the seg-fused form of one conjunct, mirroring
+// fuseConjunct's shape dispatch, or ok=false when the shape (or its kind
+// pairing) has no columnar form and must go through Rest.
+func fuseSegConjunct(e sqlparser.Expr, layout *Layout, base, tblCols int) (segConjunct, bool) {
+	c := &compiler{layout: layout}
+	switch n := e.(type) {
+	case *sqlparser.Comparison:
+		left, right := n.Left, n.Right
+		c.coerceTimePair(&left, &right)
+		if lc, lok := left.(*sqlparser.ColumnRef); lok {
+			if lit, ok := right.(*sqlparser.Literal); ok {
+				return segCmpColLit(layout, base, tblCols, lc, lit.Val, n.Op)
+			}
+		}
+		if rc, rok := right.(*sqlparser.ColumnRef); rok {
+			if lit, ok := left.(*sqlparser.Literal); ok {
+				return segCmpColLit(layout, base, tblCols, rc, lit.Val, n.Op.Flip())
+			}
+		}
+	case *sqlparser.In:
+		return segIn(c, n, base, tblCols)
+	case *sqlparser.Between:
+		return segBetween(c, n, base, tblCols)
+	case *sqlparser.Like:
+		return segLike(layout, n, base, tblCols)
+	case *sqlparser.IsNull:
+		return segIsNull(layout, n, base, tblCols)
+	}
+	return segConjunct{}, false
+}
+
+// dropAllSeg is the narrow loop for conjuncts that are UNKNOWN on every row
+// (NULL literal operands).
+func dropAllSeg(_ *storage.Segment, sel []int) ([]int, error) { return sel[:0], nil }
+
+func pruneAlways(*storage.Segment) bool { return true }
+
+// allNull reports a zone map proving the column is NULL in every row of the
+// segment — any comparison, IN, BETWEEN, or LIKE over it is UNKNOWN
+// everywhere, which NULL operands can never turn into an error.
+func allNull(z *storage.ZoneMap) bool { return z.Ordered && z.Min.IsNull() }
+
+// pruneCmpZone decides `col <op> lit` can match no row from the column's
+// min/max bounds. A failed bound comparison (unorderable kinds) disables
+// pruning. Correctness under errors: Ordered plus a successful lit-vs-bound
+// comparison imply every non-null value in the segment is comparable with
+// lit, so no skipped row could have raised a compare error.
+func pruneCmpZone(z *storage.ZoneMap, lit types.Value, op sqlparser.CmpOp) bool {
+	if allNull(z) {
+		return true
+	}
+	if !z.Ordered || z.Min.IsNull() {
+		return false
+	}
+	cmpMin, errMin := types.Compare(lit, z.Min)
+	cmpMax, errMax := types.Compare(lit, z.Max)
+	if errMin != nil || errMax != nil {
+		return false
+	}
+	switch op {
+	case sqlparser.CmpEq:
+		return cmpMin < 0 || cmpMax > 0
+	case sqlparser.CmpNe:
+		// Every non-null value equals the literal only when the bounds pin
+		// a single value.
+		return cmpMin == 0 && cmpMax == 0
+	case sqlparser.CmpLt:
+		return cmpMin <= 0 // lit <= min: nothing below it
+	case sqlparser.CmpLe:
+		return cmpMin < 0
+	case sqlparser.CmpGt:
+		return cmpMax >= 0 // lit >= max: nothing above it
+	case sqlparser.CmpGe:
+		return cmpMax > 0
+	}
+	return false
+}
+
+// segCmpValue is the per-value decision for `col <op> lit`, mirroring
+// fuseCmpColLit's row loops exactly (fast path on matching runtime kind,
+// NULL → drop, generic compare with error propagation otherwise). It backs
+// the impure-column fallback.
+func segCmpValue(v types.Value, colKind types.Kind, lit types.Value, op sqlparser.CmpOp) (bool, error) {
+	if v.IsNull() {
+		return false, nil
+	}
+	switch {
+	case colKind == types.KindString && lit.Kind() == types.KindString &&
+		(op == sqlparser.CmpEq || op == sqlparser.CmpNe):
+		if v.Kind() == types.KindString {
+			return (v.Str() == lit.Str()) == (op == sqlparser.CmpEq), nil
+		}
+	case colKind == types.KindString && lit.Kind() == types.KindString:
+		if v.Kind() == types.KindString {
+			return cmpSatisfies(strings.Compare(v.Str(), lit.Str()), op), nil
+		}
+	case colKind == types.KindInt && lit.Kind() == types.KindInt:
+		if v.Kind() == types.KindInt {
+			return cmpSatisfies(cmpI64(v.Int(), lit.Int()), op), nil
+		}
+	case colKind == types.KindTime && lit.Kind() == types.KindTime:
+		if v.Kind() == types.KindTime {
+			return cmpSatisfies(cmpI64(v.TimeNanos(), lit.TimeNanos()), op), nil
+		}
+	case colKind == types.KindFloat && lit.Kind() == types.KindFloat:
+		if v.Kind() == types.KindFloat {
+			return cmpSatisfies(cmpF64(v.Float(), lit.Float()), op), nil
+		}
+	case numericKind(colKind) && numericKind(lit.Kind()):
+		if f, ok := v.AsFloat(); ok {
+			lf, _ := lit.AsFloat()
+			return cmpSatisfies(cmpF64(f, lf), op), nil
+		}
+	}
+	return cmpSlow(v, lit, op)
+}
+
+// segCmpColLit seg-fuses `col <op> literal` for the same kind pairings
+// fuseCmpColLit specializes; other pairings fall through to Rest, which
+// keeps their (possibly error-raising) row semantics byte-for-byte.
+func segCmpColLit(layout *Layout, base, tblCols int, cr *sqlparser.ColumnRef, lit types.Value, op sqlparser.CmpOp) (segConjunct, bool) {
+	col, colKind, ok := segColIndex(layout, cr, base, tblCols)
+	if !ok {
+		return segConjunct{}, false
+	}
+	if lit.IsNull() {
+		// col <op> NULL is UNKNOWN for every row: the whole segment prunes.
+		return segConjunct{prune: pruneAlways, narrow: dropAllSeg}, true
+	}
+	strEqNe := colKind == types.KindString && lit.Kind() == types.KindString &&
+		(op == sqlparser.CmpEq || op == sqlparser.CmpNe)
+	switch {
+	case strEqNe:
+	case colKind == types.KindString && lit.Kind() == types.KindString:
+	case colKind == types.KindInt && lit.Kind() == types.KindInt:
+	case colKind == types.KindTime && lit.Kind() == types.KindTime:
+	case colKind == types.KindFloat && lit.Kind() == types.KindFloat:
+	case numericKind(colKind) && numericKind(lit.Kind()):
+	default:
+		return segConjunct{}, false
+	}
+	lf, _ := lit.AsFloat() // set for the numeric pairings
+	narrow := func(seg *storage.Segment, sel []int) ([]int, error) {
+		cv := &seg.Cols[col]
+		out := sel[:0]
+		if cv.Pure {
+			switch {
+			case strEqNe:
+				ls, want := lit.Str(), op == sqlparser.CmpEq
+				for _, i := range sel {
+					if !cv.Nulls[i] && (cv.Str[i] == ls) == want {
+						out = append(out, i)
+					}
+				}
+			case colKind == types.KindString:
+				ls := lit.Str()
+				for _, i := range sel {
+					if !cv.Nulls[i] && cmpSatisfies(strings.Compare(cv.Str[i], ls), op) {
+						out = append(out, i)
+					}
+				}
+			case colKind == types.KindInt && lit.Kind() == types.KindInt:
+				li := lit.Int()
+				for _, i := range sel {
+					if !cv.Nulls[i] && cmpSatisfies(cmpI64(cv.I64[i], li), op) {
+						out = append(out, i)
+					}
+				}
+			case colKind == types.KindTime:
+				ln := lit.TimeNanos()
+				for _, i := range sel {
+					if !cv.Nulls[i] && cmpSatisfies(cmpI64(cv.I64[i], ln), op) {
+						out = append(out, i)
+					}
+				}
+			case colKind == types.KindFloat && lit.Kind() == types.KindFloat:
+				for _, i := range sel {
+					if !cv.Nulls[i] && cmpSatisfies(cmpF64(cv.F64[i], lf), op) {
+						out = append(out, i)
+					}
+				}
+			case colKind == types.KindInt: // numeric-mixed: INT column, FLOAT literal
+				for _, i := range sel {
+					if !cv.Nulls[i] && cmpSatisfies(cmpF64(float64(cv.I64[i]), lf), op) {
+						out = append(out, i)
+					}
+				}
+			default: // numeric-mixed: FLOAT column, INT literal
+				for _, i := range sel {
+					if !cv.Nulls[i] && cmpSatisfies(cmpF64(cv.F64[i], lf), op) {
+						out = append(out, i)
+					}
+				}
+			}
+			return out, nil
+		}
+		for _, i := range sel {
+			keep, err := segCmpValue(cv.Vals[i], colKind, lit, op)
+			if err != nil {
+				return out, err
+			}
+			if keep {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
+	prune := func(seg *storage.Segment) bool {
+		return pruneCmpZone(&seg.Zones[col], lit, op)
+	}
+	return segConjunct{prune: prune, narrow: narrow}, true
+}
+
+// segIn seg-fuses `col [NOT] IN (literals...)` with fuseIn's exact
+// semantics (member compare errors ignored; NULL handling via inKeeps).
+// Pruning: an all-NULL column is UNKNOWN everywhere; for the non-negated
+// form a segment prunes when the tracked distinct-source set is disjoint
+// from the probe list (the TRAC recency short-circuit: a segment whose
+// sources a query never asks about contributes nothing), or when every
+// member falls outside the column's [min,max].
+func segIn(c *compiler, n *sqlparser.In, base, tblCols int) (segConjunct, bool) {
+	expr := n.Expr
+	items := make([]sqlparser.Expr, len(n.List))
+	copy(items, n.List)
+	for i := range items {
+		c.coerceTimePair(&expr, &items[i])
+	}
+	cr, ok := expr.(*sqlparser.ColumnRef)
+	if !ok {
+		return segConjunct{}, false
+	}
+	col, colKind, ok := segColIndex(c.layout, cr, base, tblCols)
+	if !ok {
+		return segConjunct{}, false
+	}
+	vals := make([]types.Value, 0, len(items))
+	hasNullItem := false
+	allStrings := colKind == types.KindString
+	for _, it := range items {
+		lit, ok := it.(*sqlparser.Literal)
+		if !ok {
+			return segConjunct{}, false
+		}
+		if lit.Val.IsNull() {
+			hasNullItem = true
+			continue
+		}
+		if lit.Val.Kind() != types.KindString {
+			allStrings = false
+		}
+		vals = append(vals, lit.Val)
+	}
+	negated := n.Negated
+
+	var set map[string]struct{}
+	if allStrings {
+		set = make(map[string]struct{}, len(vals))
+		for _, v := range vals {
+			set[v.Str()] = struct{}{}
+		}
+	}
+	prune := func(seg *storage.Segment) bool {
+		z := &seg.Zones[col]
+		if allNull(z) {
+			return true
+		}
+		if negated {
+			return false
+		}
+		if allStrings && z.Sources != nil {
+			for _, v := range vals {
+				if z.HasSource(v.Str()) {
+					return false
+				}
+			}
+			return true
+		}
+		if !z.Ordered || z.Min.IsNull() {
+			return false
+		}
+		for _, v := range vals {
+			cmpMin, errMin := types.Compare(v, z.Min)
+			cmpMax, errMax := types.Compare(v, z.Max)
+			if errMin != nil || errMax != nil {
+				return false
+			}
+			if cmpMin >= 0 && cmpMax <= 0 {
+				return false // member inside the bounds: could match
+			}
+		}
+		return true
+	}
+	narrow := func(seg *storage.Segment, sel []int) ([]int, error) {
+		cv := &seg.Cols[col]
+		out := sel[:0]
+		if allStrings && cv.Pure {
+			for _, i := range sel {
+				if cv.Nulls[i] {
+					continue
+				}
+				_, matched := set[cv.Str[i]]
+				if inKeeps(matched, hasNullItem, negated) {
+					out = append(out, i)
+				}
+			}
+			return out, nil
+		}
+		for _, i := range sel {
+			v := cv.Value(i)
+			if v.IsNull() {
+				continue
+			}
+			matched := false
+			if allStrings {
+				if v.Kind() == types.KindString {
+					_, matched = set[v.Str()]
+				}
+			} else {
+				for _, iv := range vals {
+					if cmp, err := types.Compare(v, iv); err == nil && cmp == 0 {
+						matched = true
+						break
+					}
+				}
+			}
+			if inKeeps(matched, hasNullItem, negated) {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
+	return segConjunct{prune: prune, narrow: narrow}, true
+}
+
+// segBetween seg-fuses `col [NOT] BETWEEN lit AND lit` when the bound kinds
+// match the column (or everything is numeric); other pairings keep their
+// error-raising row semantics via Rest. Pruning (non-negated only) fires
+// when the range and the zone bounds are disjoint and every bound-vs-bound
+// comparison succeeded — which, with Ordered, rules out per-row errors on
+// the skipped segment.
+func segBetween(c *compiler, n *sqlparser.Between, base, tblCols int) (segConjunct, bool) {
+	expr, lo, hi := n.Expr, n.Lo, n.Hi
+	c.coerceTimePair(&expr, &lo)
+	c.coerceTimePair(&expr, &hi)
+	cr, ok := expr.(*sqlparser.ColumnRef)
+	if !ok {
+		return segConjunct{}, false
+	}
+	col, colKind, ok := segColIndex(c.layout, cr, base, tblCols)
+	if !ok {
+		return segConjunct{}, false
+	}
+	loLit, ok := lo.(*sqlparser.Literal)
+	if !ok {
+		return segConjunct{}, false
+	}
+	hiLit, ok := hi.(*sqlparser.Literal)
+	if !ok {
+		return segConjunct{}, false
+	}
+	lov, hiv := loLit.Val, hiLit.Val
+	if lov.IsNull() || hiv.IsNull() {
+		// A NULL bound makes every row UNKNOWN.
+		return segConjunct{prune: pruneAlways, narrow: dropAllSeg}, true
+	}
+	sameKind := lov.Kind() == colKind && hiv.Kind() == colKind
+	numeric := numericKind(colKind) && numericKind(lov.Kind()) && numericKind(hiv.Kind())
+	if !sameKind && !numeric {
+		return segConjunct{}, false
+	}
+	negated := n.Negated
+	lof, _ := lov.AsFloat()
+	hif, _ := hiv.AsFloat()
+	narrow := func(seg *storage.Segment, sel []int) ([]int, error) {
+		cv := &seg.Cols[col]
+		out := sel[:0]
+		if cv.Pure {
+			keep := func(in bool) bool { return in != negated }
+			switch {
+			case colKind == types.KindInt && sameKind:
+				loi, hii := lov.Int(), hiv.Int()
+				for _, i := range sel {
+					if !cv.Nulls[i] && keep(cv.I64[i] >= loi && cv.I64[i] <= hii) {
+						out = append(out, i)
+					}
+				}
+			case colKind == types.KindTime:
+				lon, hin := lov.TimeNanos(), hiv.TimeNanos()
+				for _, i := range sel {
+					if !cv.Nulls[i] && keep(cv.I64[i] >= lon && cv.I64[i] <= hin) {
+						out = append(out, i)
+					}
+				}
+			case colKind == types.KindString:
+				los, his := lov.Str(), hiv.Str()
+				for _, i := range sel {
+					if !cv.Nulls[i] && keep(cv.Str[i] >= los && cv.Str[i] <= his) {
+						out = append(out, i)
+					}
+				}
+			case colKind == types.KindFloat:
+				// cmpF64 ordering (NaN smallest) matches types.Compare.
+				for _, i := range sel {
+					if !cv.Nulls[i] && keep(cmpF64(cv.F64[i], lof) >= 0 && cmpF64(cv.F64[i], hif) <= 0) {
+						out = append(out, i)
+					}
+				}
+			default: // numeric-mixed with an INT column
+				for _, i := range sel {
+					f := float64(cv.I64[i])
+					if !cv.Nulls[i] && keep(cmpF64(f, lof) >= 0 && cmpF64(f, hif) <= 0) {
+						out = append(out, i)
+					}
+				}
+			}
+			return out, nil
+		}
+		for _, i := range sel {
+			v := cv.Vals[i]
+			if v.IsNull() {
+				continue
+			}
+			cl, err := types.Compare(v, lov)
+			if err != nil {
+				return out, err
+			}
+			ch, err := types.Compare(v, hiv)
+			if err != nil {
+				return out, err
+			}
+			if in := cl >= 0 && ch <= 0; in != negated {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
+	prune := func(seg *storage.Segment) bool {
+		z := &seg.Zones[col]
+		if allNull(z) {
+			return true
+		}
+		if negated || !z.Ordered || z.Min.IsNull() {
+			return false
+		}
+		loMax, e1 := types.Compare(lov, z.Max)
+		hiMin, e2 := types.Compare(hiv, z.Min)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		return loMax > 0 || hiMin < 0
+	}
+	return segConjunct{prune: prune, narrow: narrow}, true
+}
+
+// segLike seg-fuses `col [NOT] LIKE 'pattern'` over TEXT columns. Only the
+// all-NULL prune applies (always error-free); non-TEXT declared columns go
+// through Rest so the row kernel's type error surfaces identically.
+func segLike(layout *Layout, n *sqlparser.Like, base, tblCols int) (segConjunct, bool) {
+	cr, ok := n.Expr.(*sqlparser.ColumnRef)
+	if !ok {
+		return segConjunct{}, false
+	}
+	pat, ok := n.Pattern.(*sqlparser.Literal)
+	if !ok || pat.Val.Kind() != types.KindString {
+		return segConjunct{}, false
+	}
+	col, colKind, ok := segColIndex(layout, cr, base, tblCols)
+	if !ok || colKind != types.KindString {
+		return segConjunct{}, false
+	}
+	pattern := pat.Val.Str()
+	negated := n.Negated
+	narrow := func(seg *storage.Segment, sel []int) ([]int, error) {
+		cv := &seg.Cols[col]
+		out := sel[:0]
+		if cv.Pure {
+			for _, i := range sel {
+				if !cv.Nulls[i] && MatchLike(cv.Str[i], pattern) != negated {
+					out = append(out, i)
+				}
+			}
+			return out, nil
+		}
+		for _, i := range sel {
+			v := cv.Vals[i]
+			if v.IsNull() {
+				continue
+			}
+			if v.Kind() != types.KindString {
+				return out, fmt.Errorf("exec: LIKE requires TEXT operands")
+			}
+			if MatchLike(v.Str(), pattern) != negated {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
+	prune := func(seg *storage.Segment) bool { return allNull(&seg.Zones[col]) }
+	return segConjunct{prune: prune, narrow: narrow}, true
+}
+
+// segIsNull seg-fuses `col IS [NOT] NULL` over the null bitmap, pruning via
+// the zone map's null count.
+func segIsNull(layout *Layout, n *sqlparser.IsNull, base, tblCols int) (segConjunct, bool) {
+	cr, ok := n.Expr.(*sqlparser.ColumnRef)
+	if !ok {
+		return segConjunct{}, false
+	}
+	col, _, ok := segColIndex(layout, cr, base, tblCols)
+	if !ok {
+		return segConjunct{}, false
+	}
+	negated := n.Negated
+	narrow := func(seg *storage.Segment, sel []int) ([]int, error) {
+		cv := &seg.Cols[col]
+		out := sel[:0]
+		for _, i := range sel {
+			if cv.Nulls[i] != negated {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
+	prune := func(seg *storage.Segment) bool {
+		z := &seg.Zones[col]
+		if negated {
+			return z.NullCount == seg.Len()
+		}
+		return z.NullCount == 0
+	}
+	return segConjunct{prune: prune, narrow: narrow}, true
+}

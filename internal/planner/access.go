@@ -165,25 +165,30 @@ func (p *Planner) accessPath(layout *exec.Layout, i int, conjuncts []*conjunct, 
 		if err != nil {
 			return nil, 0, "", err
 		}
+		segf, err := exec.CompileSegmentFilter(pred, layout, b.Offset, tbl.Schema.NumColumns())
+		if err != nil {
+			return nil, 0, "", err
+		}
 		fusedNote := ""
 		if total > 0 {
 			fusedNote = fmt.Sprintf("fused %d/%d predicates, ", fused, total)
 		}
+		segNote := segmentPruneNote(tbl, segf)
 		if workers > 1 {
 			op := &exec.ParallelScan{
-				Table: tbl, Snap: snap, Kernel: kernel,
+				Table: tbl, Snap: snap, Kernel: kernel, SegFilter: segf,
 				Offset: b.Offset, Width: layout.Width(), Workers: workers,
 				Alias: true,
 			}
-			note := fmt.Sprintf("vectorized parallel seq scan on %s (%d workers, %sest %.0f rows)",
-				b.Name, workers, fusedNote, est)
+			note := fmt.Sprintf("vectorized parallel seq scan on %s (%d workers, %sest %.0f rows%s)",
+				b.Name, workers, fusedNote, est, segNote)
 			return op, est, note, nil
 		}
 		op := &exec.RowFromBatch{Src: &exec.BatchScan{
-			Table: tbl, Snap: snap, Kernel: kernel,
+			Table: tbl, Snap: snap, Kernel: kernel, SegFilter: segf,
 			Offset: b.Offset, Width: layout.Width(),
 		}}
-		note := fmt.Sprintf("vectorized seq scan on %s (%sest %.0f rows)", b.Name, fusedNote, est)
+		note := fmt.Sprintf("vectorized seq scan on %s (%sest %.0f rows%s)", b.Name, fusedNote, est, segNote)
 		return op, est, note, nil
 	}
 	if workers > 1 {
@@ -197,6 +202,28 @@ func (p *Planner) accessPath(layout *exec.Layout, i int, conjuncts []*conjunct, 
 	op := &exec.SeqScan{Table: tbl, Snap: snap, Filter: filter, Offset: b.Offset, Width: layout.Width()}
 	note := fmt.Sprintf("seq scan on %s (est %.0f rows)", b.Name, est)
 	return op, est, note, nil
+}
+
+// segmentPruneNote describes the sealed-segment coverage of a table and how
+// many segments the compiled filter's zone maps prune at plan time. The
+// counts are advisory (taken against the planning-time heap snapshot; the
+// scan re-checks its own execution snapshot) but make pruning visible in
+// EXPLAIN. Empty when the table has no sealed segments.
+func segmentPruneNote(tbl *storage.Table, segf *exec.SegmentFilter) string {
+	heap := tbl.Snap()
+	if len(heap.Segments) == 0 {
+		return ""
+	}
+	pruned := 0
+	if segf != nil {
+		for _, seg := range heap.Segments {
+			if segf.Prune(seg) {
+				pruned++
+			}
+		}
+	}
+	return fmt.Sprintf(", segments %d/%d pruned, tail %d rows",
+		pruned, len(heap.Segments), len(heap.Tail()))
 }
 
 // estimateRows estimates the scan output cardinality by multiplying

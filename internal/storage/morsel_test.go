@@ -58,7 +58,7 @@ func TestMorselsConcurrentClaimCoversEachRowOnce(t *testing.T) {
 				if !ok {
 					break
 				}
-				for _, r := range batch {
+				for _, r := range batch.Rows {
 					seen[r.Values[0].Int()]++
 				}
 			}
@@ -94,7 +94,7 @@ func TestMorselsSnapshotIgnoresLaterInserts(t *testing.T) {
 		if !ok {
 			break
 		}
-		n += len(batch)
+		n += len(batch.Rows)
 	}
 	if n != 100 {
 		t.Errorf("claimed %d rows, want the 100 present at partition time", n)
@@ -112,14 +112,14 @@ func TestWindowsCoverEveryRowInOrder(t *testing.T) {
 		}
 		seen := 0
 		for {
-			rows, ok := w.Next()
+			win, ok := w.Next()
 			if !ok {
 				break
 			}
-			if len(rows) == 0 || len(rows) > tc.size {
-				t.Fatalf("window of %d rows with size %d", len(rows), tc.size)
+			if len(win.Rows) == 0 || len(win.Rows) > tc.size {
+				t.Fatalf("window of %d rows with size %d", len(win.Rows), tc.size)
 			}
-			for _, r := range rows {
+			for _, r := range win.Rows {
 				if got := r.Values[0].Int(); got != int64(seen) {
 					t.Fatalf("row %d out of order: got %d", seen, got)
 				}
@@ -141,11 +141,11 @@ func TestWindowsSnapshotStable(t *testing.T) {
 	tbl.Append(NewRow([]types.Value{types.NewInt(99)}, 1))
 	total := 0
 	for {
-		rows, ok := w.Next()
+		win, ok := w.Next()
 		if !ok {
 			break
 		}
-		total += len(rows)
+		total += len(win.Rows)
 	}
 	if total != 5 {
 		t.Errorf("snapshot saw %d rows, want 5 (append after Windows must not leak in)", total)

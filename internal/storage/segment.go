@@ -1,0 +1,332 @@
+package storage
+
+import (
+	"sort"
+
+	"trac/internal/types"
+)
+
+// DefaultSegmentSize is the number of row versions sealed into one column
+// segment. It matches DefaultMorselSize so a sealed segment is exactly one
+// parallel-scan work unit, and it is large enough that the per-segment zone
+// map check amortizes to noise while small enough that pruning granularity
+// tracks the source-clustered layout sniffer ingestion produces.
+const DefaultSegmentSize = 4096
+
+// MaxZoneSources caps the per-segment distinct-source set. Beyond the cap
+// the set is dropped (nil = untracked) and source pruning falls back to the
+// min/max bounds; with the default segment size a cap this high is only hit
+// by pathologically interleaved loads.
+const MaxZoneSources = 128
+
+// ColVec is one column of a sealed segment in columnar form. When Pure,
+// every non-null value has the declared kind and the payloads live in the
+// typed slice for that kind (I64 for BIGINT/TIMESTAMP/BOOLEAN, F64 for
+// DOUBLE, Str for TEXT), with Nulls marking the NULL slots; scan kernels
+// then run tight loops over contiguous payload memory. A column holding a
+// value of any other kind (possible only through the direct storage API —
+// the SQL layer coerces on insert) is stored as a generic Vals copy instead,
+// and kernels fall back to exact per-value semantics.
+type ColVec struct {
+	Kind  types.Kind
+	Pure  bool
+	Nulls []bool
+	I64   []int64
+	F64   []float64
+	Str   []string
+	Vals  []types.Value // only when !Pure
+}
+
+// Value reconstructs the i-th value of the column.
+func (c *ColVec) Value(i int) types.Value {
+	if !c.Pure {
+		return c.Vals[i]
+	}
+	if c.Nulls[i] {
+		return types.Null
+	}
+	switch c.Kind {
+	case types.KindInt:
+		return types.NewInt(c.I64[i])
+	case types.KindTime:
+		return types.NewTimeNanos(c.I64[i])
+	case types.KindBool:
+		return types.NewBool(c.I64[i] != 0)
+	case types.KindFloat:
+		return types.NewFloat(c.F64[i])
+	case types.KindString:
+		return types.NewString(c.Str[i])
+	}
+	return types.Null
+}
+
+// ZoneMap summarizes one column of one segment for scan pruning. Bounds are
+// computed over every row version in the segment regardless of visibility,
+// so they stay conservative under MVCC: later deletes only shrink the set of
+// visible values, never grow it past the recorded bounds.
+type ZoneMap struct {
+	// Min/Max bound the non-null values; both are NULL when the column has
+	// no non-null values in the segment.
+	Min, Max types.Value
+	// NullCount counts NULL slots.
+	NullCount int
+	// Ordered reports that Min/Max are valid. It is false when mixed value
+	// kinds made the column unorderable (no pruning on bounds then).
+	Ordered bool
+	// Sources is the sorted distinct value set, tracked only for a monitored
+	// table's TEXT data source column and only up to MaxZoneSources entries;
+	// nil means untracked. It gives exact membership pruning for the
+	// source-probing predicates user queries and generated recency arms share.
+	Sources []string
+}
+
+// HasSource reports whether the tracked source set contains s. Only
+// meaningful when Sources != nil.
+func (z *ZoneMap) HasSource(s string) bool {
+	i := sort.SearchStrings(z.Sources, s)
+	return i < len(z.Sources) && z.Sources[i] == s
+}
+
+// Segment is an immutable sealed region of a table's version heap: the row
+// versions themselves (shared with the heap, so MVCC visibility and late
+// materialization both work off the original *Row values) plus per-column
+// typed vectors and zone maps. Segments are created once by the sealer and
+// never modified; concurrent scans share them freely.
+type Segment struct {
+	Rows  []*Row
+	Cols  []ColVec
+	Zones []ZoneMap
+}
+
+// Len returns the number of row versions in the segment.
+func (s *Segment) Len() int { return len(s.Rows) }
+
+// sealSegment builds the columnar form of one heap region.
+func sealSegment(rows []*Row, schema *Schema) *Segment {
+	n := len(rows)
+	seg := &Segment{
+		Rows:  rows,
+		Cols:  make([]ColVec, schema.NumColumns()),
+		Zones: make([]ZoneMap, schema.NumColumns()),
+	}
+	for ci := range seg.Cols {
+		buildCol(rows, ci, schema.Columns[ci].Kind, &seg.Cols[ci], &seg.Zones[ci])
+	}
+	if sc := schema.SourceColumn; sc >= 0 && schema.Columns[sc].Kind == types.KindString {
+		seg.Zones[sc].Sources = distinctSources(&seg.Cols[sc], n)
+	}
+	return seg
+}
+
+// buildCol extracts one column into vector form and computes its zone map.
+func buildCol(rows []*Row, ci int, kind types.Kind, col *ColVec, zone *ZoneMap) {
+	n := len(rows)
+	col.Kind = kind
+	col.Pure = true
+	col.Nulls = make([]bool, n)
+	switch kind {
+	case types.KindInt, types.KindTime, types.KindBool:
+		col.I64 = make([]int64, n)
+	case types.KindFloat:
+		col.F64 = make([]float64, n)
+	case types.KindString:
+		col.Str = make([]string, n)
+	default:
+		col.Pure = false
+		col.Vals = make([]types.Value, n)
+	}
+	zone.Ordered = true
+	for i, r := range rows {
+		v := r.Values[ci]
+		if v.IsNull() {
+			col.Nulls[i] = true
+			zone.NullCount++
+			continue
+		}
+		if col.Pure && v.Kind() != kind {
+			// Mixed kinds: demote the whole column to the generic form.
+			col.Vals = make([]types.Value, n)
+			for j := 0; j < i; j++ {
+				col.Vals[j] = rows[j].Values[ci]
+			}
+			col.Pure, col.I64, col.F64, col.Str = false, nil, nil, nil
+		}
+		if col.Pure {
+			switch kind {
+			case types.KindInt:
+				col.I64[i] = v.Int()
+			case types.KindTime:
+				col.I64[i] = v.TimeNanos()
+			case types.KindBool:
+				if v.Bool() {
+					col.I64[i] = 1
+				}
+			case types.KindFloat:
+				col.F64[i] = v.Float()
+			case types.KindString:
+				col.Str[i] = v.Str()
+			}
+		} else {
+			col.Vals[i] = v
+		}
+		if !zone.Ordered {
+			continue
+		}
+		if zone.Min.IsNull() {
+			zone.Min, zone.Max = v, v
+			continue
+		}
+		if cmp, err := types.Compare(v, zone.Min); err != nil {
+			// Unorderable mix: drop the bounds, keep the null count.
+			zone.Ordered, zone.Min, zone.Max = false, types.Null, types.Null
+			continue
+		} else if cmp < 0 {
+			zone.Min = v
+		}
+		if cmp, err := types.Compare(v, zone.Max); err == nil && cmp > 0 {
+			zone.Max = v
+		}
+	}
+}
+
+// distinctSources collects the sorted distinct non-null values of a pure
+// TEXT source column, or nil when the column is impure or the set exceeds
+// MaxZoneSources.
+func distinctSources(col *ColVec, n int) []string {
+	if !col.Pure {
+		return nil
+	}
+	set := make(map[string]struct{}, 16)
+	for i := 0; i < n; i++ {
+		if col.Nulls[i] {
+			continue
+		}
+		if _, ok := set[col.Str[i]]; ok {
+			continue
+		}
+		if len(set) >= MaxZoneSources {
+			return nil
+		}
+		set[col.Str[i]] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HeapSnap is one consistent snapshot of a table's heap: the full version
+// vector, the sealed segments covering its prefix, and the unsealed row
+// tail. All cursors over the snapshot (Morsels, Windows, direct tail reads)
+// share the same immutable slices — taking several cursors costs no
+// additional locking or copying.
+type HeapSnap struct {
+	// Rows is the full version vector (sealed prefix + tail).
+	Rows []*Row
+	// Segments cover Rows[:Sealed] in order.
+	Segments []*Segment
+	// Sealed is the number of leading row slots covered by Segments.
+	Sealed int
+}
+
+// Tail returns the unsealed row suffix.
+func (h *HeapSnap) Tail() []*Row { return h.Rows[h.Sealed:] }
+
+// Len returns the total number of row slots in the snapshot.
+func (h *HeapSnap) Len() int { return len(h.Rows) }
+
+// Snap takes a consistent heap snapshot: one lock acquisition, shared by
+// every cursor derived from it. Versions appended or sealed after the call
+// are not included.
+func (t *Table) Snap() *HeapSnap {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	segs := t.segments[:len(t.segments):len(t.segments)]
+	return &HeapSnap{
+		Rows:     t.rows[:len(t.rows):len(t.rows)],
+		Segments: segs,
+		Sealed:   t.sealed,
+	}
+}
+
+// SetSealThreshold configures the auto-sealer: after an append leaves the
+// unsealed tail at or above n rows, complete regions of n rows are sealed
+// into column segments. n == 0 restores DefaultSegmentSize; n < 0 disables
+// auto-sealing (rows accumulate in the tail until Seal is called).
+func (t *Table) SetSealThreshold(n int) {
+	t.mu.Lock()
+	t.sealEvery = n
+	t.mu.Unlock()
+}
+
+// sealThreshold returns the effective auto-seal threshold (0 = disabled).
+func (t *Table) sealThreshold() int {
+	switch {
+	case t.sealEvery < 0:
+		return 0
+	case t.sealEvery == 0:
+		return DefaultSegmentSize
+	default:
+		return t.sealEvery
+	}
+}
+
+// maybeSealLocked seals complete threshold-sized regions of the tail. The
+// caller holds t.mu.
+func (t *Table) maybeSealLocked() {
+	size := t.sealThreshold()
+	if size == 0 {
+		return
+	}
+	for len(t.rows)-t.sealed >= size {
+		t.sealRegionLocked(size)
+	}
+}
+
+// sealRegionLocked seals the next n tail rows into one segment. The caller
+// holds t.mu and guarantees n <= len(tail).
+func (t *Table) sealRegionLocked(n int) {
+	region := t.rows[t.sealed : t.sealed+n : t.sealed+n]
+	t.segments = append(t.segments, sealSegment(region, t.Schema))
+	t.sealed += n
+}
+
+// Seal converts the entire current tail into column segments (in chunks of
+// the configured seal threshold — DefaultSegmentSize unless overridden —
+// with one final short segment) and returns the number of segments created.
+// It is the explicit form of the auto-sealer, for bulk loads and benchmarks
+// that want full columnar coverage.
+func (t *Table) Seal() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.sealThreshold()
+	if size == 0 {
+		size = DefaultSegmentSize
+	}
+	created := 0
+	for t.sealed < len(t.rows) {
+		n := len(t.rows) - t.sealed
+		if n > size {
+			n = size
+		}
+		t.sealRegionLocked(n)
+		created++
+	}
+	return created
+}
+
+// NumSegments returns the current sealed segment count.
+func (t *Table) NumSegments() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.segments)
+}
+
+// SealedRows returns how many leading row versions are covered by segments.
+func (t *Table) SealedRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sealed
+}

@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"trac/internal/types"
+)
+
+func segSchema(t *testing.T) *Schema {
+	t.Helper()
+	schema, err := NewSchema([]Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "src", Kind: types.KindString},
+		{Name: "score", Kind: types.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.SetSourceColumn("src"); err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func segRow(id int64, src string, score float64, nullScore bool) *Row {
+	sc := types.NewFloat(score)
+	if nullScore {
+		sc = types.Null
+	}
+	return NewRow([]types.Value{types.NewInt(id), types.NewString(src), sc}, 1)
+}
+
+func TestSealBuildsTypedVectorsAndZoneMaps(t *testing.T) {
+	tbl := NewTable("t", segSchema(t))
+	tbl.SetSealThreshold(-1)
+	for i := 0; i < 100; i++ {
+		src := "alpha"
+		if i >= 50 {
+			src = "beta"
+		}
+		tbl.Append(segRow(int64(i), src, float64(i)/10, i%10 == 3))
+	}
+	if n := tbl.Seal(); n != 1 {
+		t.Fatalf("Seal created %d segments, want 1", n)
+	}
+	snap := tbl.Snap()
+	if len(snap.Segments) != 1 || snap.Sealed != 100 || len(snap.Tail()) != 0 {
+		t.Fatalf("snapshot: %d segments, sealed %d, tail %d", len(snap.Segments), snap.Sealed, len(snap.Tail()))
+	}
+	seg := snap.Segments[0]
+
+	// Every column value round-trips through the vectors.
+	for ci := 0; ci < 3; ci++ {
+		if !seg.Cols[ci].Pure {
+			t.Fatalf("column %d not pure", ci)
+		}
+		for i, r := range seg.Rows {
+			got, want := seg.Cols[ci].Value(i), r.Values[ci]
+			if got.IsNull() != want.IsNull() || (!got.IsNull() && !types.Equal(got, want)) {
+				t.Fatalf("col %d row %d: vector %v, heap %v", ci, i, got, want)
+			}
+		}
+	}
+
+	// Zone maps: id bounds, score null count, source distinct set.
+	idZone := seg.Zones[0]
+	if !idZone.Ordered || idZone.Min.Int() != 0 || idZone.Max.Int() != 99 || idZone.NullCount != 0 {
+		t.Fatalf("id zone: %+v", idZone)
+	}
+	scoreZone := seg.Zones[2]
+	if scoreZone.NullCount != 10 {
+		t.Fatalf("score nulls = %d, want 10", scoreZone.NullCount)
+	}
+	srcZone := seg.Zones[1]
+	if len(srcZone.Sources) != 2 || !srcZone.HasSource("alpha") || !srcZone.HasSource("beta") {
+		t.Fatalf("source set = %v", srcZone.Sources)
+	}
+	if srcZone.HasSource("gamma") {
+		t.Fatal("HasSource(gamma) = true")
+	}
+}
+
+func TestSealDemotesMixedKindColumn(t *testing.T) {
+	schema, err := NewSchema([]Column{{Name: "v", Kind: types.KindInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable("t", schema)
+	tbl.SetSealThreshold(-1)
+	// The direct storage API can slip a string into a BIGINT column; the
+	// sealer must fall back to generic values and drop the bounds.
+	tbl.Append(NewRow([]types.Value{types.NewInt(1)}, 1))
+	tbl.Append(NewRow([]types.Value{types.NewString("rogue")}, 1))
+	tbl.Append(NewRow([]types.Value{types.NewInt(3)}, 1))
+	tbl.Seal()
+	seg := tbl.Snap().Segments[0]
+	col := &seg.Cols[0]
+	if col.Pure {
+		t.Fatal("mixed-kind column stayed pure")
+	}
+	if got := col.Value(1); got.Kind() != types.KindString || got.Str() != "rogue" {
+		t.Fatalf("Value(1) = %v", got)
+	}
+	if seg.Zones[0].Ordered {
+		t.Fatal("unorderable column kept Ordered zone map")
+	}
+}
+
+func TestAutoSealThreshold(t *testing.T) {
+	tbl := NewTable("t", segSchema(t))
+	tbl.SetSealThreshold(32)
+	for i := 0; i < 100; i++ {
+		tbl.Append(segRow(int64(i), "s", 0, false))
+	}
+	if got := tbl.NumSegments(); got != 3 {
+		t.Fatalf("auto-sealed %d segments, want 3 (32-row threshold, 100 rows)", got)
+	}
+	if got := tbl.SealedRows(); got != 96 {
+		t.Fatalf("sealed %d rows, want 96", got)
+	}
+	if got := len(tbl.Snap().Tail()); got != 4 {
+		t.Fatalf("tail %d rows, want 4", got)
+	}
+}
+
+func TestSealEmptyTableAndOversizedThreshold(t *testing.T) {
+	tbl := NewTable("t", segSchema(t))
+	if n := tbl.Seal(); n != 0 {
+		t.Fatalf("sealing an empty table created %d segments", n)
+	}
+	if w, ok := tbl.Windows(10).Next(); ok {
+		t.Fatalf("empty table produced a window: %+v", w)
+	}
+	// Threshold larger than the heap: everything stays in the tail.
+	tbl.SetSealThreshold(1 << 20)
+	for i := 0; i < 10; i++ {
+		tbl.Append(segRow(int64(i), "s", 0, false))
+	}
+	if tbl.NumSegments() != 0 {
+		t.Fatal("oversized threshold still sealed")
+	}
+	// Explicit Seal with fewer rows than DefaultSegmentSize: one short segment.
+	if n := tbl.Seal(); n != 1 {
+		t.Fatalf("Seal created %d segments, want 1", n)
+	}
+	if got := tbl.Snap().Segments[0].Len(); got != 10 {
+		t.Fatalf("short segment has %d rows, want 10", got)
+	}
+}
+
+func TestMixedSnapshotUnitsShareHeap(t *testing.T) {
+	tbl := NewTable("t", segSchema(t))
+	tbl.SetSealThreshold(-1)
+	for i := 0; i < 50; i++ {
+		tbl.Append(segRow(int64(i), "s", 0, false))
+	}
+	tbl.Seal()
+	for i := 50; i < 75; i++ {
+		tbl.Append(segRow(int64(i), "s", 0, false))
+	}
+	snap := tbl.Snap()
+	m := snap.Morsels(10)
+	w := snap.Windows(10)
+	// 1 segment unit + 3 tail windows of 10/10/5.
+	if m.NumMorsels() != 4 {
+		t.Fatalf("NumMorsels = %d, want 4", m.NumMorsels())
+	}
+	seen := map[int64]int{}
+	for {
+		u, ok := w.Next()
+		if !ok {
+			break
+		}
+		if u.Seg != nil && len(u.Rows) != 50 {
+			t.Fatalf("segment unit has %d rows", len(u.Rows))
+		}
+		for _, r := range u.Rows {
+			seen[r.Values[0].Int()]++
+		}
+	}
+	if len(seen) != 75 {
+		t.Fatalf("windows covered %d distinct rows, want 75", len(seen))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %d covered %d times", id, c)
+		}
+	}
+	// The units alias the snapshot's heap slice — same *Row pointers.
+	u, _ := snap.Windows(10).Next()
+	if u.Seg == nil || u.Rows[0] != snap.Rows[0] {
+		t.Fatal("segment unit does not share the snapshot heap")
+	}
+}
+
+// TestAppendsRacingLiveScan runs appends (with auto-sealing) concurrently
+// with snapshot scans; under -race this pins the locking discipline of the
+// dual-format heap. Each scan must see a consistent prefix: every row
+// present at snapshot time, none appended after.
+func TestAppendsRacingLiveScan(t *testing.T) {
+	tbl := NewTable("t", segSchema(t))
+	tbl.SetSealThreshold(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tbl.Append(segRow(int64(i), "s", float64(i), false))
+		}
+	}()
+	for iter := 0; iter < 200; iter++ {
+		snap := tbl.Snap()
+		w := snap.Windows(32)
+		next := int64(0)
+		for {
+			u, ok := w.Next()
+			if !ok {
+				break
+			}
+			for _, r := range u.Rows {
+				if got := r.Values[0].Int(); got != next {
+					t.Errorf("iter %d: saw id %d, want %d", iter, got, next)
+					close(stop)
+					wg.Wait()
+					return
+				}
+				next++
+			}
+		}
+		if next != int64(snap.Len()) {
+			t.Errorf("iter %d: scanned %d rows, snapshot has %d", iter, next, snap.Len())
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

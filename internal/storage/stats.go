@@ -115,6 +115,12 @@ type ColumnStats struct {
 	Nulls     int
 	Distinct  int // estimated number of distinct values
 	Histogram *Histogram
+	// Min/Max bound the column's non-null values (NULL when unknown).
+	// When MinMaxExact, they were folded from sealed-segment zone maps —
+	// no value pass at all — and bound every row version in the heap;
+	// otherwise they come from the ANALYZE sample and are approximate.
+	Min, Max    types.Value
+	MinMaxExact bool
 }
 
 // EqSelectivity estimates the fraction of rows matching col = literal.
@@ -127,6 +133,36 @@ func (c *ColumnStats) EqSelectivity() float64 {
 		return 0
 	}
 	return float64(c.NonNull) / float64(total) / float64(c.Distinct)
+}
+
+// MinMaxFromZones folds the per-segment zone maps of one column into
+// table-wide bounds. ok is false when any segment's bounds are invalid
+// (mixed unorderable kinds); both values are NULL when every segment is
+// all-NULL in the column. The fold reads only the zone maps — O(segments),
+// not O(rows). Bounds cover every row version, visible or not, so they are
+// conservative for planning.
+func MinMaxFromZones(segs []*Segment, col int) (types.Value, types.Value, bool) {
+	mn, mx := types.Null, types.Null
+	for _, s := range segs {
+		z := &s.Zones[col]
+		if !z.Ordered {
+			return types.Null, types.Null, false
+		}
+		if z.Min.IsNull() {
+			continue
+		}
+		if mn.IsNull() {
+			mn, mx = z.Min, z.Max
+			continue
+		}
+		if types.Less(z.Min, mn) {
+			mn = z.Min
+		}
+		if types.Less(mx, z.Max) {
+			mx = z.Max
+		}
+	}
+	return mn, mx, true
 }
 
 // TableStats is the ANALYZE output for a table.

@@ -80,6 +80,13 @@ type Table struct {
 	rows    []*Row
 	indexes map[int]*BTree // column index -> tree
 	statsH  statsHolder
+
+	// Dual-format storage: segments hold the sealed columnar prefix of
+	// rows (rows[:sealed]); the suffix is the append-friendly row tail.
+	// sealEvery is the auto-seal threshold (see SetSealThreshold).
+	segments  []*Segment
+	sealed    int
+	sealEvery int
 }
 
 // NewTable creates an empty table.
@@ -99,6 +106,7 @@ func (t *Table) Append(row *Row) error {
 	for col, idx := range t.indexes {
 		idx.Insert(row.Values[col], row)
 	}
+	t.maybeSealLocked()
 	t.mu.Unlock()
 	return nil
 }

@@ -89,18 +89,11 @@ func rowSet(res *engine.Result) []string {
 	return keys
 }
 
-// TestVectorizedMatchesRowExecution is the batch/row equivalence property
-// test: every corpus query must produce the identical result multiset
-// under tuple-at-a-time plans (DisableVectorized), vectorized plans, and
-// vectorized plans forced onto the parallel morsel-driven path.
-func TestVectorizedMatchesRowExecution(t *testing.T) {
-	db, err := workload.Build(workload.Spec{TotalRows: 4000, DataSources: 100})
-	if err != nil {
-		t.Fatal(err)
-	}
-	addNullProbe(t, db)
-	corpus := equivCorpus(t, db)
-
+// runEquivModes runs every corpus query under tuple-at-a-time plans
+// (DisableVectorized), vectorized plans, and both forced onto the parallel
+// morsel-driven path, asserting the four result multisets are identical.
+func runEquivModes(t *testing.T, db *engine.DB, corpus []string) {
+	t.Helper()
 	type mode struct {
 		name              string
 		disableVectorized bool
@@ -150,4 +143,52 @@ func TestVectorizedMatchesRowExecution(t *testing.T) {
 	if !sawVectorized {
 		t.Error("no corpus query ever executed vectorized")
 	}
+}
+
+// TestVectorizedMatchesRowExecution is the batch/row equivalence property
+// test over the plain (unsealed) workload heap.
+func TestVectorizedMatchesRowExecution(t *testing.T) {
+	db, err := workload.Build(workload.Spec{TotalRows: 4000, DataSources: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addNullProbe(t, db)
+	runEquivModes(t, db, equivCorpus(t, db))
+}
+
+// TestMixedSealedUnsealedEquivalence repeats the 4-mode equivalence run
+// over a dual-format heap: every table is sealed into column segments, then
+// grown an unsealed row tail, so each scan crosses the zone-map-pruned
+// columnar path and the row-kernel tail path within one query.
+func TestMixedSealedUnsealedEquivalence(t *testing.T) {
+	db, err := workload.Build(workload.Spec{TotalRows: 4000, DataSources: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addNullProbe(t, db)
+	// Seal in small chunks so zone-map pruning has multiple segments to
+	// work with, then append tail rows that stay below the threshold.
+	for _, name := range db.Catalog().Names() {
+		tbl, err := db.Catalog().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.SetSealThreshold(300)
+	}
+	db.SealAll()
+	db.MustExec(`INSERT INTO Activity VALUES ('src-tail', 'idle', '2006-03-15 00:01:00')`)
+	db.MustExec(`INSERT INTO Activity VALUES ('src-tail', 'busy', NULL)`)
+	db.MustExec(`INSERT INTO Routing VALUES ('src-tail', 'Tao1', '2006-03-15 00:01:00')`)
+	db.MustExec(`INSERT INTO NullProbe VALUES (7, NULL, 0.45)`)
+	db.MustExec(`INSERT INTO NullProbe VALUES (8, 'idle', NULL)`)
+
+	act, err := db.Catalog().Get("Activity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.NumSegments() < 2 || act.NumVersions() == act.SealedRows() {
+		t.Fatalf("Activity not mixed: %d segments, %d/%d rows sealed",
+			act.NumSegments(), act.SealedRows(), act.NumVersions())
+	}
+	runEquivModes(t, db, equivCorpus(t, db))
 }
