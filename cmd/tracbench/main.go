@@ -5,6 +5,7 @@
 //	tracbench -fpr                 # the §5.2 false-positive-rate table
 //	tracbench -execbench           # vectorized-vs-row executor microbench
 //	tracbench -storagebench        # columnar-segment-vs-row storage microbench
+//	tracbench -aggbench            # aggregation pushdown/parallelism microbench
 //	tracbench -all                 # everything
 //
 // The sweep defaults to 1,000,000 Activity rows (the paper used 10,000,000
@@ -36,7 +37,9 @@ func main() {
 	execOut := flag.String("o", "BENCH_exec.json", "output path for the -execbench report")
 	storagebench := flag.Bool("storagebench", false, "run the columnar-segment-vs-row storage microbenchmarks")
 	storageOut := flag.String("storage-o", "BENCH_storage.json", "output path for the -storagebench report")
-	segSize := flag.Int("segment-size", 0, "segment size for -storagebench (0 = storage default)")
+	segSize := flag.Int("segment-size", 0, "segment size for -storagebench/-aggbench (0 = storage default)")
+	aggbench := flag.Bool("aggbench", false, "run the aggregation pushdown/parallelism microbenchmarks")
+	aggOut := flag.String("agg-o", "BENCH_agg.json", "output path for the -aggbench report")
 	flag.Parse()
 
 	if *all {
@@ -44,8 +47,9 @@ func main() {
 		*fpr = true
 		*execbench = true
 		*storagebench = true
+		*aggbench = true
 	}
-	if *figure == 0 && !*fpr && !*execbench && !*storagebench {
+	if *figure == 0 && !*fpr && !*execbench && !*storagebench && !*aggbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -136,6 +140,30 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *storageOut)
+		}
+	}
+
+	if *aggbench {
+		progress := func(string) {}
+		if !*quiet {
+			progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		report, err := benchharness.RunAggBench(*total, 1_000, *segSize, *iters, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench failed:", err)
+			os.Exit(1)
+		}
+		out, err := benchharness.MarshalAggBench(report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench marshal failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*aggOut, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench write failed:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *aggOut)
 		}
 	}
 

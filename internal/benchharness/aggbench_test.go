@@ -1,0 +1,85 @@
+package benchharness
+
+import "testing"
+
+func aggScenarioNamed(b *testing.B, name string) *aggScenario {
+	b.Helper()
+	scenarios, err := storageDataset(b).AggScenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	b.Fatalf("no scenario %q", name)
+	return nil
+}
+
+func BenchmarkRowStatAggregate(b *testing.B) {
+	sc := aggScenarioNamed(b, "stat-covered")
+	runSide(b, sc.InputRows, sc.Row)
+}
+
+func BenchmarkStatAggregate(b *testing.B) {
+	sc := aggScenarioNamed(b, "stat-covered")
+	runSide(b, sc.InputRows, sc.Vec)
+}
+
+func BenchmarkRowGroupByHalf(b *testing.B) {
+	sc := aggScenarioNamed(b, "group-by-half")
+	runSide(b, sc.InputRows, sc.Row)
+}
+
+func BenchmarkVectorizedGroupByHalf(b *testing.B) {
+	sc := aggScenarioNamed(b, "group-by-half")
+	runSide(b, sc.InputRows, sc.Vec)
+}
+
+func BenchmarkSerialGroupByMerge(b *testing.B) {
+	sc := aggScenarioNamed(b, "parallel-merge")
+	runSide(b, sc.InputRows, sc.Row)
+}
+
+func BenchmarkParallelGroupByMerge(b *testing.B) {
+	sc := aggScenarioNamed(b, "parallel-merge")
+	runSide(b, sc.InputRows, sc.Vec)
+}
+
+// TestAggScenariosAgree is the correctness gate for the aggregation
+// benchmark pairs: identical cardinalities on both sides, and the covered
+// scenario must actually answer every segment from stats (a silent
+// fall-back to scanning would measure nothing while still "passing").
+func TestAggScenariosAgree(t *testing.T) {
+	d, err := BuildStorageDataset(20_000, 100, 1_024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := d.AggScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		rowN, err := sc.Row()
+		if err != nil {
+			t.Fatalf("%s baseline side: %v", sc.Name, err)
+		}
+		aggN, err := sc.Vec()
+		if err != nil {
+			t.Fatalf("%s optimized side: %v", sc.Name, err)
+		}
+		if rowN != aggN {
+			t.Errorf("%s: baseline %d rows, optimized %d", sc.Name, rowN, aggN)
+		}
+		if rowN == 0 {
+			t.Errorf("%s: empty result, scenario measures nothing", sc.Name)
+		}
+		if sc.StatSegments != nil {
+			if *sc.StatSegments == 0 || *sc.Scanned != 0 {
+				t.Errorf("%s: %d segments from stats, %d scanned; want all folded",
+					sc.Name, *sc.StatSegments, *sc.Scanned)
+			}
+		}
+	}
+}

@@ -1,0 +1,515 @@
+package exec
+
+import (
+	"fmt"
+
+	"trac/internal/sqlparser"
+	"trac/internal/types"
+)
+
+// aggState accumulates one group's aggregates, one slot per AggSpec.
+//
+// SUM/AVG accumulation is exact over INT inputs: while intOnly[i] holds, the
+// authoritative sum is the int64 isums[i]; the first FLOAT input or an int64
+// overflow folds the running int sum into fsums[i] and clears intOnly[i] —
+// an explicit, observable fallback. (The previous design accumulated a
+// float64 alongside the int sum for every row, so SUM silently wrapped on
+// overflow while still reporting an "exact" integer, and AVG over pure-INT
+// columns paid float rounding drift it never needed to.)
+type aggState struct {
+	keys    []types.Value
+	counts  []int64
+	fsums   []float64
+	isums   []int64
+	intOnly []bool
+	mins    []types.Value
+	maxs    []types.Value
+	order   int // first-seen order for deterministic output
+}
+
+func newAggState(keys []types.Value, nSpecs, order int) *aggState {
+	st := &aggState{
+		keys:    keys,
+		counts:  make([]int64, nSpecs),
+		fsums:   make([]float64, nSpecs),
+		isums:   make([]int64, nSpecs),
+		intOnly: make([]bool, nSpecs),
+		mins:    make([]types.Value, nSpecs),
+		maxs:    make([]types.Value, nSpecs),
+		order:   order,
+	}
+	for i := range st.intOnly {
+		st.intOnly[i] = true
+		st.mins[i] = types.Null
+		st.maxs[i] = types.Null
+	}
+	return st
+}
+
+// addInt64 adds with explicit overflow detection.
+func addInt64(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+// demoteToFloat folds the exact int sum into the float accumulator; further
+// accumulation for slot si is float-only.
+func (st *aggState) demoteToFloat(si int) {
+	if st.intOnly[si] {
+		st.intOnly[si] = false
+		st.fsums[si] += float64(st.isums[si])
+	}
+}
+
+// addSum accumulates one non-null SUM/AVG input, staying on the exact int
+// path while possible. fn names the aggregate in the non-numeric error.
+func (st *aggState) addSum(si int, v types.Value, fn sqlparser.FuncName) error {
+	if v.Kind() == types.KindInt && st.intOnly[si] {
+		if s, ok := addInt64(st.isums[si], v.Int()); ok {
+			st.isums[si] = s
+			return nil
+		}
+		// Overflow: fall through and add this value as a float too.
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("exec: %s over non-numeric %s", fn, v.Kind())
+	}
+	st.demoteToFloat(si)
+	st.fsums[si] += f
+	return nil
+}
+
+// addSumExactInt folds a pre-computed exact int partial sum (a zone-map
+// SumInt or another state's isums) into slot si.
+func (st *aggState) addSumExactInt(si int, sum int64) {
+	if st.intOnly[si] {
+		if s, ok := addInt64(st.isums[si], sum); ok {
+			st.isums[si] = s
+			return
+		}
+	}
+	st.demoteToFloat(si)
+	st.fsums[si] += float64(sum)
+}
+
+// addSumFloat folds a float partial sum into slot si.
+func (st *aggState) addSumFloat(si int, sum float64) {
+	st.demoteToFloat(si)
+	st.fsums[si] += sum
+}
+
+func (st *aggState) addMin(si int, v types.Value) {
+	if st.mins[si].IsNull() || types.Less(v, st.mins[si]) {
+		st.mins[si] = v
+	}
+}
+
+func (st *aggState) addMax(si int, v types.Value) {
+	if st.maxs[si].IsNull() || types.Less(st.maxs[si], v) {
+		st.maxs[si] = v
+	}
+}
+
+// observe accumulates one non-null aggregate input (the generic per-row
+// path; the batch kernels inline the common type pairings).
+func (st *aggState) observe(si int, spec *AggSpec, v types.Value) error {
+	st.counts[si]++
+	switch spec.Func {
+	case sqlparser.FuncSum, sqlparser.FuncAvg:
+		return st.addSum(si, v, spec.Func)
+	case sqlparser.FuncMin:
+		st.addMin(si, v)
+	case sqlparser.FuncMax:
+		st.addMax(si, v)
+	}
+	return nil
+}
+
+// mergeFrom folds another state's accumulators into this one (partial
+// aggregate merge). Exactness is preserved: int partial sums combine through
+// the same overflow-checked path as row accumulation.
+func (st *aggState) mergeFrom(o *aggState) {
+	for si := range st.counts {
+		st.counts[si] += o.counts[si]
+		if o.intOnly[si] {
+			if o.isums[si] != 0 {
+				st.addSumExactInt(si, o.isums[si])
+			}
+		} else {
+			st.demoteToFloat(si)
+			st.fsums[si] += o.fsums[si]
+		}
+		if !o.mins[si].IsNull() {
+			st.addMin(si, o.mins[si])
+		}
+		if !o.maxs[si].IsNull() {
+			st.addMax(si, o.maxs[si])
+		}
+	}
+}
+
+// value finalizes slot si. SUM over no inputs is NULL; an exact int SUM
+// stays INT; AVG divides the exact int sum when it never demoted, so
+// pure-INT averages carry no accumulation drift.
+func (st *aggState) value(si int, fn sqlparser.FuncName) (types.Value, error) {
+	switch fn {
+	case sqlparser.FuncCount:
+		return types.NewInt(st.counts[si]), nil
+	case sqlparser.FuncSum:
+		switch {
+		case st.counts[si] == 0:
+			return types.Null, nil
+		case st.intOnly[si]:
+			return types.NewInt(st.isums[si]), nil
+		default:
+			return types.NewFloat(st.fsums[si]), nil
+		}
+	case sqlparser.FuncAvg:
+		switch {
+		case st.counts[si] == 0:
+			return types.Null, nil
+		case st.intOnly[si]:
+			return types.NewFloat(float64(st.isums[si]) / float64(st.counts[si])), nil
+		default:
+			return types.NewFloat(st.fsums[si] / float64(st.counts[si])), nil
+		}
+	case sqlparser.FuncMin:
+		return st.mins[si], nil
+	case sqlparser.FuncMax:
+		return st.maxs[si], nil
+	}
+	return types.Null, fmt.Errorf("exec: unknown aggregate %s", fn)
+}
+
+// aggTable is a hash aggregation table shared by the row, batch, parallel-
+// partial and stat-pushdown aggregation operators. Group states are kept in
+// first-seen order; the scratch key buffer is reused across rows (the
+// BatchHashJoin idiom: AppendKey into a byte slice, map lookup via
+// string(buf), allocation only when a new group opens).
+type aggTable struct {
+	keys     []Evaluator
+	keyCols  []int // >= 0: direct tuple offset fast path; -1 (or nil slice) = evaluator
+	specs    []AggSpec
+	argCols  []int        // per spec: tuple offset of a bare-column argument, -1 = Arg
+	argKinds []types.Kind // declared kind of argCols[i] (drives kernel dispatch)
+
+	groups map[string]*aggState
+	order  []*aggState
+
+	keyScratch []types.Value
+	keyBuf     []byte
+	states     []*aggState // per-batch scratch, aligned with the selection
+}
+
+func newAggTable(keys []Evaluator, keyCols []int, specs []AggSpec, argCols []int, argKinds []types.Kind) *aggTable {
+	return &aggTable{
+		keys: keys, keyCols: keyCols, specs: specs,
+		argCols: argCols, argKinds: argKinds,
+		groups:     make(map[string]*aggState),
+		keyScratch: make([]types.Value, len(keys)),
+	}
+}
+
+// state resolves the group state for the key values in keyScratch.
+func (t *aggTable) state() (*aggState, error) {
+	t.keyBuf = AppendKey(t.keyBuf[:0], t.keyScratch...)
+	st, ok := t.groups[string(t.keyBuf)]
+	if !ok {
+		keys := make([]types.Value, len(t.keyScratch))
+		copy(keys, t.keyScratch)
+		st = newAggState(keys, len(t.specs), len(t.order))
+		t.groups[string(t.keyBuf)] = st
+		t.order = append(t.order, st)
+	}
+	return st, nil
+}
+
+// globalState returns the single no-keys group, creating it on first use —
+// global aggregation emits one row even over empty input.
+func (t *aggTable) globalState() *aggState {
+	st, ok := t.groups[""]
+	if !ok {
+		st = newAggState(nil, len(t.specs), len(t.order))
+		t.groups[""] = st
+		t.order = append(t.order, st)
+	}
+	return st
+}
+
+// argCol returns the direct-column offset for spec si, or -1.
+func (t *aggTable) argCol(si int) int {
+	if t.argCols == nil {
+		return -1
+	}
+	return t.argCols[si]
+}
+
+// observeRow accumulates one input row (the tuple-at-a-time path).
+func (t *aggTable) observeRow(row []types.Value) error {
+	for i, k := range t.keys {
+		v, err := k(row)
+		if err != nil {
+			return err
+		}
+		t.keyScratch[i] = v
+	}
+	st, err := t.state()
+	if err != nil {
+		return err
+	}
+	for si := range t.specs {
+		spec := &t.specs[si]
+		if spec.Star {
+			st.counts[si]++
+			continue
+		}
+		v, err := spec.Arg(row)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue // aggregates skip NULLs
+		}
+		if err := st.observe(si, spec, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observeBatch accumulates one batch: group states are resolved once per
+// selected row, then each spec runs its type-specialized accumulation kernel
+// over the whole batch.
+func (t *aggTable) observeBatch(b *Batch) error {
+	states := t.states[:0]
+	for i := 0; i < b.Len(); i++ {
+		row := b.Row(i)
+		for ki := range t.keys {
+			if t.keyCols != nil && t.keyCols[ki] >= 0 {
+				t.keyScratch[ki] = row[t.keyCols[ki]]
+				continue
+			}
+			v, err := t.keys[ki](row)
+			if err != nil {
+				return err
+			}
+			t.keyScratch[ki] = v
+		}
+		st, err := t.state()
+		if err != nil {
+			return err
+		}
+		states = append(states, st)
+	}
+	t.states = states
+	for si := range t.specs {
+		if err := t.accumulate(si, b, states); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accumulate runs spec si over the batch. The func × declared-kind dispatch
+// happens once per batch; the inner loops touch only the argument column,
+// skip NULLs exactly like the row path, and fall back to the generic value
+// path on any kind surprise (impure columns), so semantics stay identical.
+func (t *aggTable) accumulate(si int, b *Batch, states []*aggState) error {
+	spec := &t.specs[si]
+	if spec.Star {
+		for _, st := range states {
+			st.counts[si]++
+		}
+		return nil
+	}
+	col := t.argCol(si)
+	if col < 0 {
+		for i, st := range states {
+			v, err := spec.Arg(b.Row(i))
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if err := st.observe(si, spec, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	kind := t.argKinds[si]
+	switch spec.Func {
+	case sqlparser.FuncCount:
+		for i, st := range states {
+			if !b.Rows[b.Sel[i]][col].IsNull() {
+				st.counts[si]++
+			}
+		}
+	case sqlparser.FuncSum, sqlparser.FuncAvg:
+		switch kind {
+		case types.KindInt: // I64 kernel: exact int sums with overflow check
+			for i, st := range states {
+				v := b.Rows[b.Sel[i]][col]
+				if v.IsNull() {
+					continue
+				}
+				st.counts[si]++
+				if v.Kind() == types.KindInt && st.intOnly[si] {
+					if s, ok := addInt64(st.isums[si], v.Int()); ok {
+						st.isums[si] = s
+						continue
+					}
+				}
+				if err := st.addSum(si, v, spec.Func); err != nil {
+					return err
+				}
+			}
+		case types.KindFloat: // F64 kernel
+			for i, st := range states {
+				v := b.Rows[b.Sel[i]][col]
+				if v.IsNull() {
+					continue
+				}
+				st.counts[si]++
+				if v.Kind() == types.KindFloat {
+					st.demoteToFloat(si)
+					st.fsums[si] += v.Float()
+					continue
+				}
+				if err := st.addSum(si, v, spec.Func); err != nil {
+					return err
+				}
+			}
+		default:
+			for i, st := range states {
+				v := b.Rows[b.Sel[i]][col]
+				if v.IsNull() {
+					continue
+				}
+				st.counts[si]++
+				if err := st.addSum(si, v, spec.Func); err != nil {
+					return err
+				}
+			}
+		}
+	case sqlparser.FuncMin:
+		t.minmaxKernel(si, b, states, kind, false)
+	case sqlparser.FuncMax:
+		t.minmaxKernel(si, b, states, kind, true)
+	default:
+		// Unknown aggregate: surface the same error finalization would.
+		for i, st := range states {
+			v := b.Rows[b.Sel[i]][col]
+			if v.IsNull() {
+				continue
+			}
+			if err := st.observe(si, spec, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// minmaxKernel runs MIN/MAX over one column with typed comparisons for the
+// I64 (INT/TIMESTAMP), F64 and Str pairings; a current extreme or input of
+// any other runtime kind drops to the generic types.Less path.
+func (t *aggTable) minmaxKernel(si int, b *Batch, states []*aggState, kind types.Kind, isMax bool) {
+	cur := func(st *aggState) types.Value {
+		if isMax {
+			return st.maxs[si]
+		}
+		return st.mins[si]
+	}
+	set := func(st *aggState, v types.Value) {
+		if isMax {
+			st.maxs[si] = v
+		} else {
+			st.mins[si] = v
+		}
+	}
+	generic := func(st *aggState, v types.Value) {
+		if isMax {
+			st.addMax(si, v)
+		} else {
+			st.addMin(si, v)
+		}
+	}
+	colIdx := t.argCol(si)
+	for i, st := range states {
+		v := b.Rows[b.Sel[i]][colIdx]
+		if v.IsNull() {
+			continue
+		}
+		st.counts[si]++
+		c := cur(st)
+		if c.IsNull() || v.Kind() != kind || c.Kind() != kind {
+			generic(st, v)
+			continue
+		}
+		switch kind {
+		case types.KindInt:
+			if (v.Int() < c.Int()) != isMax && v.Int() != c.Int() {
+				set(st, v)
+			}
+		case types.KindTime:
+			if (v.TimeNanos() < c.TimeNanos()) != isMax && v.TimeNanos() != c.TimeNanos() {
+				set(st, v)
+			}
+		case types.KindFloat:
+			if d := cmpF64(v.Float(), c.Float()); d != 0 && (d < 0) != isMax {
+				set(st, v)
+			}
+		case types.KindString:
+			if (v.Str() < c.Str()) != isMax && v.Str() != c.Str() {
+				set(st, v)
+			}
+		default:
+			generic(st, v)
+		}
+	}
+}
+
+// mergeTable folds another table's groups into this one, preserving the
+// other table's first-seen group order for groups this table has not seen.
+func (t *aggTable) mergeTable(o *aggTable) error {
+	for _, ost := range o.order {
+		t.keyScratch = t.keyScratch[:0]
+		t.keyScratch = append(t.keyScratch, ost.keys...)
+		st, err := t.state()
+		if err != nil {
+			return err
+		}
+		st.mergeFrom(ost)
+	}
+	t.keyScratch = make([]types.Value, len(t.keys))
+	return nil
+}
+
+// emit finalizes every group into output tuples [keys..., aggregates...] in
+// first-seen order. With no grouping keys, an empty input still emits the
+// single global row.
+func (t *aggTable) emit(nKeys int) ([][]types.Value, error) {
+	if len(t.order) == 0 && nKeys == 0 {
+		t.globalState()
+	}
+	out := make([][]types.Value, 0, len(t.order))
+	for _, st := range t.order {
+		row := make([]types.Value, 0, nKeys+len(t.specs))
+		row = append(row, st.keys...)
+		for si := range t.specs {
+			v, err := st.value(si, t.specs[si].Func)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,545 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+// col returns an evaluator reading tuple offset i.
+func colAt(i int) Evaluator {
+	return func(row []types.Value) (types.Value, error) { return row[i], nil }
+}
+
+// oneColRows wraps values into single-column rows.
+func oneColRows(vals ...types.Value) [][]types.Value {
+	out := make([][]types.Value, len(vals))
+	for i, v := range vals {
+		out[i] = []types.Value{v}
+	}
+	return out
+}
+
+// drainAgg runs an ungrouped Aggregate over the values.
+func drainAgg(t *testing.T, specs []AggSpec, vals ...types.Value) []types.Value {
+	t.Helper()
+	rows, err := Drain(&Aggregate{
+		Child: &ValuesOp{RowsData: oneColRows(vals...)},
+		Specs: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("aggregate emitted %d rows, want 1", len(rows))
+	}
+	return rows[0]
+}
+
+// TestAggSumOverflowFallsBackToFloat pins the explicit int-overflow
+// fallback: summing past int64 range must demote to float, never silently
+// wrap. (The previous accumulator dual-tracked an always-updated float sum
+// and an unchecked int sum, reporting the wrapped int as exact.)
+func TestAggSumOverflowFallsBackToFloat(t *testing.T) {
+	specs := []AggSpec{
+		{Func: sqlparser.FuncSum, Arg: colAt(0)},
+		{Func: sqlparser.FuncAvg, Arg: colAt(0)},
+	}
+	row := drainAgg(t, specs,
+		types.NewInt(math.MaxInt64), types.NewInt(1), types.NewInt(2))
+
+	sum := row[0]
+	if sum.Kind() != types.KindFloat {
+		t.Fatalf("overflowed SUM kind = %s (%v), want FLOAT fallback", sum.Kind(), sum)
+	}
+	want := float64(math.MaxInt64) + 1 + 2
+	if sum.Float() != want {
+		t.Errorf("overflowed SUM = %v, want %v", sum.Float(), want)
+	}
+	if sum.Float() < 0 {
+		t.Errorf("SUM wrapped negative: %v", sum)
+	}
+	if avg := row[1]; avg.Float() != want/3 {
+		t.Errorf("overflowed AVG = %v, want %v", avg.Float(), want/3)
+	}
+
+	// Below the boundary the sum stays an exact INT.
+	row = drainAgg(t, specs, types.NewInt(math.MaxInt64-3), types.NewInt(3))
+	if row[0].Kind() != types.KindInt || row[0].Int() != math.MaxInt64 {
+		t.Errorf("in-range SUM = %v (%s), want exact INT %d", row[0], row[0].Kind(), int64(math.MaxInt64))
+	}
+}
+
+// TestAggAvgExactOverInts pins AVG precision over pure-INT input: the mean
+// divides the exact integer sum, so values that individually exceed float64's
+// integer precision do not drift. Per-row float accumulation computes
+// (2^53 + 1) + 1 = 2^53 (both increments round away); the exact path keeps
+// 2^53 + 2.
+func TestAggAvgExactOverInts(t *testing.T) {
+	big := int64(1) << 53
+	specs := []AggSpec{
+		{Func: sqlparser.FuncSum, Arg: colAt(0)},
+		{Func: sqlparser.FuncAvg, Arg: colAt(0)},
+	}
+	row := drainAgg(t, specs, types.NewInt(big), types.NewInt(1), types.NewInt(1))
+	if row[0].Kind() != types.KindInt || row[0].Int() != big+2 {
+		t.Fatalf("SUM = %v (%s), want exact INT %d", row[0], row[0].Kind(), big+2)
+	}
+	wantAvg := float64(big+2) / 3
+	if row[1].Float() != wantAvg {
+		t.Errorf("AVG = %v, want %v (exact-sum division)", row[1].Float(), wantAvg)
+	}
+	driftAvg := (float64(big) + 1 + 1) / 3
+	if wantAvg == driftAvg {
+		t.Fatal("test vector does not distinguish exact from drifted AVG")
+	}
+}
+
+// TestAggMixedKindSumDemotes pins the mixed INT/FLOAT contract: the first
+// float input folds the running exact int sum into the float accumulator,
+// and the result kind is FLOAT regardless of input order.
+func TestAggMixedKindSumDemotes(t *testing.T) {
+	specs := []AggSpec{{Func: sqlparser.FuncSum, Arg: colAt(0)}}
+	for _, vals := range [][]types.Value{
+		{types.NewInt(1), types.NewInt(2), types.NewFloat(0.5)},
+		{types.NewFloat(0.5), types.NewInt(1), types.NewInt(2)},
+		{types.NewInt(1), types.NewFloat(0.5), types.NewInt(2)},
+	} {
+		row := drainAgg(t, specs, vals...)
+		if row[0].Kind() != types.KindFloat || row[0].Float() != 3.5 {
+			t.Errorf("mixed SUM over %v = %v (%s), want FLOAT 3.5", vals, row[0], row[0].Kind())
+		}
+	}
+}
+
+// TestEmptyInputGlobalAggregate pins SQL's empty-input contract on all three
+// global paths: exactly one row, COUNT 0, SUM/AVG/MIN/MAX NULL.
+func TestEmptyInputGlobalAggregate(t *testing.T) {
+	specs := []AggSpec{
+		{Func: sqlparser.FuncCount, Star: true},
+		{Func: sqlparser.FuncCount, Arg: colAt(0)},
+		{Func: sqlparser.FuncSum, Arg: colAt(0)},
+		{Func: sqlparser.FuncAvg, Arg: colAt(0)},
+		{Func: sqlparser.FuncMin, Arg: colAt(0)},
+		{Func: sqlparser.FuncMax, Arg: colAt(0)},
+	}
+	check := func(name string, rows [][]types.Value) {
+		t.Helper()
+		if len(rows) != 1 {
+			t.Fatalf("%s: empty input emitted %d rows, want 1", name, len(rows))
+		}
+		r := rows[0]
+		if r[0].Int() != 0 || r[1].Int() != 0 {
+			t.Errorf("%s: counts = %v, %v, want 0, 0", name, r[0], r[1])
+		}
+		for i := 2; i < 6; i++ {
+			if !r[i].IsNull() {
+				t.Errorf("%s: slot %d = %v, want NULL", name, i, r[i])
+			}
+		}
+	}
+
+	rows, err := Drain(&Aggregate{Child: &ValuesOp{}, Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("row", rows)
+
+	rows, err = Drain(&GroupAggregate{Child: &ValuesOp{}, Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("grouped-row", rows)
+
+	rows, err = Drain(&BatchGroupAggregate{
+		Src: ToBatch(&ValuesOp{}), Specs: specs,
+		ArgCols: []int{-1, 0, 0, 0, 0, 0}, ArgKinds: make([]types.Kind, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("batch", rows)
+
+	// Stat pushdown over an empty table.
+	schema, err := storage.NewSchema([]storage.Column{{Name: "v", Kind: types.KindInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable("Empty", schema)
+	m := txn.NewManager()
+	rows, err = Drain(&StatAggScan{
+		Table: tbl, Snap: m.ReadSnapshot(), Specs: specs,
+		ArgCols: []int{-1, 0, 0, 0, 0, 0}, ArgKinds: make([]types.Kind, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("stat", rows)
+}
+
+// aggFixture builds a 4-segment sealed INT/TEXT/FLOAT table plus an unsealed
+// tail, with NULLs sprinkled in every aggregable column: 400 sealed rows
+// (ids 0..399, segment size 100) and 37 tail rows (ids 400..436). name is
+// NULL every 7th row, score NULL every 5th.
+func aggFixture(t *testing.T) (*storage.Table, *txn.Manager) {
+	t.Helper()
+	schema, err := storage.NewSchema([]storage.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "name", Kind: types.KindString},
+		{Name: "score", Kind: types.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable("Agg", schema)
+	tbl.SetSealThreshold(-1)
+	m := txn.NewManager()
+	tx := m.Begin()
+	names := []string{"idle", "busy", "down"}
+	addRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			name := types.NewString(names[i%3])
+			if i%7 == 0 {
+				name = types.Null
+			}
+			score := types.NewFloat(float64(i%100) / 10)
+			if i%5 == 0 {
+				score = types.Null
+			}
+			if err := tx.InsertRow(tbl, storage.NewRow([]types.Value{
+				types.NewInt(int64(i)), name, score,
+			}, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	addRows(0, 400)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tbl.SetSealThreshold(100)
+	if n := tbl.Seal(); n != 4 {
+		t.Fatalf("sealed %d segments, want 4", n)
+	}
+	tbl.SetSealThreshold(-1) // keep the rest as an unsealed tail
+	tx = m.Begin()
+	addRows(400, 437)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return tbl, m
+}
+
+// fixtureSpecs is the standard aggregate battery over aggFixture, with the
+// parallel column/kind slices for the batch and stat paths.
+func fixtureSpecs() (specs []AggSpec, argCols []int, argKinds []types.Kind) {
+	specs = []AggSpec{
+		{Func: sqlparser.FuncCount, Star: true},
+		{Func: sqlparser.FuncCount, Arg: colAt(1)},
+		{Func: sqlparser.FuncCount, Arg: colAt(2)},
+		{Func: sqlparser.FuncSum, Arg: colAt(0)},
+		{Func: sqlparser.FuncAvg, Arg: colAt(0)},
+		{Func: sqlparser.FuncMin, Arg: colAt(0)},
+		{Func: sqlparser.FuncMax, Arg: colAt(0)},
+		{Func: sqlparser.FuncMin, Arg: colAt(1)},
+		{Func: sqlparser.FuncMax, Arg: colAt(1)},
+	}
+	argCols = []int{-1, 1, 2, 0, 0, 0, 0, 1, 1}
+	argKinds = []types.Kind{types.KindNull, types.KindString, types.KindFloat,
+		types.KindInt, types.KindInt, types.KindInt, types.KindInt,
+		types.KindString, types.KindString}
+	return specs, argCols, argKinds
+}
+
+// statAggFor builds a StatAggScan over the fixture for predSQL ("" = none).
+func statAggFor(t *testing.T, tbl *storage.Table, snap txn.Snapshot, predSQL string, workers int) *StatAggScan {
+	t.Helper()
+	specs, argCols, argKinds := fixtureSpecs()
+	op := &StatAggScan{
+		Table: tbl, Snap: snap, Specs: specs,
+		ArgCols: argCols, ArgKinds: argKinds,
+		Workers: workers, MorselSize: 64,
+	}
+	if predSQL != "" {
+		layout := layoutFor(tbl, "a")
+		e, err := sqlparser.ParseExpr(predSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, _, _, err := CompileKernel(e, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segf, err := CompileSegmentFilter(e, layout, 0, tbl.Schema.NumColumns())
+		if err != nil {
+			t.Fatal(err)
+		}
+		op.Kernel, op.SegFilter = k, segf
+	}
+	return op
+}
+
+// rowAggFor is the tuple-at-a-time baseline for the same aggregate.
+func rowAggFor(t *testing.T, tbl *storage.Table, snap txn.Snapshot, predSQL string) []types.Value {
+	t.Helper()
+	specs, _, _ := fixtureSpecs()
+	var child Operator = &SeqScan{Table: tbl, Snap: snap}
+	if predSQL != "" {
+		layout := layoutFor(tbl, "a")
+		child = &Filter{Child: child, Pred: compileOn(t, layout, predSQL)}
+	}
+	rows, err := Drain(&Aggregate{Child: child, Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows[0]
+}
+
+// TestStatAggScanMatchesRowPath drives the pushdown coverage matrix over the
+// mixed sealed/tail fixture: no predicate (all segments answered from
+// stats), a fully covering predicate, a prune/cover/narrow mix, and
+// predicates stats cannot help with — all must equal the row baseline, and
+// the classification counters must match the predicate geometry (ids are
+// clustered 0..99 / 100..199 / 200..299 / 300..399 per segment).
+func TestStatAggScanMatchesRowPath(t *testing.T) {
+	tbl, m := aggFixture(t)
+	snap := m.ReadSnapshot()
+	cases := []struct {
+		pred               string
+		stat, scan, pruned int
+	}{
+		{"", 4, 0, 0},
+		{"id >= 0", 4, 0, 0},  // covers every segment
+		{"id < 400", 4, 0, 0}, // covers every segment, tail filtered
+		{"id < 150", 1, 1, 2}, // covers seg 1, narrows seg 2, prunes 3-4
+		{"id BETWEEN 100 AND 299", 2, 0, 2},
+		{"name IS NOT NULL", 0, 4, 0}, // every segment has NULL names
+		{"score > 5.0", 0, 4, 0},      // value predicate: never covering
+		{"id <> 250", 3, 1, 0},        // covers all but seg 3
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 4} {
+			op := statAggFor(t, tbl, snap, c.pred, workers)
+			rows, err := Drain(op)
+			if err != nil {
+				t.Fatalf("pred %q: %v", c.pred, err)
+			}
+			want := rowAggFor(t, tbl, snap, c.pred)
+			if got := RowKey(rows[0]); got != RowKey(want) {
+				t.Errorf("pred %q workers=%d:\nstat: %v\nrow:  %v", c.pred, workers, rows[0], want)
+			}
+			if op.StatSegments != c.stat || op.ScannedSegments != c.scan || op.PrunedSegments != c.pruned {
+				t.Errorf("pred %q: classified stat=%d scan=%d pruned=%d, want %d/%d/%d",
+					c.pred, op.StatSegments, op.ScannedSegments, op.PrunedSegments,
+					c.stat, c.scan, c.pruned)
+			}
+		}
+	}
+}
+
+// TestStatAggScanMVCCVisibilityGate pins the MVCC proof: a delete inside a
+// sealed segment must push that segment off the stats path for snapshots
+// that see the delete (the zone stats still include the dead version), while
+// older snapshots keep full coverage.
+func TestStatAggScanMVCCVisibilityGate(t *testing.T) {
+	tbl, m := aggFixture(t)
+	before := m.ReadSnapshot()
+
+	// Delete id=150 (second segment) — scan for its row version.
+	var victim *storage.Row
+	for _, r := range tbl.Snap().Segments[1].Rows {
+		if r.Values[0].Int() == 150 {
+			victim = r
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("fixture: id=150 not in segment 1")
+	}
+	tx := m.Begin()
+	if err := tx.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after := m.ReadSnapshot()
+
+	// The pre-delete snapshot still answers every segment from stats.
+	op := statAggFor(t, tbl, before, "", 1)
+	rows, err := Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.StatSegments != 4 {
+		t.Errorf("pre-delete snapshot: stat segments = %d, want 4", op.StatSegments)
+	}
+	if rows[0][0].Int() != 437 {
+		t.Errorf("pre-delete COUNT(*) = %v, want 437", rows[0][0])
+	}
+
+	// The post-delete snapshot must scan the touched segment and count one
+	// fewer row — matching the row path.
+	op = statAggFor(t, tbl, after, "", 1)
+	rows, err = Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.StatSegments != 3 || op.ScannedSegments != 1 {
+		t.Errorf("post-delete: stat=%d scan=%d, want 3/1", op.StatSegments, op.ScannedSegments)
+	}
+	if rows[0][0].Int() != 436 {
+		t.Errorf("post-delete COUNT(*) = %v, want 436", rows[0][0])
+	}
+	want := rowAggFor(t, tbl, after, "")
+	if RowKey(rows[0]) != RowKey(want) {
+		t.Errorf("post-delete stat row %v != row path %v", rows[0], want)
+	}
+}
+
+// TestGroupAggregateModesAgree runs a grouped battery (COUNT(*)/COUNT(col)/
+// SUM/AVG/MIN/MAX with NULL groups and NULL inputs) through the row, batch,
+// and morsel-parallel operators and requires identical result multisets.
+// SUM/AVG run over the INT column only: integer accumulation is exact and
+// order-independent, so parallel merge order cannot perturb the comparison.
+func TestGroupAggregateModesAgree(t *testing.T) {
+	tbl, m := aggFixture(t)
+	snap := m.ReadSnapshot()
+	layout := layoutFor(tbl, "a")
+	keys := []Evaluator{compileOn(t, layout, "name")}
+	specs, argCols, argKinds := fixtureSpecs()
+
+	sorted := func(rows [][]types.Value) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = RowKey(r)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	base, err := Drain(&GroupAggregate{
+		Child: &SeqScan{Table: tbl, Snap: snap}, Keys: keys, Specs: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 4 { // idle, busy, down, NULL
+		t.Fatalf("row groups = %d, want 4", len(base))
+	}
+
+	batch, err := Drain(&BatchGroupAggregate{
+		Src:  &BatchScan{Table: tbl, Snap: snap},
+		Keys: keys, KeyCols: []int{1},
+		Specs: specs, ArgCols: argCols, ArgKinds: argKinds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Drain(&ParallelGroupAggregate{
+		Scan: &ParallelScan{Table: tbl, Snap: snap, Workers: 4, MorselSize: 64, Alias: true},
+		Keys: keys, KeyCols: []int{1},
+		Specs: specs, ArgCols: argCols, ArgKinds: argKinds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := sorted(base)
+	for name, got := range map[string][]string{
+		"batch":    sorted(batch),
+		"parallel": sorted(par),
+	} {
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s diverges from row path\nrow: %v\ngot: %v", name, want, got)
+		}
+	}
+}
+
+// TestGroupAggregateAllNullGroup pins COUNT(*) vs COUNT(col) over a group
+// whose aggregated column is entirely NULL, and MIN/MAX ignoring NULLs, on
+// both the row and batch operators.
+func TestGroupAggregateAllNullGroup(t *testing.T) {
+	rows := [][]types.Value{
+		{types.NewString("a"), types.Null},
+		{types.NewString("a"), types.Null},
+		{types.NewString("b"), types.NewInt(7)},
+		{types.NewString("b"), types.Null},
+	}
+	keys := []Evaluator{colAt(0)}
+	specs := []AggSpec{
+		{Func: sqlparser.FuncCount, Star: true},
+		{Func: sqlparser.FuncCount, Arg: colAt(1)},
+		{Func: sqlparser.FuncSum, Arg: colAt(1)},
+		{Func: sqlparser.FuncMin, Arg: colAt(1)},
+		{Func: sqlparser.FuncMax, Arg: colAt(1)},
+	}
+	check := func(name string, got [][]types.Value) {
+		t.Helper()
+		if len(got) != 2 {
+			t.Fatalf("%s: groups = %d, want 2", name, len(got))
+		}
+		// First-seen order: group "a" then "b".
+		a, b := got[0], got[1]
+		if a[1].Int() != 2 || a[2].Int() != 0 || !a[3].IsNull() || !a[4].IsNull() || !a[5].IsNull() {
+			t.Errorf("%s: all-NULL group = %v, want [a 2 0 NULL NULL NULL]", name, a)
+		}
+		if b[2].Int() != 1 || b[3].Int() != 7 || b[4].Int() != 7 || b[5].Int() != 7 {
+			t.Errorf("%s: mixed group = %v, want count 1, sum/min/max 7", name, b)
+		}
+	}
+
+	got, err := Drain(&GroupAggregate{Child: &ValuesOp{RowsData: rows}, Keys: keys, Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("row", got)
+	got, err = Drain(&BatchGroupAggregate{
+		Src: ToBatch(&ValuesOp{RowsData: rows}), Keys: keys,
+		Specs: specs, ArgCols: []int{-1, 1, 1, 1, 1},
+		ArgKinds: []types.Kind{types.KindNull, types.KindInt, types.KindInt, types.KindInt, types.KindInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("batch", got)
+}
+
+// TestAggPartialMergePreservesExactness pins that merging partial tables
+// combines int sums through the overflow-checked path: two partials whose
+// exact sums only overflow when combined must produce the float fallback,
+// not a wrapped int.
+func TestAggPartialMergePreservesExactness(t *testing.T) {
+	specs := []AggSpec{{Func: sqlparser.FuncSum, Arg: colAt(0)}}
+	mk := func(v int64) *aggTable {
+		tab := newAggTable(nil, nil, specs, nil, nil)
+		if err := tab.observeRow([]types.Value{types.NewInt(v)}); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	merged := newAggTable(nil, nil, specs, nil, nil)
+	if err := merged.mergeTable(mk(math.MaxInt64 - 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.mergeTable(mk(10)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := merged.emit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := rows[0][0]
+	if sum.Kind() != types.KindFloat {
+		t.Fatalf("merged overflow SUM = %v (%s), want FLOAT fallback", sum, sum.Kind())
+	}
+	if sum.Float() < 0 {
+		t.Errorf("merged SUM wrapped negative: %v", sum)
+	}
+}

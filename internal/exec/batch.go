@@ -205,6 +205,12 @@ func Vectorized(op Operator) bool {
 		return true // gathers through the batched Exchange
 	case *Exchange:
 		return true
+	case *BatchGroupAggregate:
+		return true
+	case *ParallelGroupAggregate:
+		return true
+	case *StatAggScan:
+		return true
 	case *Filter:
 		return Vectorized(n.Child)
 	case *Project:

@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"sync"
+
+	"trac/internal/types"
+)
+
+// BatchGroupAggregate is hash aggregation consuming batches directly: group
+// keys are resolved per selected row (through the KeyCols fast path when a
+// key is a bare column), then each AggSpec runs a type-specialized
+// accumulation kernel over the whole batch — the aggregation boundary no
+// longer demotes the vectorized pipeline to rows. Output is row-at-a-time
+// ([keys..., aggregates...] in first-seen group order), matching
+// GroupAggregate exactly, NULLs and all.
+type BatchGroupAggregate struct {
+	Src  BatchOperator
+	Keys []Evaluator
+	// KeyCols holds a tuple offset per key when the key is a bare column
+	// (-1 = evaluate Keys[i]); nil disables the fast path entirely.
+	KeyCols []int
+	Specs   []AggSpec
+	// ArgCols/ArgKinds mirror KeyCols for the aggregate arguments: a tuple
+	// offset plus its declared kind selects the typed kernel; -1 (or nil
+	// slices) falls back to Specs[i].Arg.
+	ArgCols  []int
+	ArgKinds []types.Kind
+
+	out [][]types.Value
+	pos int
+}
+
+// Open drains the source batch-at-a-time and computes all groups.
+func (g *BatchGroupAggregate) Open() error {
+	if err := g.Src.Open(); err != nil {
+		return err
+	}
+	defer g.Src.Close()
+
+	tab := newAggTable(g.Keys, g.KeyCols, g.Specs, g.ArgCols, g.ArgKinds)
+	for {
+		b, err := g.Src.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		err = tab.observeBatch(b)
+		PutBatch(b)
+		if err != nil {
+			return err
+		}
+	}
+
+	out, err := tab.emit(len(g.Keys))
+	if err != nil {
+		return err
+	}
+	g.out = out
+	g.pos = 0
+	return nil
+}
+
+// Next emits the next group row.
+func (g *BatchGroupAggregate) Next() ([]types.Value, bool, error) {
+	if g.pos >= len(g.out) {
+		return nil, false, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close releases group state.
+func (g *BatchGroupAggregate) Close() error {
+	g.out = nil
+	return nil
+}
+
+// ParallelGroupAggregate is morsel-parallel partial aggregation: each scan
+// worker drains its share of the morsel source into a thread-local aggTable
+// (no synchronization beyond the per-morsel atomic claim), and the partial
+// tables are merged once on the gather side. Merging in worker-index order
+// with first-seen-preserving mergeTable keeps output order deterministic for
+// a given morsel claim order; SQL imposes no group order, and the planner's
+// ORDER BY sits above.
+//
+// Partial merge goes through the same overflow-checked accumulation as row
+// input, so integer SUM/AVG stay exact under parallelism. (Float sums remain
+// order-sensitive — merging partials can differ from serial accumulation in
+// the low bits, exactly as any parallel aggregation does.)
+type ParallelGroupAggregate struct {
+	Scan     *ParallelScan
+	Keys     []Evaluator
+	KeyCols  []int
+	Specs    []AggSpec
+	ArgCols  []int
+	ArgKinds []types.Kind
+
+	out [][]types.Value
+	pos int
+}
+
+// Open fans workers over the scan's morsel partials and merges their tables.
+func (g *ParallelGroupAggregate) Open() error {
+	partials := g.Scan.BatchPartials()
+	tabs := make([]*aggTable, len(partials))
+	errs := make([]error, len(partials))
+	var wg sync.WaitGroup
+	for i, part := range partials {
+		wg.Add(1)
+		go func(i int, op BatchOperator) {
+			defer wg.Done()
+			tab := newAggTable(g.Keys, g.KeyCols, g.Specs, g.ArgCols, g.ArgKinds)
+			tabs[i] = tab
+			if err := op.Open(); err != nil {
+				errs[i] = err
+				return
+			}
+			defer op.Close()
+			for {
+				b, err := op.NextBatch()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if b == nil {
+					return
+				}
+				err = tab.observeBatch(b)
+				PutBatch(b)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	merged := newAggTable(g.Keys, g.KeyCols, g.Specs, g.ArgCols, g.ArgKinds)
+	for _, tab := range tabs {
+		if err := merged.mergeTable(tab); err != nil {
+			return err
+		}
+	}
+	out, err := merged.emit(len(g.Keys))
+	if err != nil {
+		return err
+	}
+	g.out = out
+	g.pos = 0
+	return nil
+}
+
+// Next emits the next group row.
+func (g *ParallelGroupAggregate) Next() ([]types.Value, bool, error) {
+	if g.pos >= len(g.out) {
+		return nil, false, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close releases group state.
+func (g *ParallelGroupAggregate) Close() error {
+	g.out = nil
+	return nil
+}

@@ -1,17 +1,14 @@
 package exec
 
-import (
-	"fmt"
-	"sort"
+import "trac/internal/types"
 
-	"trac/internal/sqlparser"
-	"trac/internal/types"
-)
-
-// GroupAggregate implements hash aggregation with GROUP BY. Its output
-// tuple is [key values..., aggregate values...]; a projection above maps
-// select items onto those positions. With no keys it behaves like SQL's
-// global aggregation: exactly one output row even for empty input.
+// GroupAggregate implements hash aggregation with GROUP BY over the
+// tuple-at-a-time Operator interface. Its output tuple is [key values...,
+// aggregate values...]; a projection above maps select items onto those
+// positions. With no keys it behaves like SQL's global aggregation: exactly
+// one output row even for empty input. The accumulation machinery is the
+// shared aggTable, so SUM/AVG exactness and NULL handling are identical to
+// the vectorized and stat-pushdown operators.
 type GroupAggregate struct {
 	Child Operator
 	Keys  []Evaluator
@@ -21,18 +18,6 @@ type GroupAggregate struct {
 	pos int
 }
 
-// aggState accumulates one group.
-type aggState struct {
-	keys    []types.Value
-	counts  []int64
-	sums    []float64
-	intSums []int64
-	intOnly []bool
-	mins    []types.Value
-	maxs    []types.Value
-	order   int // first-seen order for deterministic output
-}
-
 // Open consumes the child and computes all groups.
 func (g *GroupAggregate) Open() error {
 	if err := g.Child.Open(); err != nil {
@@ -40,30 +25,7 @@ func (g *GroupAggregate) Open() error {
 	}
 	defer g.Child.Close()
 
-	groups := make(map[string]*aggState)
-	newState := func(keys []types.Value) *aggState {
-		st := &aggState{
-			keys:    keys,
-			counts:  make([]int64, len(g.Specs)),
-			sums:    make([]float64, len(g.Specs)),
-			intSums: make([]int64, len(g.Specs)),
-			intOnly: make([]bool, len(g.Specs)),
-			mins:    make([]types.Value, len(g.Specs)),
-			maxs:    make([]types.Value, len(g.Specs)),
-			order:   len(groups),
-		}
-		for i := range st.intOnly {
-			st.intOnly[i] = true
-			st.mins[i] = types.Null
-			st.maxs[i] = types.Null
-		}
-		return st
-	}
-
-	// keyScratch and keyBuf are reused for every input row; a fresh key
-	// slice is allocated only when a row opens a new group.
-	keyScratch := make([]types.Value, len(g.Keys))
-	var keyBuf []byte
+	tab := newAggTable(g.Keys, nil, g.Specs, nil, nil)
 	for {
 		row, ok, err := g.Child.Next()
 		if err != nil {
@@ -72,101 +34,16 @@ func (g *GroupAggregate) Open() error {
 		if !ok {
 			break
 		}
-		for i, k := range g.Keys {
-			keyScratch[i], err = k(row)
-			if err != nil {
-				return err
-			}
-		}
-		keyBuf = AppendKey(keyBuf[:0], keyScratch...)
-		st, exists := groups[string(keyBuf)]
-		if !exists {
-			keys := make([]types.Value, len(g.Keys))
-			copy(keys, keyScratch)
-			st = newState(keys)
-			groups[string(keyBuf)] = st
-		}
-		for i, spec := range g.Specs {
-			if spec.Star {
-				st.counts[i]++
-				continue
-			}
-			v, err := spec.Arg(row)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				continue
-			}
-			st.counts[i]++
-			switch spec.Func {
-			case sqlparser.FuncSum, sqlparser.FuncAvg:
-				f, ok := v.AsFloat()
-				if !ok {
-					return fmt.Errorf("exec: %s over non-numeric %s", spec.Func, v.Kind())
-				}
-				st.sums[i] += f
-				if v.Kind() == types.KindInt {
-					st.intSums[i] += v.Int()
-				} else {
-					st.intOnly[i] = false
-				}
-			case sqlparser.FuncMin:
-				if st.mins[i].IsNull() || types.Less(v, st.mins[i]) {
-					st.mins[i] = v
-				}
-			case sqlparser.FuncMax:
-				if st.maxs[i].IsNull() || types.Less(st.maxs[i], v) {
-					st.maxs[i] = v
-				}
-			}
+		if err := tab.observeRow(row); err != nil {
+			return err
 		}
 	}
 
-	// Global aggregation over empty input still yields one row.
-	if len(groups) == 0 && len(g.Keys) == 0 {
-		groups[""] = newState(nil)
+	out, err := tab.emit(len(g.Keys))
+	if err != nil {
+		return err
 	}
-
-	ordered := make([]*aggState, 0, len(groups))
-	for _, st := range groups {
-		ordered = append(ordered, st)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
-
-	g.out = make([][]types.Value, 0, len(ordered))
-	for _, st := range ordered {
-		row := make([]types.Value, 0, len(g.Keys)+len(g.Specs))
-		row = append(row, st.keys...)
-		for i, spec := range g.Specs {
-			switch spec.Func {
-			case sqlparser.FuncCount:
-				row = append(row, types.NewInt(st.counts[i]))
-			case sqlparser.FuncSum:
-				switch {
-				case st.counts[i] == 0:
-					row = append(row, types.Null)
-				case st.intOnly[i]:
-					row = append(row, types.NewInt(st.intSums[i]))
-				default:
-					row = append(row, types.NewFloat(st.sums[i]))
-				}
-			case sqlparser.FuncAvg:
-				if st.counts[i] == 0 {
-					row = append(row, types.Null)
-				} else {
-					row = append(row, types.NewFloat(st.sums[i]/float64(st.counts[i])))
-				}
-			case sqlparser.FuncMin:
-				row = append(row, st.mins[i])
-			case sqlparser.FuncMax:
-				row = append(row, st.maxs[i])
-			default:
-				return fmt.Errorf("exec: unknown aggregate %s", spec.Func)
-			}
-		}
-		g.out = append(g.out, row)
-	}
+	g.out = out
 	g.pos = 0
 	return nil
 }

@@ -506,6 +506,18 @@ func ParallelDegree(op Operator) int {
 		consider(n.Child)
 	case *GroupAggregate:
 		consider(n.Child)
+	case *BatchGroupAggregate:
+		if d := BatchParallelDegree(n.Src); d > max {
+			max = d
+		}
+	case *ParallelGroupAggregate:
+		if d := n.Scan.Degree(); d > max {
+			max = d
+		}
+	case *StatAggScan:
+		if d := n.Degree(); d > max {
+			max = d
+		}
 	case *HashJoin:
 		consider(n.Build, n.Probe)
 	case *NestedLoopJoin:

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"fmt"
 	"sort"
 
 	"trac/internal/sqlparser"
@@ -95,18 +94,7 @@ func (a *Aggregate) Next() ([]types.Value, bool, error) {
 	}
 	a.done = true
 
-	counts := make([]int64, len(a.Specs))
-	sums := make([]float64, len(a.Specs))
-	intSums := make([]int64, len(a.Specs))
-	intOnly := make([]bool, len(a.Specs))
-	mins := make([]types.Value, len(a.Specs))
-	maxs := make([]types.Value, len(a.Specs))
-	for i := range intOnly {
-		intOnly[i] = true
-		mins[i] = types.Null
-		maxs[i] = types.Null
-	}
-
+	tab := newAggTable(nil, nil, a.Specs, nil, nil)
 	for {
 		row, ok, err := a.Child.Next()
 		if err != nil {
@@ -115,71 +103,15 @@ func (a *Aggregate) Next() ([]types.Value, bool, error) {
 		if !ok {
 			break
 		}
-		for i, spec := range a.Specs {
-			if spec.Star {
-				counts[i]++
-				continue
-			}
-			v, err := spec.Arg(row)
-			if err != nil {
-				return nil, false, err
-			}
-			if v.IsNull() {
-				continue // aggregates skip NULLs
-			}
-			counts[i]++
-			switch spec.Func {
-			case sqlparser.FuncSum, sqlparser.FuncAvg:
-				f, ok := v.AsFloat()
-				if !ok {
-					return nil, false, fmt.Errorf("exec: %s over non-numeric %s", spec.Func, v.Kind())
-				}
-				sums[i] += f
-				if v.Kind() == types.KindInt {
-					intSums[i] += v.Int()
-				} else {
-					intOnly[i] = false
-				}
-			case sqlparser.FuncMin:
-				if mins[i].IsNull() || types.Less(v, mins[i]) {
-					mins[i] = v
-				}
-			case sqlparser.FuncMax:
-				if maxs[i].IsNull() || types.Less(maxs[i], v) {
-					maxs[i] = v
-				}
-			}
+		if err := tab.observeRow(row); err != nil {
+			return nil, false, err
 		}
 	}
-
-	out := make([]types.Value, len(a.Specs))
-	for i, spec := range a.Specs {
-		switch spec.Func {
-		case sqlparser.FuncCount:
-			out[i] = types.NewInt(counts[i])
-		case sqlparser.FuncSum:
-			if counts[i] == 0 {
-				out[i] = types.Null
-			} else if intOnly[i] {
-				out[i] = types.NewInt(intSums[i])
-			} else {
-				out[i] = types.NewFloat(sums[i])
-			}
-		case sqlparser.FuncAvg:
-			if counts[i] == 0 {
-				out[i] = types.Null
-			} else {
-				out[i] = types.NewFloat(sums[i] / float64(counts[i]))
-			}
-		case sqlparser.FuncMin:
-			out[i] = mins[i]
-		case sqlparser.FuncMax:
-			out[i] = maxs[i]
-		default:
-			return nil, false, fmt.Errorf("exec: unknown aggregate %s", spec.Func)
-		}
+	rows, err := tab.emit(0)
+	if err != nil {
+		return nil, false, err
 	}
-	return out, true, nil
+	return rows[0], true, nil
 }
 
 // Close closes the child.

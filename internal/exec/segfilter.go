@@ -41,11 +41,14 @@ type SegmentFilter struct {
 	Fused, Total int
 }
 
-// segConjunct is one seg-fused conjunct: an optional zone-map prune check
-// plus a selection-narrowing loop over the column vectors.
+// segConjunct is one seg-fused conjunct: an optional zone-map prune check, a
+// selection-narrowing loop over the column vectors, and an optional coverage
+// check — the dual of prune — deciding from the zone map that EVERY row in
+// the segment satisfies the conjunct (nil when the shape has no such proof).
 type segConjunct struct {
 	prune  func(*storage.Segment) bool
 	narrow func(*storage.Segment, []int) ([]int, error)
+	covers func(*storage.Segment) bool
 }
 
 // CompileSegmentFilter translates a pushed-down scan predicate into a
@@ -96,6 +99,25 @@ func (f *SegmentFilter) Prune(seg *storage.Segment) bool {
 		}
 	}
 	return false
+}
+
+// Covers is the dual of Prune: it proves from the zone maps alone that every
+// row version in the segment satisfies the whole predicate (each fused
+// conjunct is TRUE on every row, and nothing was left to the Rest kernel).
+// Aggregation pushdown uses it to answer a segment from its zone-map stats
+// without materializing a row; coverage requires NullCount == 0 on the
+// tested column, so no row can be UNKNOWN, and each proof only fires after
+// the same successful bound comparisons that make pruning error-exact.
+func (f *SegmentFilter) Covers(seg *storage.Segment) bool {
+	if f.Rest != nil {
+		return false
+	}
+	for _, c := range f.conjs {
+		if c.covers == nil || !c.covers(seg) {
+			return false
+		}
+	}
+	return true
 }
 
 // Narrow runs the fused conjuncts' columnar loops over the selection vector
@@ -204,6 +226,36 @@ func pruneCmpZone(z *storage.ZoneMap, lit types.Value, op sqlparser.CmpOp) bool 
 		return cmpMax >= 0 // lit >= max: nothing above it
 	case sqlparser.CmpGe:
 		return cmpMax > 0
+	}
+	return false
+}
+
+// coverCmpZone decides `col <op> lit` holds for EVERY row from the column's
+// min/max bounds: the dual of pruneCmpZone. NullCount must be zero (a NULL
+// row would be UNKNOWN, not TRUE) and, as for pruning, Ordered plus the
+// successful lit-vs-bound comparisons rule out per-row compare errors.
+func coverCmpZone(z *storage.ZoneMap, segLen int, lit types.Value, op sqlparser.CmpOp) bool {
+	if !z.Ordered || z.Min.IsNull() || z.NullCount > 0 || segLen == 0 {
+		return false
+	}
+	cmpMin, errMin := types.Compare(lit, z.Min)
+	cmpMax, errMax := types.Compare(lit, z.Max)
+	if errMin != nil || errMax != nil {
+		return false
+	}
+	switch op {
+	case sqlparser.CmpEq:
+		return cmpMin == 0 && cmpMax == 0 // bounds pin exactly the literal
+	case sqlparser.CmpNe:
+		return cmpMin < 0 || cmpMax > 0 // literal outside [min,max]
+	case sqlparser.CmpLt:
+		return cmpMax > 0 // lit > max: every row below it
+	case sqlparser.CmpLe:
+		return cmpMax >= 0
+	case sqlparser.CmpGt:
+		return cmpMin < 0 // lit < min: every row above it
+	case sqlparser.CmpGe:
+		return cmpMin <= 0
 	}
 	return false
 }
@@ -340,7 +392,10 @@ func segCmpColLit(layout *Layout, base, tblCols int, cr *sqlparser.ColumnRef, li
 	prune := func(seg *storage.Segment) bool {
 		return pruneCmpZone(&seg.Zones[col], lit, op)
 	}
-	return segConjunct{prune: prune, narrow: narrow}, true
+	covers := func(seg *storage.Segment) bool {
+		return coverCmpZone(&seg.Zones[col], seg.Len(), lit, op)
+	}
+	return segConjunct{prune: prune, narrow: narrow, covers: covers}, true
 }
 
 // segIn seg-fuses `col [NOT] IN (literals...)` with fuseIn's exact
@@ -461,7 +516,37 @@ func segIn(c *compiler, n *sqlparser.In, base, tblCols int) (segConjunct, bool) 
 		}
 		return out, nil
 	}
-	return segConjunct{prune: prune, narrow: narrow}, true
+	// Coverage (non-negated only): with no NULL rows, every row matches when
+	// the tracked distinct-source set is a subset of the probe list (the dual
+	// of the disjointness prune), or when the bounds pin a single value that
+	// is a list member. A matched row is TRUE even with a NULL list item, so
+	// hasNullItem does not weaken the proof.
+	covers := func(seg *storage.Segment) bool {
+		z := &seg.Zones[col]
+		if negated || z.NullCount > 0 || seg.Len() == 0 {
+			return false
+		}
+		if allStrings && z.Sources != nil {
+			for _, src := range z.Sources {
+				if _, ok := set[src]; !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if !z.Ordered || z.Min.IsNull() {
+			return false
+		}
+		for _, v := range vals {
+			cmpMin, errMin := types.Compare(v, z.Min)
+			cmpMax, errMax := types.Compare(v, z.Max)
+			if errMin == nil && errMax == nil && cmpMin == 0 && cmpMax == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return segConjunct{prune: prune, narrow: narrow, covers: covers}, true
 }
 
 // segBetween seg-fuses `col [NOT] BETWEEN lit AND lit` when the bound kinds
@@ -581,7 +666,26 @@ func segBetween(c *compiler, n *sqlparser.Between, base, tblCols int) (segConjun
 		}
 		return loMax > 0 || hiMin < 0
 	}
-	return segConjunct{prune: prune, narrow: narrow}, true
+	// Coverage: no NULL rows, and the zone bounds sit inside the range
+	// (non-negated) or entirely outside it (negated).
+	covers := func(seg *storage.Segment) bool {
+		z := &seg.Zones[col]
+		if !z.Ordered || z.Min.IsNull() || z.NullCount > 0 || seg.Len() == 0 {
+			return false
+		}
+		loMin, e1 := types.Compare(lov, z.Min)
+		hiMax, e2 := types.Compare(hiv, z.Max)
+		loMax, e3 := types.Compare(lov, z.Max)
+		hiMin, e4 := types.Compare(hiv, z.Min)
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			return false
+		}
+		if negated {
+			return loMax > 0 || hiMin < 0
+		}
+		return loMin <= 0 && hiMax >= 0
+	}
+	return segConjunct{prune: prune, narrow: narrow, covers: covers}, true
 }
 
 // segLike seg-fuses `col [NOT] LIKE 'pattern'` over TEXT columns. Only the
@@ -660,5 +764,17 @@ func segIsNull(layout *Layout, n *sqlparser.IsNull, base, tblCols int) (segConju
 		}
 		return z.NullCount == 0
 	}
-	return segConjunct{prune: prune, narrow: narrow}, true
+	// Coverage is exact off the null count alone: IS NULL covers an all-NULL
+	// segment, IS NOT NULL a null-free one.
+	covers := func(seg *storage.Segment) bool {
+		z := &seg.Zones[col]
+		if seg.Len() == 0 {
+			return false
+		}
+		if negated {
+			return z.NullCount == 0
+		}
+		return z.NullCount == seg.Len()
+	}
+	return segConjunct{prune: prune, narrow: narrow, covers: covers}, true
 }

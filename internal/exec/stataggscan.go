@@ -1,0 +1,304 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/txn"
+	"trac/internal/types"
+)
+
+// StatAggScan evaluates a global (no GROUP BY) aggregate directly over a
+// table, answering as much of it as possible from segment zone-map
+// statistics. A sealed segment contributes pure stats — COUNT from
+// Len/NullCount, MIN/MAX from zone bounds, SUM/AVG from the seal-time sums —
+// when three proofs line up:
+//
+//  1. Coverage: the pushed-down predicate provably matches every row in the
+//     segment (SegmentFilter.Covers), or there is no predicate at all.
+//     Predicates whose columnar form keeps a Rest kernel never cover.
+//  2. Statability: every AggSpec reads a bare column whose zone map carries
+//     the needed stat (Ordered bounds for MIN/MAX, seal-time sums for
+//     SUM/AVG; COUNT needs only NullCount).
+//  3. Visibility: every row version in the segment is visible under the
+//     query snapshot. Zone stats summarize all versions regardless of MVCC
+//     visibility, so one in-flight insert or delete in a segment sends that
+//     segment back to the scan path — correctness never depends on stats.
+//
+// Segments failing any proof (and the unsealed tail) are scanned through the
+// same batch kernels as a plain vectorized aggregate — in parallel across
+// Workers when the leftover work spans multiple morsels — and the partial
+// tables merge into the stat-derived state through the overflow-checked
+// accumulators, so integer SUM/AVG remain exact end to end.
+type StatAggScan struct {
+	Table *storage.Table
+	Snap  txn.Snapshot
+	Specs []AggSpec
+	// ArgCols holds the table-column index of each spec's bare-column
+	// argument (-1 only for COUNT(*)); ArgKinds the declared kinds.
+	ArgCols  []int
+	ArgKinds []types.Kind
+	// Kernel/SegFilter are the pushed-down predicate's fused and columnar
+	// forms; both nil when the aggregate has no WHERE clause.
+	Kernel    Kernel
+	SegFilter *SegmentFilter
+	// Workers bounds the parallel degree for leftover scan work; <= 0
+	// selects GOMAXPROCS.
+	Workers int
+	// MorselSize overrides storage.DefaultMorselSize (tests).
+	MorselSize int
+
+	// Classification counters from the last Open, for result surfacing.
+	StatSegments    int
+	ScannedSegments int
+	PrunedSegments  int
+	TailRows        int
+
+	out  []types.Value
+	done bool
+}
+
+// Degree returns the effective worker bound for leftover scan work.
+func (s *StatAggScan) Degree() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// segAllVisible reports whether every row version in rows is visible under
+// the snapshot — the MVCC gate for answering from seal-time stats.
+func segAllVisible(snap txn.Snapshot, rows []*storage.Row) bool {
+	for _, r := range rows {
+		if !snap.Visible(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// statable reports whether every spec can be answered from seg's zone maps.
+func (s *StatAggScan) statable(seg *storage.Segment) bool {
+	for si := range s.Specs {
+		spec := &s.Specs[si]
+		if spec.Star {
+			continue // COUNT(*) needs only the segment length
+		}
+		if s.ArgCols == nil || s.ArgCols[si] < 0 {
+			return false
+		}
+		z := &seg.Zones[s.ArgCols[si]]
+		switch spec.Func {
+		case sqlparser.FuncCount:
+			// NullCount is always recorded.
+		case sqlparser.FuncMin, sqlparser.FuncMax:
+			if !z.Ordered {
+				return false
+			}
+		case sqlparser.FuncSum, sqlparser.FuncAvg:
+			if !z.SumValid {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// covered reports whether the predicate provably matches every row of seg.
+func (s *StatAggScan) covered(seg *storage.Segment) bool {
+	if s.SegFilter != nil {
+		return s.SegFilter.Covers(seg)
+	}
+	return s.Kernel == nil // no predicate at all
+}
+
+// classify splits the snapshot's segments into stat-answerable and
+// must-scan sets. It is called by Open (authoritative) and by the planner
+// for the EXPLAIN note (advisory — the note's snapshot may predate the
+// query's).
+func (s *StatAggScan) classify(heap *storage.HeapSnap) (fold, scan []*storage.Segment, pruned int) {
+	for _, seg := range heap.Segments {
+		if s.SegFilter != nil && s.SegFilter.Prune(seg) {
+			pruned++
+			continue
+		}
+		if s.covered(seg) && s.statable(seg) && segAllVisible(s.Snap, seg.Rows) {
+			fold = append(fold, seg)
+			continue
+		}
+		scan = append(scan, seg)
+	}
+	return fold, scan, pruned
+}
+
+// Classify snapshots the table and reports (statSegments, scannedSegments,
+// prunedSegments, tailRows) without executing the aggregate.
+func (s *StatAggScan) Classify() (int, int, int, int) {
+	heap := s.Table.Snap()
+	fold, scan, pruned := s.classify(heap)
+	return len(fold), len(scan), pruned, len(heap.Tail())
+}
+
+// foldSegment folds one fully-proved segment's zone stats into the global
+// state, mirroring what scanning its visible rows would accumulate.
+func (s *StatAggScan) foldSegment(st *aggState, seg *storage.Segment) {
+	n := seg.Len()
+	for si := range s.Specs {
+		spec := &s.Specs[si]
+		if spec.Star {
+			st.counts[si] += int64(n)
+			continue
+		}
+		z := &seg.Zones[s.ArgCols[si]]
+		nn := int64(n - z.NullCount)
+		st.counts[si] += nn
+		switch spec.Func {
+		case sqlparser.FuncMin:
+			if !z.Min.IsNull() {
+				st.addMin(si, z.Min)
+			}
+		case sqlparser.FuncMax:
+			if !z.Max.IsNull() {
+				st.addMax(si, z.Max)
+			}
+		case sqlparser.FuncSum, sqlparser.FuncAvg:
+			if nn > 0 {
+				if z.SumIntExact {
+					st.addSumExactInt(si, z.SumInt)
+				} else {
+					st.addSumFloat(si, z.Sum)
+				}
+			}
+		}
+	}
+}
+
+// Open classifies the snapshot, folds stats, scans the remainder, and
+// finalizes the single output row.
+func (s *StatAggScan) Open() error {
+	s.done = false
+	heap := s.Table.Snap()
+	fold, scan, pruned := s.classify(heap)
+	tail := heap.Tail()
+	s.StatSegments, s.ScannedSegments, s.PrunedSegments, s.TailRows =
+		len(fold), len(scan), pruned, len(tail)
+
+	tab := newAggTable(nil, nil, s.Specs, s.ArgCols, s.ArgKinds)
+	st := tab.globalState()
+	for _, seg := range fold {
+		s.foldSegment(st, seg)
+	}
+
+	// Leftover units: uncovered segments plus tail runs.
+	ms := s.MorselSize
+	if ms <= 0 {
+		ms = storage.DefaultMorselSize
+	}
+	units := make([]storage.Morsel, 0, len(scan)+(len(tail)+ms-1)/ms)
+	for _, seg := range scan {
+		units = append(units, storage.Morsel{Seg: seg, Rows: seg.Rows})
+	}
+	for start := 0; start < len(tail); start += ms {
+		end := start + ms
+		if end > len(tail) {
+			end = len(tail)
+		}
+		units = append(units, storage.Morsel{Rows: tail[start:end]})
+	}
+
+	if len(units) > 0 {
+		if err := s.scanUnits(tab, units); err != nil {
+			return err
+		}
+	}
+
+	rows, err := tab.emit(0)
+	if err != nil {
+		return err
+	}
+	s.out = rows[0]
+	return nil
+}
+
+// scanUnits aggregates the morsels stats could not answer, in parallel when
+// the leftover work spans multiple units.
+func (s *StatAggScan) scanUnits(tab *aggTable, units []storage.Morsel) error {
+	src := storage.NewMorsels(units)
+	width := s.Table.Schema.NumColumns()
+	workers := s.Degree()
+	if workers > len(units) {
+		workers = len(units)
+	}
+	newScan := func() *batchMorselScan {
+		return &batchMorselScan{
+			src: src, table: s.Table, snap: s.Snap, kernel: s.Kernel,
+			segf: s.SegFilter, offset: 0, width: width, alias: true,
+		}
+	}
+	drain := func(op BatchOperator, t *aggTable) error {
+		if err := op.Open(); err != nil {
+			return err
+		}
+		defer op.Close()
+		for {
+			b, err := op.NextBatch()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				return nil
+			}
+			err = t.observeBatch(b)
+			PutBatch(b)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if workers <= 1 {
+		return drain(newScan(), tab)
+	}
+	tabs := make([]*aggTable, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t := newAggTable(nil, nil, s.Specs, s.ArgCols, s.ArgKinds)
+			tabs[i] = t
+			errs[i] = drain(newScan(), t)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, t := range tabs {
+		if err := tab.mergeTable(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next emits the single aggregate row.
+func (s *StatAggScan) Next() ([]types.Value, bool, error) {
+	if s.done {
+		return nil, false, nil
+	}
+	s.done = true
+	return s.out, true, nil
+}
+
+// Close releases state.
+func (s *StatAggScan) Close() error {
+	s.out = nil
+	return nil
+}

@@ -16,9 +16,13 @@ import (
 // via a compile hook that maps GROUP BY expressions and aggregate calls to
 // intermediate positions; a bare column that is neither grouped nor inside
 // an aggregate is rejected, per SQL semantics.
-func (p *Planner) finishGrouped(sel *sqlparser.SelectStmt, input exec.Operator, layout *exec.Layout, items []sqlparser.Expr) (exec.Operator, error) {
+func (p *Planner) finishGrouped(sel *sqlparser.SelectStmt, input exec.Operator, layout *exec.Layout, items []sqlparser.Expr, notes *[]string) (exec.Operator, error) {
 	// Group keys: evaluator over base rows + canonical text for matching.
+	// A bare-column key additionally records its tuple offset (keyCols) so
+	// the batch aggregation path reads it straight out of the selection
+	// vector instead of through the evaluator.
 	keyEvals := make([]exec.Evaluator, len(sel.GroupBy))
+	keyCols := make([]int, len(sel.GroupBy))
 	keySQL := make([]string, len(sel.GroupBy))
 	for i, g := range sel.GroupBy {
 		// A bare alias in GROUP BY resolves to its select-list expression.
@@ -36,6 +40,12 @@ func (p *Planner) finishGrouped(sel *sqlparser.SelectStmt, input exec.Operator, 
 			return nil, err
 		}
 		keyEvals[i] = ev
+		keyCols[i] = -1
+		if cr, ok := ge.(*sqlparser.ColumnRef); ok {
+			if off, err := layout.Resolve(cr.Table, cr.Column); err == nil {
+				keyCols[i] = off
+			}
+		}
 		keySQL[i] = ge.SQL()
 	}
 
@@ -43,6 +53,11 @@ func (p *Planner) finishGrouped(sel *sqlparser.SelectStmt, input exec.Operator, 
 	// ORDER BY; identical calls share one accumulator.
 	var specs []exec.AggSpec
 	var specSQL []string
+	// argCols/argKinds parallel specs: a bare-column aggregate argument
+	// records its tuple offset and declared kind, enabling the typed batch
+	// kernels and zone-map stat pushdown; -1 keeps the evaluator path.
+	var argCols []int
+	var argKinds []types.Kind
 	addSpec := func(fc *sqlparser.FuncCall) (int, error) {
 		key := fc.SQL()
 		for i, s := range specSQL {
@@ -51,15 +66,26 @@ func (p *Planner) finishGrouped(sel *sqlparser.SelectStmt, input exec.Operator, 
 			}
 		}
 		spec := exec.AggSpec{Func: fc.Name, Star: fc.Star}
+		col, kind := -1, types.KindNull
 		if !fc.Star {
 			arg, err := exec.Compile(fc.Arg, layout)
 			if err != nil {
 				return 0, err
 			}
 			spec.Arg = arg
+			if cr, ok := fc.Arg.(*sqlparser.ColumnRef); ok {
+				if off, err := layout.Resolve(cr.Table, cr.Column); err == nil {
+					col = off
+					if c, err := layout.ColumnAt(off); err == nil {
+						kind = c.Kind
+					}
+				}
+			}
 		}
 		specs = append(specs, spec)
 		specSQL = append(specSQL, key)
+		argCols = append(argCols, col)
+		argKinds = append(argKinds, kind)
 		return len(specs) - 1, nil
 	}
 
@@ -140,7 +166,7 @@ func (p *Planner) finishGrouped(sel *sqlparser.SelectStmt, input exec.Operator, 
 		sortKeys = append(sortKeys, exec.SortKey{Expr: ev, Desc: o.Desc})
 	}
 
-	var root exec.Operator = &exec.GroupAggregate{Child: input, Keys: keyEvals, Specs: specs}
+	root := p.buildAggRoot(input, keyEvals, keyCols, specs, argCols, argKinds, notes)
 	if having != nil {
 		root = &exec.Filter{Child: root, Pred: having}
 	}
@@ -148,4 +174,81 @@ func (p *Planner) finishGrouped(sel *sqlparser.SelectStmt, input exec.Operator, 
 		root = &exec.Sort{Child: root, Keys: sortKeys}
 	}
 	return &exec.Project{Child: root, Exprs: itemEvals}, nil
+}
+
+// buildAggRoot picks the physical aggregation operator. Preference order:
+// zone-map stat pushdown (global aggregates over a bare scan), morsel-
+// parallel partial aggregation (input is a parallel scan), vectorized hash
+// aggregation (input bridges to a batch pipeline), then the row operator.
+// All four produce identical results; only the amount of data touched and
+// the degree of parallelism differ.
+func (p *Planner) buildAggRoot(input exec.Operator, keyEvals []exec.Evaluator, keyCols []int, specs []exec.AggSpec, argCols []int, argKinds []types.Kind, notes *[]string) exec.Operator {
+	if p.DisableVectorized {
+		return &exec.GroupAggregate{Child: input, Keys: keyEvals, Specs: specs}
+	}
+	if len(keyEvals) == 0 && !p.DisableStatPushdown {
+		if op := p.tryStatAgg(input, specs, argCols, argKinds, notes); op != nil {
+			return op
+		}
+	}
+	if ps, ok := input.(*exec.ParallelScan); ok && ps.Degree() > 1 {
+		*notes = append(*notes, fmt.Sprintf("parallel partial aggregation (%d workers)", ps.Degree()))
+		return &exec.ParallelGroupAggregate{
+			Scan: ps, Keys: keyEvals, KeyCols: keyCols,
+			Specs: specs, ArgCols: argCols, ArgKinds: argKinds,
+		}
+	}
+	if src, ok := exec.AsBatch(input); ok {
+		*notes = append(*notes, "vectorized hash aggregation")
+		return &exec.BatchGroupAggregate{
+			Src: src, Keys: keyEvals, KeyCols: keyCols,
+			Specs: specs, ArgCols: argCols, ArgKinds: argKinds,
+		}
+	}
+	return &exec.GroupAggregate{Child: input, Keys: keyEvals, Specs: specs}
+}
+
+// tryStatAgg recognizes a global aggregate over a bare table scan — the
+// shape where zone-map stats can replace data access — and builds a
+// StatAggScan for it, or returns nil when the plan or the specs disqualify.
+// Every spec must be COUNT(*)/COUNT/MIN/MAX/SUM/AVG over a bare column, and
+// the input must be an unjoined full-width scan whose predicate (if any)
+// lives entirely in the pushed-down kernel + columnar filter.
+func (p *Planner) tryStatAgg(input exec.Operator, specs []exec.AggSpec, argCols []int, argKinds []types.Kind, notes *[]string) exec.Operator {
+	for si := range specs {
+		switch specs[si].Func {
+		case sqlparser.FuncCount, sqlparser.FuncMin, sqlparser.FuncMax,
+			sqlparser.FuncSum, sqlparser.FuncAvg:
+		default:
+			return nil
+		}
+		if !specs[si].Star && argCols[si] < 0 {
+			return nil
+		}
+	}
+	op := &exec.StatAggScan{Specs: specs, ArgCols: argCols, ArgKinds: argKinds}
+	switch n := input.(type) {
+	case *exec.ParallelScan:
+		if n.Filter != nil || n.Offset != 0 || n.Width != n.Table.Schema.NumColumns() {
+			return nil
+		}
+		op.Table, op.Snap = n.Table, n.Snap
+		op.Kernel, op.SegFilter = n.Kernel, n.SegFilter
+		op.Workers, op.MorselSize = n.Degree(), n.MorselSize
+	case *exec.RowFromBatch:
+		bs, ok := n.Src.(*exec.BatchScan)
+		if !ok || bs.Offset != 0 || bs.Width != bs.Table.Schema.NumColumns() {
+			return nil
+		}
+		op.Table, op.Snap = bs.Table, bs.Snap
+		op.Kernel, op.SegFilter = bs.Kernel, bs.SegFilter
+		op.Workers = 1
+	default:
+		return nil
+	}
+	statSegs, scanSegs, pruned, tailRows := op.Classify()
+	*notes = append(*notes, fmt.Sprintf(
+		"agg: %d segments answered from stats, %d scanned, %d pruned, tail %d rows",
+		statSegs, scanSegs, pruned, tailRows))
+	return op
 }

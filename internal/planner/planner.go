@@ -36,8 +36,13 @@ type Planner struct {
 	MaxParallel int
 	// DisableVectorized forces tuple-at-a-time plans (equivalence testing
 	// and ablation benchmarks). The default is batch-at-a-time pipelines
-	// for heap scans, filters, projections, and hash-join probes.
+	// for heap scans, filters, projections, hash-join probes, and hash
+	// aggregation.
 	DisableVectorized bool
+	// DisableStatPushdown keeps global aggregates on the scan path instead
+	// of answering fully-covered segments from zone-map stats (equivalence
+	// testing and ablation benchmarks).
+	DisableStatPushdown bool
 }
 
 // New returns a planner over the catalog.
@@ -314,7 +319,7 @@ func (p *Planner) planBlock(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Plan
 	if hasAgg || len(sel.GroupBy) > 0 || sel.Having != nil {
 		// Aggregation never retains its input rows.
 		markScanReuse(root)
-		root, err = p.finishGrouped(sel, root, layout, items)
+		root, err = p.finishGrouped(sel, root, layout, items, &notes)
 		if err != nil {
 			return nil, err
 		}

@@ -63,6 +63,17 @@ func (h *HeapSnap) Morsels(size int) *Morsels {
 	return &Morsels{units: makeUnits(h, size), rows: h.Len()}
 }
 
+// NewMorsels wraps an explicit unit list in a claimable morsel source, for
+// callers that scan a subset of a snapshot — e.g. the segments and tail runs
+// a stat-pushdown aggregate could not answer from zone maps.
+func NewMorsels(units []Morsel) *Morsels {
+	rows := 0
+	for _, u := range units {
+		rows += len(u.Rows)
+	}
+	return &Morsels{units: units, rows: rows}
+}
+
 // Claim hands out the next unclaimed morsel, or ok=false when the heap
 // snapshot is exhausted. Safe for concurrent use.
 func (m *Morsels) Claim() (Morsel, bool) {

@@ -78,6 +78,20 @@ type ZoneMap struct {
 	// nil means untracked. It gives exact membership pruning for the
 	// source-probing predicates user queries and generated recency arms share.
 	Sources []string
+	// SumValid reports that the column's non-null sum was recorded at seal
+	// time: the column is pure INT or DOUBLE. Together with NullCount (the
+	// per-column non-null count is Len()-NullCount) it lets aggregation
+	// answer COUNT/SUM/AVG over a fully-covered segment without touching the
+	// vectors.
+	SumValid bool
+	// Sum is the float64 sum of the non-null values (valid iff SumValid).
+	Sum float64
+	// SumInt is the exact int64 sum of a pure INT column; SumIntExact is
+	// false (and SumInt meaningless) when the sum overflowed int64, in which
+	// case consumers fall back to the float Sum — the same explicit
+	// int-overflow fallback the aggregate accumulators use.
+	SumInt      int64
+	SumIntExact bool
 }
 
 // HasSource reports whether the tracked source set contains s. Only
@@ -111,6 +125,7 @@ func sealSegment(rows []*Row, schema *Schema) *Segment {
 	}
 	for ci := range seg.Cols {
 		buildCol(rows, ci, schema.Columns[ci].Kind, &seg.Cols[ci], &seg.Zones[ci])
+		zoneSums(&seg.Cols[ci], &seg.Zones[ci], n)
 	}
 	if sc := schema.SourceColumn; sc >= 0 && schema.Columns[sc].Kind == types.KindString {
 		seg.Zones[sc].Sources = distinctSources(&seg.Cols[sc], n)
@@ -185,6 +200,42 @@ func buildCol(rows []*Row, ci int, kind types.Kind, col *ColVec, zone *ZoneMap) 
 		}
 		if cmp, err := types.Compare(v, zone.Max); err == nil && cmp > 0 {
 			zone.Max = v
+		}
+	}
+}
+
+// zoneSums records the per-column aggregate stats (float sum; exact int sum
+// with overflow tracking) for pure numeric columns. Impure or non-numeric
+// columns keep SumValid false, so SUM/AVG pushdown scans them and the row
+// path's kind errors (e.g. SUM over TEXT) surface identically.
+func zoneSums(col *ColVec, zone *ZoneMap, n int) {
+	if !col.Pure {
+		return
+	}
+	switch col.Kind {
+	case types.KindInt:
+		zone.SumValid, zone.SumIntExact = true, true
+		for i := 0; i < n; i++ {
+			if col.Nulls[i] {
+				continue
+			}
+			v := col.I64[i]
+			zone.Sum += float64(v)
+			if zone.SumIntExact {
+				s := zone.SumInt + v
+				if (v > 0 && s < zone.SumInt) || (v < 0 && s > zone.SumInt) {
+					zone.SumIntExact, zone.SumInt = false, 0
+				} else {
+					zone.SumInt = s
+				}
+			}
+		}
+	case types.KindFloat:
+		zone.SumValid = true
+		for i := 0; i < n; i++ {
+			if !col.Nulls[i] {
+				zone.Sum += col.F64[i]
+			}
 		}
 	}
 }

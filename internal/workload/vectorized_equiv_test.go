@@ -61,7 +61,35 @@ func equivCorpus(t *testing.T, db *engine.DB) []string {
 		`SELECT id FROM NullProbe WHERE name = 'idle' OR score > 0.45`,
 		`SELECT n.id, a.value FROM NullProbe n, Activity a WHERE n.name = a.value AND a.mach_id = 'Tao1'`,
 	)
+	corpus = append(corpus, groupByCorpus...)
 	return corpus
+}
+
+// groupByCorpus exercises the aggregation pipeline across global and grouped
+// shapes: COUNT(*) vs COUNT(col) NULL semantics, MIN/MAX ignoring NULLs,
+// stat-pushdown-eligible global aggregates (bare scans with and without
+// covering/pruning predicates), grouped aggregation over every operator
+// (row, vectorized hash, morsel-parallel partial merge), HAVING, and
+// aggregate-only ORDER BY. SUM/AVG appear only over INT columns: integer
+// accumulation is exact and order-independent, so parallel partial merge and
+// zone-stat folding cannot perturb the cross-mode comparison (float sums are
+// inherently accumulation-order-sensitive).
+var groupByCorpus = []string{
+	`SELECT COUNT(*) FROM Activity`,
+	`SELECT COUNT(*), MIN(mach_id), MAX(mach_id), MIN(event_time), MAX(event_time) FROM Activity`,
+	`SELECT COUNT(*) FROM Activity WHERE value = 'idle'`,
+	`SELECT COUNT(*), MAX(event_time) FROM Activity WHERE mach_id <> 'no-such-machine'`,
+	`SELECT COUNT(*), COUNT(name), COUNT(score), SUM(id), AVG(id), MIN(id), MAX(id) FROM NullProbe`,
+	`SELECT MIN(name), MAX(name), MIN(score), MAX(score) FROM NullProbe`,
+	`SELECT COUNT(*) FROM NullProbe WHERE name IS NULL`,
+	`SELECT COUNT(score) FROM NullProbe WHERE score IS NULL`,
+	`SELECT value, COUNT(*), MIN(event_time), MAX(event_time) FROM Activity GROUP BY value ORDER BY value`,
+	`SELECT mach_id, COUNT(*) FROM Activity GROUP BY mach_id ORDER BY mach_id LIMIT 10`,
+	`SELECT name, COUNT(*), COUNT(score), SUM(id), AVG(id), MIN(id), MAX(id) FROM NullProbe GROUP BY name ORDER BY name`,
+	`SELECT value, COUNT(*) FROM Activity WHERE mach_id LIKE 'src-%' GROUP BY value ORDER BY value`,
+	`SELECT mach_id, COUNT(*) FROM Activity GROUP BY mach_id HAVING COUNT(*) > 2 ORDER BY mach_id LIMIT 5`,
+	`SELECT SUM(id * 2), AVG(id + 1) FROM NullProbe`,
+	`SELECT name, SUM(id + 1), MIN(id * 2) FROM NullProbe GROUP BY name ORDER BY name`,
 }
 
 func addNullProbe(t *testing.T, db *engine.DB) {
@@ -90,20 +118,26 @@ func rowSet(res *engine.Result) []string {
 }
 
 // runEquivModes runs every corpus query under tuple-at-a-time plans
-// (DisableVectorized), vectorized plans, and both forced onto the parallel
-// morsel-driven path, asserting the four result multisets are identical.
+// (DisableVectorized), vectorized plans, both forced onto the parallel
+// morsel-driven path, and the vectorized variants again with zone-map stat
+// pushdown disabled, asserting all result multisets are identical. The
+// nopushdown modes pin down that answering global aggregates from segment
+// stats returns exactly what scanning the same segments would have.
 func runEquivModes(t *testing.T, db *engine.DB, corpus []string) {
 	t.Helper()
 	type mode struct {
-		name              string
-		disableVectorized bool
-		parallelThreshold int
-		maxParallel       int
+		name                string
+		disableVectorized   bool
+		disableStatPushdown bool
+		parallelThreshold   int
+		maxParallel         int
 	}
 	modes := []mode{
 		{name: "row", disableVectorized: true},
 		{name: "vectorized"},
+		{name: "vectorized-nopushdown", disableStatPushdown: true},
 		{name: "vectorized-parallel", parallelThreshold: 50, maxParallel: 4},
+		{name: "vectorized-parallel-nopushdown", disableStatPushdown: true, parallelThreshold: 50, maxParallel: 4},
 		{name: "row-parallel", disableVectorized: true, parallelThreshold: 50, maxParallel: 4},
 	}
 
@@ -113,6 +147,7 @@ func runEquivModes(t *testing.T, db *engine.DB, corpus []string) {
 		for _, m := range modes {
 			pl := db.Planner()
 			pl.DisableVectorized = m.disableVectorized
+			pl.DisableStatPushdown = m.disableStatPushdown
 			pl.ParallelThreshold = m.parallelThreshold
 			pl.MaxParallel = m.maxParallel
 			res, err := db.Query(sql)
@@ -137,6 +172,7 @@ func runEquivModes(t *testing.T, db *engine.DB, corpus []string) {
 		}
 		pl := db.Planner()
 		pl.DisableVectorized = false
+		pl.DisableStatPushdown = false
 		pl.ParallelThreshold = 0
 		pl.MaxParallel = 0
 	}
@@ -191,4 +227,91 @@ func TestMixedSealedUnsealedEquivalence(t *testing.T) {
 			act.NumSegments(), act.SealedRows(), act.NumVersions())
 	}
 	runEquivModes(t, db, equivCorpus(t, db))
+}
+
+// TestAggregateRacingAppends aggregates a sealed-plus-tail heap while a
+// background writer keeps appending rows, cycling through every planner mode
+// (row, vectorized with and without stat pushdown, parallel). Each snapshot
+// must be internally consistent: COUNT(*) equals COUNT(mach_id) (the column
+// is never NULL), and counts never move backwards across queries. Run under
+// -race this also checks the stat-fold path reads zone maps and tails safely
+// against concurrent inserts and seals.
+func TestAggregateRacingAppends(t *testing.T) {
+	db, err := workload.Build(workload.Spec{TotalRows: 1000, DataSources: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := db.Catalog().Get("Activity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small threshold so the writer keeps pushing the tail over the seal
+	// boundary mid-test: aggregates race against both appends and seals.
+	act.SetSealThreshold(200)
+	db.SealAll()
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := db.Exec(fmt.Sprintf(
+				`INSERT INTO Activity VALUES ('race-%03d', 'busy', '2006-03-15 00:02:00')`, i%50)); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	type mode struct {
+		disableVectorized   bool
+		disableStatPushdown bool
+		parallelThreshold   int
+		maxParallel         int
+	}
+	modes := []mode{
+		{disableVectorized: true},
+		{},
+		{disableStatPushdown: true},
+		{parallelThreshold: 50, maxParallel: 4},
+	}
+	var lastCount int64
+	for iter := 0; iter < 40; iter++ {
+		m := modes[iter%len(modes)]
+		pl := db.Planner()
+		pl.DisableVectorized = m.disableVectorized
+		pl.DisableStatPushdown = m.disableStatPushdown
+		pl.ParallelThreshold = m.parallelThreshold
+		pl.MaxParallel = m.maxParallel
+		res, err := db.Query(`SELECT COUNT(*), COUNT(mach_id) FROM Activity`)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("iter %d: got %d rows", iter, len(res.Rows))
+		}
+		star, col := res.Rows[0][0].Int(), res.Rows[0][1].Int()
+		if star != col {
+			t.Fatalf("iter %d: COUNT(*)=%d but COUNT(mach_id)=%d", iter, star, col)
+		}
+		if star < lastCount {
+			t.Fatalf("iter %d: count went backwards %d -> %d", iter, lastCount, star)
+		}
+		lastCount = star
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+
+	pl := db.Planner()
+	pl.DisableVectorized = false
+	pl.DisableStatPushdown = false
+	pl.ParallelThreshold = 0
+	pl.MaxParallel = 0
 }
