@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check chaos bench bench-smoke bench-parallel
+.PHONY: build test lint check chaos crash bench bench-smoke bench-parallel
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,20 @@ lint:
 	$(GO) run ./cmd/tracvet ./...
 
 # check is the CI gate: lint everything, run the concurrency-sensitive
-# packages (parallel scan, plan cache, MVCC) under the race detector, then
-# smoke every benchmark so bench-only code paths cannot rot unnoticed.
-check: lint bench-smoke
+# packages (parallel scan, plan cache, MVCC) under the race detector, run
+# the crash-injection recovery sweeps, then smoke every benchmark so
+# bench-only code paths cannot rot unnoticed.
+check: lint bench-smoke crash
 	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/txn/...
+
+# crash kills the storage stack at every mutating filesystem operation and
+# asserts the reopened database is a consistent cut: the engine sweep covers
+# WAL append/fsync, segment spill, dump and manifest writes across repeated
+# checkpoints; the sniffer sweep covers a full ingestion fleet recovering
+# exactly-once against a never-crashed reference.
+crash:
+	$(GO) test -race -count=1 -run 'TestCrashRecoverySweep' ./internal/engine/
+	$(GO) test -race -count=1 -run 'TestFleetCrashRecoveryExactlyOnce' ./internal/sniffer/
 
 # bench-smoke runs every Go benchmark exactly once — not for numbers, just
 # to prove the benchmark harnesses still build, run, and cross-check.
@@ -42,6 +52,7 @@ bench:
 	$(GO) run ./cmd/tracbench -execbench -total 200000 -iterations 11 -o BENCH_exec.json
 	$(GO) run ./cmd/tracbench -storagebench -total 200000 -iterations 11 -storage-o BENCH_storage.json
 	$(GO) run ./cmd/tracbench -aggbench -total 200000 -iterations 11 -agg-o BENCH_agg.json
+	$(GO) run ./cmd/tracbench -recoverybench -total 200000 -iterations 5 -recovery-o BENCH_recovery.json
 
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkParallelScan|BenchmarkPreparedReportCached' -benchtime 3x .

@@ -6,6 +6,7 @@
 //	tracbench -execbench           # vectorized-vs-row executor microbench
 //	tracbench -storagebench        # columnar-segment-vs-row storage microbench
 //	tracbench -aggbench            # aggregation pushdown/parallelism microbench
+//	tracbench -recoverybench       # durable-directory recovery microbench
 //	tracbench -all                 # everything
 //
 // The sweep defaults to 1,000,000 Activity rows (the paper used 10,000,000
@@ -40,6 +41,9 @@ func main() {
 	segSize := flag.Int("segment-size", 0, "segment size for -storagebench/-aggbench (0 = storage default)")
 	aggbench := flag.Bool("aggbench", false, "run the aggregation pushdown/parallelism microbenchmarks")
 	aggOut := flag.String("agg-o", "BENCH_agg.json", "output path for the -aggbench report")
+	recoverybench := flag.Bool("recoverybench", false, "run the durable-directory recovery microbenchmarks")
+	recoveryOut := flag.String("recovery-o", "BENCH_recovery.json", "output path for the -recoverybench report")
+	tailRows := flag.Int("tail-rows", 0, "post-checkpoint WAL tail rows for -recoverybench (0 = total/100)")
 	flag.Parse()
 
 	if *all {
@@ -48,8 +52,9 @@ func main() {
 		*execbench = true
 		*storagebench = true
 		*aggbench = true
+		*recoverybench = true
 	}
-	if *figure == 0 && !*fpr && !*execbench && !*storagebench && !*aggbench {
+	if *figure == 0 && !*fpr && !*execbench && !*storagebench && !*aggbench && !*recoverybench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -164,6 +169,30 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *aggOut)
+		}
+	}
+
+	if *recoverybench {
+		progress := func(string) {}
+		if !*quiet {
+			progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		report, err := benchharness.RunRecoveryBench(*total, *tailRows, *iters, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recoverybench failed:", err)
+			os.Exit(1)
+		}
+		out, err := benchharness.MarshalRecoveryBench(report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recoverybench marshal failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*recoveryOut, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "recoverybench write failed:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *recoveryOut)
 		}
 	}
 

@@ -7,6 +7,7 @@
 //	errwrap        sentinel comparisons use errors.Is; fmt.Errorf wraps with %w
 //	ctxloop        retry/poll loops are cancelable
 //	nakedgoroutine goroutines recover or route failures to an owner
+//	synccheck      Close/Sync errors on writable files are checked (durability)
 //
 // Usage:
 //
@@ -37,6 +38,7 @@ var allAnalyzers = []*Analyzer{
 	errwrapAnalyzer,
 	ctxloopAnalyzer,
 	nakedgoroutineAnalyzer,
+	synccheckAnalyzer,
 }
 
 func main() {

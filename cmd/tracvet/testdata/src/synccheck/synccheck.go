@@ -1,0 +1,114 @@
+// Package synccheck exercises the durability discipline: Close/Sync error
+// results on writable files must be checked (or explicitly discarded).
+package synccheck
+
+import "os"
+
+// File mirrors the shape of crashfs.File: writable, syncable, closable.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS mirrors a crashfs.FS-style opener.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+}
+
+func BadCloseCreated(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	f.Close() // want "Close error discarded"
+	return nil
+}
+
+func BadSyncParam(f *os.File) {
+	f.Sync() // want "Sync error discarded"
+}
+
+func BadCloseInterface(f File) {
+	f.Close() // want "Close error discarded"
+}
+
+func BadCloseWriteOpenFile(fsys FS, path string) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return
+	}
+	f.Close() // want "Close error discarded"
+}
+
+func BadCloseChained() {
+	mustCreate().Close() // want "Close error discarded"
+}
+
+func mustCreate() *os.File {
+	f, err := os.Create("x")
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// GoodChecked propagates both errors — the whole point.
+func GoodChecked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// GoodDefer: deferred closes have no error channel; the write path is
+// expected to do a checked Sync/Close before returning.
+func GoodDefer(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// GoodReadOnlyOpen: closing a read handle cannot lose data.
+func GoodReadOnlyOpen(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	if _, err := f.Read(buf); err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+
+// GoodReadOnlyOpenFile: O_RDONLY via OpenFile, including through an
+// interface opener.
+func GoodReadOnlyOpenFile(fsys FS, path string) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return
+	}
+	f.Close()
+}
+
+// GoodExplicitDiscard: the blank assignment is the documented escape hatch.
+func GoodExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+// GoodNotAFile: Close without Sync (a DB handle, a listener) is out of
+// scope — other tooling owns those.
+func GoodNotAFile(c interface{ Close() error }) {
+	c.Close()
+}

@@ -94,6 +94,7 @@ func TestLockcheckGolden(t *testing.T)      { runGolden(t, "lockcheck") }
 func TestErrwrapGolden(t *testing.T)        { runGolden(t, "errwrap") }
 func TestCtxloopGolden(t *testing.T)        { runGolden(t, "ctxloop") }
 func TestNakedgoroutineGolden(t *testing.T) { runGolden(t, "nakedgoroutine") }
+func TestSynccheckGolden(t *testing.T)      { runGolden(t, "synccheck") }
 
 // TestSuppressions: a justified //tracvet:ignore silences its finding and is
 // reported in the suppressed set; malformed or unknown ones are findings of

@@ -1,8 +1,9 @@
 // Command durability demonstrates the operational side of running TRAC as
-// a long-lived monitoring store: a write-ahead log capturing every loader
-// batch atomically, a checkpoint bounding recovery time, and a simulated
-// crash after which the recovered database answers the same recency-
-// reported queries — including the source that died before the crash.
+// a long-lived monitoring store: a database directory whose write-ahead log
+// captures every loader batch atomically, an atomic checkpoint that spills
+// sealed history into checksummed segment files and bounds recovery time,
+// and a simulated crash after which a single OpenDir call recovers the
+// exact monitoring state — including the source that died before the crash.
 package main
 
 import (
@@ -22,12 +23,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	walPath := filepath.Join(dir, "monitor.wal")
-	dumpPath := filepath.Join(dir, "monitor.dump")
+	dbDir := filepath.Join(dir, "monitor")
 
-	// ---- First life: run the monitoring pipeline with a WAL attached.
-	db := trac.Open()
-	if err := db.AttachWAL(walPath); err != nil {
+	// ---- First life: open the database directory. Everything below it —
+	// WAL, checkpoint dumps, segment files, the MANIFEST naming the live
+	// epoch — is managed by the engine.
+	db, err := trac.OpenDir(dbDir)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if err := sniffer.InstallSchema(db.Engine()); err != nil {
@@ -58,14 +60,17 @@ func main() {
 	run(40)
 	fmt.Println("phase 1: 40 ticks of grid activity logged through the WAL")
 
-	// Checkpoint: dump + truncate. Recovery cost is now bounded by what
+	// Checkpoint: sealed history spills to checksummed segment files, the
+	// catalog and row tails go to a CRC-framed dump, and a new MANIFEST
+	// commits the epoch atomically. Recovery cost is now bounded by what
 	// comes after this point.
-	if err := db.Checkpoint(dumpPath); err != nil {
+	if err := db.CheckpointDir(); err != nil {
 		log.Fatal(err)
 	}
-	fi, _ := os.Stat(walPath)
-	fmt.Printf("phase 2: checkpoint written (%s), WAL truncated to %d bytes\n",
-		filepath.Base(dumpPath), fi.Size())
+	epoch := db.Engine().Epoch()
+	fi, _ := os.Stat(filepath.Join(dbDir, fmt.Sprintf("wal.%d.log", epoch)))
+	fmt.Printf("phase 2: checkpoint committed (epoch %d), fresh WAL is %d bytes\n",
+		epoch, fi.Size())
 
 	// More activity after the checkpoint; machine Tao4 dies midway.
 	if err := sim.Fail("Tao4"); err != nil {
@@ -78,21 +83,17 @@ func main() {
 	fmt.Printf("pre-crash:  %s\n", before)
 
 	// ---- Crash. No clean shutdown: we simply abandon the old process
-	// state. Recovery = load the checkpoint, replay the WAL tail.
-	db.DetachWAL() // release the file handle (the "crash" for our purposes)
+	// state. Recovery = one OpenDir: read the MANIFEST, load the dump,
+	// register segment files (verified here against their checksums), and
+	// replay the WAL tail. Source-column and check metadata ride in the
+	// dump, so nothing needs re-installing by hand.
+	_ = db.Close() // release the file handle (the "crash" for our purposes)
 
-	recovered, err := trac.OpenFile(dumpPath)
+	recovered, err := trac.OpenDir(dbDir, trac.WithVerify())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := recovered.AttachWAL(walPath); err != nil {
-		log.Fatal(err)
-	}
-	defer recovered.DetachWAL()
-	// Source-column/domain metadata is API-level; re-apply after recovery.
-	if err := sniffer.InstallMetadata(recovered.Engine()); err != nil {
-		log.Fatal(err)
-	}
+	defer recovered.Close()
 
 	after := askStatus(recovered)
 	fmt.Printf("post-crash: %s\n", after)

@@ -1,0 +1,222 @@
+// Recovery microbenchmarks: how long does it take to reopen a durable
+// database directory? The crash-safe storage layer's claim is that recovery
+// is O(catalog + WAL tail), not O(data): a checkpointed directory loads the
+// dump's schemas and tail rows, registers spilled segment files lazily, and
+// replays only the post-checkpoint WAL — while a WAL-only directory must
+// re-execute every statement ever committed. `tracbench -recoverybench`
+// emits the comparison as BENCH_recovery.json.
+package benchharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"trac/internal/engine"
+)
+
+// RecoveryBenchResult is one measured recovery scenario.
+type RecoveryBenchResult struct {
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`      // rows visible after recovery
+	TailRows    int     `json:"tail_rows"` // rows recovered from the WAL tail
+	WALBytes    int64   `json:"wal_bytes"`
+	DumpBytes   int64   `json:"dump_bytes"`
+	SegBytes    int64   `json:"seg_bytes"`
+	OpenMs      float64 `json:"open_ms"`       // OpenDir wall time (best of iterations)
+	FirstScanMs float64 `json:"first_scan_ms"` // first full-table scan after open (lazy hydration)
+	Speedup     float64 `json:"speedup"`       // wal-replay open_ms / this open_ms
+}
+
+// RecoveryBenchReport is the top-level BENCH_recovery.json document.
+type RecoveryBenchReport struct {
+	TotalRows  int                   `json:"total_rows"`
+	TailRows   int                   `json:"tail_rows"`
+	Iterations int                   `json:"iterations"`
+	Results    []RecoveryBenchResult `json:"results"`
+}
+
+// buildRecoveryDir populates dir with totalRows Activity-shaped rows; when
+// checkpoint is true it checkpoints after the bulk load and then appends
+// tailRows more, leaving the directory in the steady production state —
+// sealed history in segment files, recent commits only in the WAL.
+func buildRecoveryDir(dir string, totalRows, tailRows int, checkpoint bool) error {
+	db, err := engine.OpenDir(dir)
+	if err != nil {
+		return err
+	}
+	if _, err := db.Exec(`CREATE TABLE Activity (id BIGINT, mach_id TEXT)`); err != nil {
+		return err
+	}
+	if _, err := db.Exec(`CREATE INDEX iact ON Activity (id)`); err != nil {
+		return err
+	}
+	insert := func(base, n int) error {
+		const batch = 500
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			var sb strings.Builder
+			sb.WriteString(`INSERT INTO Activity VALUES `)
+			for i := lo; i < hi; i++ {
+				if i > lo {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "(%d, 'm%d')", base+i, (base+i)%97)
+			}
+			if _, err := db.Exec(sb.String()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bulk := totalRows
+	if checkpoint {
+		bulk -= tailRows
+	}
+	if err := insert(0, bulk); err != nil {
+		return err
+	}
+	if checkpoint {
+		if err := db.CheckpointDir(); err != nil {
+			return err
+		}
+		if err := insert(bulk, tailRows); err != nil {
+			return err
+		}
+	}
+	return db.Close()
+}
+
+// dirSizes sums the on-disk footprint of dir by file class.
+func dirSizes(dir string) (wal, dump, seg int64, err error) {
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		switch name := d.Name(); {
+		case strings.HasPrefix(name, "wal."):
+			wal += info.Size()
+		case strings.HasPrefix(name, "dump."):
+			dump += info.Size()
+		case strings.HasSuffix(name, ".seg"):
+			seg += info.Size()
+		}
+		return nil
+	})
+	return wal, dump, seg, err
+}
+
+// measureRecovery reopens dir `iterations` times, returning the best open
+// and first-scan wall times and cross-checking the recovered row count.
+func measureRecovery(dir string, wantRows, iterations int) (openMs, scanMs float64, err error) {
+	for it := 0; it < iterations; it++ {
+		start := time.Now()
+		db, err := engine.OpenDir(dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		open := time.Since(start)
+		start = time.Now()
+		res, err := db.Query(`SELECT COUNT(*) FROM Activity`)
+		if err != nil {
+			db.Close()
+			return 0, 0, err
+		}
+		scan := time.Since(start)
+		got := int(res.Rows[0][0].Int())
+		if err := db.Close(); err != nil {
+			return 0, 0, err
+		}
+		if got != wantRows {
+			return 0, 0, fmt.Errorf("recovered %d rows, want %d", got, wantRows)
+		}
+		o, s := float64(open.Nanoseconds())/1e6, float64(scan.Nanoseconds())/1e6
+		if it == 0 || o < openMs {
+			openMs = o
+		}
+		if it == 0 || s < scanMs {
+			scanMs = s
+		}
+	}
+	return openMs, scanMs, nil
+}
+
+// RunRecoveryBench builds two equally-sized durable directories — one with
+// only a WAL, one checkpointed with a tailRows-commit WAL tail — and
+// measures reopening each.
+func RunRecoveryBench(totalRows, tailRows, iterations int, progress func(string)) (*RecoveryBenchReport, error) {
+	if iterations < 1 {
+		iterations = 3
+	}
+	if tailRows <= 0 || tailRows > totalRows/2 {
+		tailRows = totalRows / 100
+		if tailRows < 1 {
+			tailRows = 1
+		}
+	}
+	report := &RecoveryBenchReport{TotalRows: totalRows, TailRows: tailRows, Iterations: iterations}
+	scenarios := []struct {
+		name       string
+		checkpoint bool
+		tail       int
+	}{
+		{"wal-replay", false, totalRows},
+		{"checkpoint-tail", true, tailRows},
+	}
+	var walReplayOpen float64
+	for _, sc := range scenarios {
+		dir, err := os.MkdirTemp("", "trac-recbench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if err := buildRecoveryDir(dir, totalRows, tailRows, sc.checkpoint); err != nil {
+			return nil, fmt.Errorf("%s: build: %w", sc.name, err)
+		}
+		walB, dumpB, segB, err := dirSizes(dir)
+		if err != nil {
+			return nil, err
+		}
+		openMs, scanMs, err := measureRecovery(dir, totalRows, iterations)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		r := RecoveryBenchResult{
+			Name: sc.name, Rows: totalRows, TailRows: sc.tail,
+			WALBytes: walB, DumpBytes: dumpB, SegBytes: segB,
+			OpenMs: openMs, FirstScanMs: scanMs,
+		}
+		if sc.name == "wal-replay" {
+			walReplayOpen = openMs
+		}
+		if walReplayOpen > 0 && openMs > 0 {
+			r.Speedup = walReplayOpen / openMs
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("%-16s open %9.2f ms   first scan %8.2f ms   wal %7d B  dump %7d B  seg %8d B   speedup %6.2fx",
+				r.Name, r.OpenMs, r.FirstScanMs, r.WALBytes, r.DumpBytes, r.SegBytes, r.Speedup))
+		}
+		report.Results = append(report.Results, r)
+	}
+	return report, nil
+}
+
+// MarshalRecoveryBench renders the report as the BENCH_recovery.json document.
+func MarshalRecoveryBench(r *RecoveryBenchReport) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,101 @@
+package benchharness
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"trac/internal/engine"
+)
+
+// TestRecoveryBenchAgrees is the correctness gate for the recovery pair:
+// both directories must recover the same row count (checked inside
+// measureRecovery), the checkpointed layout must actually have spilled
+// segment + dump files, and the WAL-only layout must carry the whole
+// history in its log.
+func TestRecoveryBenchAgrees(t *testing.T) {
+	report, err := RunRecoveryBench(6_000, 300, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(report.Results))
+	}
+	walSide, ckptSide := report.Results[0], report.Results[1]
+	if walSide.Name != "wal-replay" || ckptSide.Name != "checkpoint-tail" {
+		t.Fatalf("unexpected scenario order: %q, %q", walSide.Name, ckptSide.Name)
+	}
+	if walSide.DumpBytes != 0 || walSide.SegBytes != 0 {
+		t.Errorf("wal-replay side has checkpoint files: dump %d B, seg %d B",
+			walSide.DumpBytes, walSide.SegBytes)
+	}
+	if ckptSide.DumpBytes == 0 || ckptSide.SegBytes == 0 {
+		t.Errorf("checkpointed side missing dump (%d B) or segments (%d B)",
+			ckptSide.DumpBytes, ckptSide.SegBytes)
+	}
+	// The checkpointed WAL holds only the 300-row tail; the replay WAL holds
+	// all 6000 rows. The byte ratio is the O(tail) claim made concrete.
+	if ckptSide.WALBytes*4 > walSide.WALBytes {
+		t.Errorf("checkpointed WAL tail is %d B vs full log %d B — checkpoint did not truncate",
+			ckptSide.WALBytes, walSide.WALBytes)
+	}
+	if ckptSide.Speedup <= 0 {
+		t.Errorf("speedup not computed: %v", ckptSide.Speedup)
+	}
+}
+
+// Shared directories for the reopen benchmarks: one WAL-only, one
+// checkpointed with a short tail, both 20k rows.
+var (
+	recoveryBenchOnce sync.Once
+	recoveryWALDir    string
+	recoveryCkptDir   string
+	recoveryBenchErr  error
+)
+
+const recoveryBenchRows = 20_000
+
+func recoveryDirs(b *testing.B) (walDir, ckptDir string) {
+	b.Helper()
+	recoveryBenchOnce.Do(func() {
+		build := func(checkpoint bool) (string, error) {
+			dir, err := os.MkdirTemp("", "trac-recbench-go-")
+			if err != nil {
+				return "", err
+			}
+			return dir, buildRecoveryDir(dir, recoveryBenchRows, 200, checkpoint)
+		}
+		if recoveryWALDir, recoveryBenchErr = build(false); recoveryBenchErr != nil {
+			return
+		}
+		recoveryCkptDir, recoveryBenchErr = build(true)
+	})
+	if recoveryBenchErr != nil {
+		b.Fatal(recoveryBenchErr)
+	}
+	return recoveryWALDir, recoveryCkptDir
+}
+
+func benchReopen(b *testing.B, dir string) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := engine.OpenDir(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryOpenWALReplay(b *testing.B) {
+	walDir, _ := recoveryDirs(b)
+	benchReopen(b, walDir)
+}
+
+func BenchmarkRecoveryOpenCheckpointed(b *testing.B) {
+	_, ckptDir := recoveryDirs(b)
+	benchReopen(b, ckptDir)
+}

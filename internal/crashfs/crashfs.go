@@ -1,0 +1,611 @@
+// Package crashfs abstracts the file operations TRAC's durability layer
+// performs (WAL appends, checkpoint dumps, segment spills) behind a small
+// interface so tests can substitute a crash-injecting in-memory
+// implementation. The injector models the failure surface a real filesystem
+// exposes across a power cut:
+//
+//   - data written but not fsynced may be lost, wholly or partially (torn
+//     tail);
+//   - a write interrupted mid-call persists an arbitrary prefix (torn
+//     write);
+//   - namespace operations (create, rename, remove) are volatile until the
+//     parent directory is fsynced, while rename itself is atomic — the old
+//     or the new binding survives, never a mix;
+//   - any operation can fail outright ("the process was killed here").
+//
+// Every mutating call is a crashpoint: the chaos harness runs a scenario
+// once to count operations, then replays it killing at each one in turn and
+// asserts recovery lands on a consistent cut.
+package crashfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// ErrCrashed is returned by every operation of a crashed Mem filesystem: the
+// simulated process is dead and stays dead until Recover.
+var ErrCrashed = errors.New("crashfs: simulated crash")
+
+// File is the subset of *os.File the durability layer needs. Sequential
+// reads go through ReadAt (wrap with io.NewSectionReader for a buffered
+// stream).
+type File interface {
+	io.Writer
+	io.ReaderAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the file-layer interface threaded under the WAL, checkpoint dump,
+// and segment-spill writers.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics for the flag subset
+	// O_RDONLY, O_RDWR, O_WRONLY, O_CREATE, O_TRUNC, O_APPEND.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making renames/creates/removes of its
+	// entries durable.
+	SyncDir(name string) error
+	// ReadDir lists the names of a directory's entries.
+	ReadDir(name string) ([]string, error)
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem
+
+// OS is the production FS: a thin passthrough to the os package.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+// OpenFile opens through os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename renames through os.Rename (atomic on POSIX).
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes through os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll creates directories through os.MkdirAll.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Stat stats through os.Stat.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir opens the directory and fsyncs it, pushing pending directory-entry
+// updates (renames, creates) to stable storage.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // the sync failure is the error that matters
+		return err
+	}
+	return d.Close()
+}
+
+// ReadDir lists entry names through os.ReadDir.
+func (OS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+// WriteDurable writes data to path atomically and durably through fs: temp
+// file in the same directory, fsync, atomic rename over path, parent
+// directory fsync. A crash at any instruction leaves either the old file or
+// the new one, never a torn mix.
+func WriteDurable(fsys FS, path string, write func(File) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() // the write failure is the error that matters
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// ---------------------------------------------------------------------------
+// In-memory crash-injecting filesystem
+
+// memNode is the content of one file: the live bytes every handle sees and
+// the synced bytes that survive a crash. Nodes are shared between the live
+// and durable namespaces (a rename moves the binding, not the content).
+type memNode struct {
+	data   []byte
+	synced []byte
+}
+
+// Mem is an in-memory FS with crash injection. The zero value is usable and
+// empty.
+//
+// Crash model: SetCrashAt(n) arms the injector so that the n-th mutating
+// operation (1-based, counted by MutationCount) fails with ErrCrashed and
+// kills the filesystem — every subsequent operation also fails. A killed
+// write first applies a deterministic prefix of its buffer (torn write).
+// Recover then applies power-cut semantics: the durable namespace replaces
+// the live one and every file's content reverts to its last-synced bytes,
+// optionally keeping a prefix of an un-fsynced append (torn tail) when
+// KeepUnsyncedTail is set.
+type Mem struct {
+	mu      sync.Mutex
+	live    map[string]*memNode
+	durable map[string]*memNode
+	dirs    map[string]bool
+	// pendingSync records namespace bindings changed since the last SyncDir
+	// of their parent: path -> parent dir.
+	pendingSync map[string]string
+
+	muts    int
+	crashAt int
+	crashed bool
+	opLog   []string
+
+	// KeepUnsyncedTail makes Recover retain a pseudo-random prefix of data
+	// appended (but not fsynced) before the crash, modeling a partial page
+	// flush — the case WAL torn-tail truncation exists for. Without it,
+	// un-fsynced data is dropped entirely (the conservative model).
+	KeepUnsyncedTail bool
+	// tornSeed drives the deterministic torn-write/torn-tail prefix lengths.
+	tornSeed uint64
+}
+
+// NewMem returns an empty in-memory filesystem with injection disarmed.
+func NewMem() *Mem {
+	return &Mem{
+		live:        make(map[string]*memNode),
+		durable:     make(map[string]*memNode),
+		dirs:        map[string]bool{".": true, "/": true},
+		pendingSync: make(map[string]string),
+		tornSeed:    0x9e3779b97f4a7c15,
+	}
+}
+
+// SetCrashAt arms the injector: the n-th subsequent mutating operation
+// crashes the filesystem. n <= 0 disarms.
+func (m *Mem) SetCrashAt(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.muts = 0
+	m.crashAt = n
+}
+
+// MutationCount returns how many mutating operations have run since the last
+// SetCrashAt (or creation). Run a scenario once with injection disarmed to
+// learn the crashpoint count, then sweep SetCrashAt(1..count).
+func (m *Mem) MutationCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.muts
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (m *Mem) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// OpLog returns the labels of the mutating operations performed since the
+// last SetCrashAt — the crashpoint catalog of a scenario.
+func (m *Mem) OpLog() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.opLog...)
+}
+
+// Recover applies power-cut semantics and revives the filesystem: the
+// durable namespace becomes the live one and file contents revert to their
+// last-synced bytes (plus, with KeepUnsyncedTail, a deterministic prefix of
+// any un-fsynced append). Injection is disarmed; arm it again with
+// SetCrashAt for nested crash tests.
+func (m *Mem) Recover() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := make(map[string]*memNode, len(m.durable))
+	for path, n := range m.durable {
+		keep := n.synced
+		if m.KeepUnsyncedTail && len(n.data) > len(n.synced) {
+			if prefix := n.data[:len(n.synced)]; bytesEqual(prefix, n.synced) {
+				extra := m.tornLen(len(n.data) - len(n.synced))
+				keep = append([]byte(nil), n.data[:len(n.synced)+extra]...)
+			}
+		}
+		n.data = append([]byte(nil), keep...)
+		n.synced = append([]byte(nil), n.synced...)
+		live[path] = n
+	}
+	m.live = live
+	m.pendingSync = make(map[string]string)
+	m.crashed = false
+	m.crashAt = 0
+	m.muts = 0
+	m.opLog = nil
+}
+
+// tornLen derives a deterministic prefix length in [0, n] from the injector
+// seed (xorshift; no global randomness so sweeps reproduce).
+func (m *Mem) tornLen(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	m.tornSeed ^= m.tornSeed << 13
+	m.tornSeed ^= m.tornSeed >> 7
+	m.tornSeed ^= m.tornSeed << 17
+	return int(m.tornSeed % uint64(n+1))
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// step accounts one mutating operation and fires the armed crash. The caller
+// holds m.mu. It returns ErrCrashed when this operation is the crashpoint
+// (the caller may still apply a torn prefix) or when the fs is already dead.
+func (m *Mem) step(label string) error {
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.muts++
+	m.opLog = append(m.opLog, label)
+	if m.crashAt > 0 && m.muts >= m.crashAt {
+		m.crashed = true
+		return ErrCrashed
+	}
+	return nil
+}
+
+func clean(p string) string { return filepath.Clean(p) }
+
+// OpenFile opens or creates an in-memory file.
+func (m *Mem) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	node, exists := m.live[name]
+	writable := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	switch {
+	case !exists && flag&os.O_CREATE == 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	case !exists:
+		if !m.dirs[filepath.Dir(name)] {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		if err := m.step("create " + name); err != nil {
+			return nil, err
+		}
+		node = &memNode{}
+		m.live[name] = node
+		m.pendingSync[name] = filepath.Dir(name)
+	case flag&os.O_TRUNC != 0:
+		if err := m.step("truncate-open " + name); err != nil {
+			return nil, err
+		}
+		node.data = nil
+	}
+	f := &memFile{fs: m, node: node, name: name, writable: writable}
+	if flag&os.O_APPEND != 0 {
+		f.appendMode = true
+	}
+	return f, nil
+}
+
+// Rename atomically rebinds oldpath to newpath in the live namespace; the
+// binding becomes durable at the next SyncDir of the parent directory.
+func (m *Mem) Rename(oldpath, newpath string) error {
+	oldpath, newpath = clean(oldpath), clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("rename " + oldpath + " -> " + newpath); err != nil {
+		return err
+	}
+	node, ok := m.live[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	delete(m.live, oldpath)
+	m.live[newpath] = node
+	m.pendingSync[oldpath] = filepath.Dir(oldpath)
+	m.pendingSync[newpath] = filepath.Dir(newpath)
+	return nil
+}
+
+// Remove unlinks a file from the live namespace.
+func (m *Mem) Remove(name string) error {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("remove " + name); err != nil {
+		return err
+	}
+	if _, ok := m.live[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.live, name)
+	m.pendingSync[name] = filepath.Dir(name)
+	return nil
+}
+
+// MkdirAll registers a directory chain. Directories are modeled as durable
+// on creation (the recovery protocol re-creates them anyway).
+func (m *Mem) MkdirAll(path string, perm os.FileMode) error {
+	path = clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	for p := path; ; p = filepath.Dir(p) {
+		m.dirs[p] = true
+		if p == filepath.Dir(p) {
+			break
+		}
+	}
+	return nil
+}
+
+// Stat reports a file's current (live) size.
+func (m *Mem) Stat(name string) (fs.FileInfo, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	if node, ok := m.live[name]; ok {
+		return memInfo{name: filepath.Base(name), size: int64(len(node.data))}, nil
+	}
+	if m.dirs[name] {
+		return memInfo{name: filepath.Base(name), size: 0, dir: true}, nil
+	}
+	return nil, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+}
+
+// SyncDir commits the pending namespace changes of a directory's direct
+// entries to the durable namespace.
+func (m *Mem) SyncDir(name string) error {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("syncdir " + name); err != nil {
+		return err
+	}
+	if !m.dirs[name] {
+		return &os.PathError{Op: "syncdir", Path: name, Err: os.ErrNotExist}
+	}
+	for path, parent := range m.pendingSync {
+		if parent != name {
+			continue
+		}
+		if node, ok := m.live[path]; ok {
+			m.durable[path] = node
+		} else {
+			delete(m.durable, path)
+		}
+		delete(m.pendingSync, path)
+	}
+	return nil
+}
+
+// ReadDir lists the live entries directly under a directory.
+func (m *Mem) ReadDir(name string) ([]string, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	if !m.dirs[name] {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: os.ErrNotExist}
+	}
+	var out []string
+	for path := range m.live {
+		if filepath.Dir(path) == name {
+			out = append(out, filepath.Base(path))
+		}
+	}
+	return out, nil
+}
+
+// memFile is one handle on a memNode.
+type memFile struct {
+	fs         *Mem
+	node       *memNode
+	name       string
+	off        int64
+	appendMode bool
+	writable   bool
+	closed     bool
+}
+
+// Write appends or overwrites at the handle offset. When this write is the
+// armed crashpoint, a deterministic prefix of p lands before the crash — a
+// torn write.
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if !f.writable {
+		return 0, &os.PathError{Op: "write", Path: f.name, Err: os.ErrPermission}
+	}
+	n := len(p)
+	if err := f.fs.step(fmt.Sprintf("write %s (%dB)", f.name, n)); err != nil {
+		if errors.Is(err, ErrCrashed) && !f.closed {
+			n = f.fs.tornLen(len(p))
+			f.writeAtLocked(p[:n])
+		}
+		return 0, err
+	}
+	f.writeAtLocked(p)
+	return n, nil
+}
+
+// writeAtLocked applies bytes at the handle position. Caller holds fs.mu.
+func (f *memFile) writeAtLocked(p []byte) {
+	pos := f.off
+	if f.appendMode {
+		pos = int64(len(f.node.data))
+	}
+	end := pos + int64(len(p))
+	if int64(len(f.node.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, f.node.data)
+		f.node.data = grown
+	}
+	copy(f.node.data[pos:end], p)
+	f.off = end
+}
+
+// ReadAt reads from the live content.
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if f.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Truncate cuts the live content. Like a real truncate it is volatile until
+// the next Sync.
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := f.fs.step(fmt.Sprintf("truncate %s to %d", f.name, size)); err != nil {
+		return err
+	}
+	if size < 0 || size > int64(len(f.node.data)) {
+		return &os.PathError{Op: "truncate", Path: f.name, Err: os.ErrInvalid}
+	}
+	f.node.data = f.node.data[:size]
+	if f.off > size {
+		f.off = size
+	}
+	return nil
+}
+
+// Sync makes the current content durable.
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := f.fs.step("sync " + f.name); err != nil {
+		return err
+	}
+	f.node.synced = append([]byte(nil), f.node.data...)
+	return nil
+}
+
+// Close releases the handle. Closing a writable handle counts as a
+// crashpoint (real close can surface deferred write errors).
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	if f.writable {
+		if err := f.fs.step("close " + f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Name returns the path the handle was opened with.
+func (f *memFile) Name() string { return f.name }
+
+// memInfo is the fs.FileInfo for Mem files.
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() any           { return nil }

@@ -1,0 +1,325 @@
+package crashfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readAll(t *testing.T, fsys FS, path string) []byte {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	var out []byte
+	buf := make([]byte, 64)
+	for off := int64(0); ; {
+		n, err := f.ReadAt(buf, off)
+		out = append(out, buf[:n]...)
+		off += int64(n)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("readat %s: %v", path, err)
+		}
+	}
+}
+
+func TestMemBasicReadWrite(t *testing.T) {
+	m := NewMem()
+	f, err := m.OpenFile("a.txt", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readAll(t, m, "a.txt")); got != "hello world" {
+		t.Fatalf("content = %q", got)
+	}
+	info, err := m.Stat("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 11 {
+		t.Fatalf("size = %d", info.Size())
+	}
+}
+
+func TestMemUnsyncedDataLostOnRecover(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("f", os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Write([]byte("durable"))
+	f.Sync()
+	m.SyncDir(".") // make the create binding durable
+	f.Write([]byte(" volatile"))
+	// No sync: the tail must vanish across a crash.
+	m.SetCrashAt(1)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if !m.Crashed() {
+		t.Fatal("fs should be crashed")
+	}
+	if _, err := m.OpenFile("f", os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: want ErrCrashed, got %v", err)
+	}
+	m.Recover()
+	if got := string(readAll(t, m, "f")); got != "durable" {
+		t.Fatalf("recovered content = %q, want only synced bytes", got)
+	}
+}
+
+func TestMemUnsyncedCreateLostOnRecover(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("ghost", os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Write([]byte("data"))
+	f.Sync() // file content synced, but the directory entry is not
+	f.Close()
+	m.Recover()
+	if _, err := m.Stat("ghost"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unsynced create survived recovery: %v", err)
+	}
+}
+
+func TestMemRenameAtomicAcrossCrash(t *testing.T) {
+	// A durable rename replaces the old binding entirely; an un-fsynced
+	// rename leaves the old binding. Either way exactly one version exists.
+	build := func() *Mem {
+		m := NewMem()
+		f, _ := m.OpenFile("cfg", os.O_CREATE|os.O_WRONLY, 0o644)
+		f.Write([]byte("v1"))
+		f.Sync()
+		f.Close()
+		m.SyncDir(".")
+		g, _ := m.OpenFile("cfg.tmp", os.O_CREATE|os.O_WRONLY, 0o644)
+		g.Write([]byte("v2"))
+		g.Sync()
+		g.Close()
+		m.SyncDir(".")
+		return m
+	}
+
+	m := build()
+	m.Rename("cfg.tmp", "cfg")
+	// Crash before SyncDir: old binding must win.
+	m.SetCrashAt(1)
+	m.SyncDir("nonexistent") // burns the crashpoint on an unrelated op
+	m.Recover()
+	if got := string(readAll(t, m, "cfg")); got != "v1" {
+		t.Fatalf("pre-sync rename leaked: cfg = %q, want v1", got)
+	}
+
+	m = build()
+	m.Rename("cfg.tmp", "cfg")
+	m.SyncDir(".")
+	m.Recover()
+	if got := string(readAll(t, m, "cfg")); got != "v2" {
+		t.Fatalf("post-sync rename lost: cfg = %q, want v2", got)
+	}
+	if _, err := m.Stat("cfg.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("cfg.tmp should be unlinked after durable rename")
+	}
+}
+
+func TestMemTornWriteKeepsPrefixOnly(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("base|"))
+	f.Sync()
+	m.SyncDir(".")
+	m.KeepUnsyncedTail = true
+	m.SetCrashAt(1)
+	if _, err := f.Write([]byte("ABCDEFGH")); !errors.Is(err, ErrCrashed) {
+		t.Fatal("write should crash")
+	}
+	m.Recover()
+	got := string(readAll(t, m, "log"))
+	if len(got) < len("base|") || got[:5] != "base|" {
+		t.Fatalf("synced prefix damaged: %q", got)
+	}
+	tail := got[5:]
+	if tail != "ABCDEFGH"[:len(tail)] {
+		t.Fatalf("torn tail %q is not a prefix of the write", tail)
+	}
+}
+
+func TestMemCrashpointSweepDeterministic(t *testing.T) {
+	scenario := func(m *Mem) error {
+		f, err := m.OpenFile("a", os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("one")); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := m.SyncDir("."); err != nil {
+			return err
+		}
+		if err := m.Rename("a", "b"); err != nil {
+			return err
+		}
+		return m.SyncDir(".")
+	}
+	probe := NewMem()
+	if err := scenario(probe); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	n := probe.MutationCount()
+	if n < 6 {
+		t.Fatalf("expected >=6 crashpoints, got %d (%v)", n, probe.OpLog())
+	}
+	for i := 1; i <= n; i++ {
+		m := NewMem()
+		m.SetCrashAt(i)
+		if err := scenario(m); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crashpoint %d: want ErrCrashed, got %v", i, err)
+		}
+		m.Recover()
+		// Invariant: at every crashpoint, "b" either does not exist or holds
+		// the full synced content; "a"/"b" never hold torn data because the
+		// scenario syncs before close.
+		for _, name := range []string{"a", "b"} {
+			if _, err := m.Stat(name); err == nil {
+				if got := string(readAll(t, m, name)); got != "one" && got != "" {
+					t.Fatalf("crashpoint %d: %s = %q", i, name, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMemOpsAfterRecoverWork(t *testing.T) {
+	m := NewMem()
+	m.SetCrashAt(1)
+	if _, err := m.OpenFile("x", os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatal("create should crash")
+	}
+	m.Recover()
+	f, err := m.OpenFile("x", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("post-recover create: %v", err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("post-recover write: %v", err)
+	}
+}
+
+func TestMemReadDirAndMkdirAll(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d/e", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/e/one", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	names, err := m.ReadDir("d/e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "one" {
+		t.Fatalf("readdir = %v", names)
+	}
+}
+
+func TestWriteDurableSurvivesEveryCrashpoint(t *testing.T) {
+	write := func(m *Mem) error {
+		return WriteDurable(m, "state", func(f File) error {
+			_, err := f.Write([]byte("NEW"))
+			return err
+		})
+	}
+	probe := NewMem()
+	probe.MkdirAll(".", 0o755)
+	seed, _ := probe.OpenFile("state", os.O_CREATE|os.O_WRONLY, 0o644)
+	seed.Write([]byte("OLD"))
+	seed.Sync()
+	seed.Close()
+	probe.SyncDir(".")
+	setup := probe.MutationCount()
+	probe.SetCrashAt(0)
+	if err := write(probe); err != nil {
+		t.Fatalf("clean WriteDurable failed: %v", err)
+	}
+	n := probe.MutationCount()
+	if n < 4 {
+		t.Fatalf("expected >=4 crashpoints in WriteDurable, got %d", n)
+	}
+	_ = setup
+
+	for i := 1; i <= n; i++ {
+		m := NewMem()
+		m.KeepUnsyncedTail = true
+		f, _ := m.OpenFile("state", os.O_CREATE|os.O_WRONLY, 0o644)
+		f.Write([]byte("OLD"))
+		f.Sync()
+		f.Close()
+		m.SyncDir(".")
+		m.SetCrashAt(i)
+		err := write(m)
+		m.Recover()
+		got := string(readAll(t, m, "state"))
+		if err == nil {
+			if got != "NEW" {
+				t.Fatalf("crashpoint %d: completed write but state = %q", i, got)
+			}
+			continue
+		}
+		if got != "OLD" && got != "NEW" {
+			t.Fatalf("crashpoint %d: torn state %q", i, got)
+		}
+	}
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fsys OS
+	path := filepath.Join(dir, "f")
+	if err := WriteDurable(fsys, path, func(f File) error {
+		_, err := f.Write([]byte("persisted"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readAll(t, fsys, path)); got != "persisted" {
+		t.Fatalf("content = %q", got)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "f" {
+		t.Fatalf("readdir = %v", names)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(filepath.Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -81,6 +81,11 @@ func (b *Batch) Commit() error {
 		return txn.ErrFinished
 	}
 	b.done = true
+	// Hold the checkpoint lock shared across the commit+append pair (see
+	// DB.ckptMu) so a concurrent checkpoint can't snapshot the commit and
+	// then truncate away its log record — or vice versa.
+	b.db.ckptMu.RLock()
+	defer b.db.ckptMu.RUnlock()
 	if err := b.tx.Commit(); err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"trac/internal/crashfs"
 	"trac/internal/exec"
 	"trac/internal/planner"
 	"trac/internal/sqlparser"
@@ -28,6 +29,30 @@ type DB struct {
 
 	walMu sync.Mutex
 	wal   *WAL
+
+	// ckptMu serializes checkpoints against in-flight commit+WAL-append
+	// pairs: committers hold it shared across (engine commit, log append),
+	// checkpoints hold it exclusively across (dump snapshot, log truncate),
+	// so no transaction can land on one side of the snapshot and the other
+	// side of the truncate.
+	ckptMu sync.RWMutex
+
+	// fsys routes all durability I/O (WAL, dumps, segment files); nil means
+	// the real filesystem. Crash tests inject a crashfs.Mem here.
+	fsys crashfs.FS
+
+	// dir is set when the database was opened via OpenDir and records the
+	// durable directory CheckpointDir writes into.
+	dir   string
+	epoch uint64
+}
+
+// fsRef returns the filesystem all durability I/O goes through.
+func (db *DB) fsRef() crashfs.FS {
+	if db.fsys == nil {
+		return crashfs.OS{}
+	}
+	return db.fsys
 }
 
 // New creates an empty database.
@@ -209,13 +234,19 @@ func (db *DB) Exec(sql string) (int, error) {
 		return db.loggedAutocommit(s, func(tx *txn.Txn) (int, error) { return db.execUpdate(s, tx) })
 	case *sqlparser.DeleteStmt:
 		return db.loggedAutocommit(s, func(tx *txn.Txn) (int, error) { return db.execDelete(s, tx) })
+	// DDL cases hold the checkpoint lock shared across the apply+log pair
+	// (see DB.ckptMu) so a concurrent checkpoint cannot split them.
 	case *sqlparser.CreateTableStmt:
+		db.ckptMu.RLock()
+		defer db.ckptMu.RUnlock()
 		if err := db.execCreateTable(s); err != nil {
 			return 0, err
 		}
 		db.catalog.BumpVersion()
 		return 0, db.logCommitted([]string{s.SQL()})
 	case *sqlparser.CreateIndexStmt:
+		db.ckptMu.RLock()
+		defer db.ckptMu.RUnlock()
 		tbl, err := db.catalog.Get(s.Table)
 		if err != nil {
 			return 0, err
@@ -226,6 +257,8 @@ func (db *DB) Exec(sql string) (int, error) {
 		db.catalog.BumpVersion()
 		return 0, db.logCommitted([]string{s.SQL()})
 	case *sqlparser.DropTableStmt:
+		db.ckptMu.RLock()
+		defer db.ckptMu.RUnlock()
 		if err := db.catalog.Drop(s.Name); err != nil {
 			return 0, err
 		}
@@ -354,8 +387,11 @@ func (db *DB) enforceChecks(tbl *storage.Table, values []types.Value) error {
 }
 
 // loggedAutocommit runs one DML statement in its own transaction and, on
-// success, appends it to the WAL (when attached).
+// success, appends it to the WAL (when attached). The checkpoint lock is
+// held shared across the commit+append pair (see DB.ckptMu).
 func (db *DB) loggedAutocommit(stmt sqlparser.Statement, fn func(tx *txn.Txn) (int, error)) (int, error) {
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
 	n, err := db.autocommit(fn)
 	if err != nil {
 		return n, err

@@ -1,0 +1,664 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"trac/internal/crashfs"
+	"trac/internal/sqlparser"
+	"trac/internal/storage"
+	"trac/internal/types"
+)
+
+// Directory-backed durability. A database directory holds one *epoch* of
+// state — a checkpoint dump, the segment files it references, and the WAL
+// carrying everything committed since — plus a tiny MANIFEST naming the
+// current epoch:
+//
+//	dir/
+//	  MANIFEST           "TRACMF01" + uvarint epoch + CRC32C   (atomic cursor)
+//	  dump.<epoch>       "TRACDB02" catalog dump (schemas, spill refs, row tails)
+//	  wal.<epoch>.log    "TRACWAL2" log of post-checkpoint commits
+//	  seg/<table>.<epoch>.seg   "TRACSEG1" spilled columnar segments
+//
+// CheckpointDir writes the NEXT epoch completely (segment files, a fresh
+// empty WAL, the dump — each placed with temp file + fsync + rename +
+// parent-dir fsync) and only then rewrites MANIFEST, which is the single
+// atomic commit point: a crash anywhere before it recovers the old epoch
+// untouched; a crash anywhere after it recovers the new one. The old
+// epoch's files are deleted only after the manifest is durable, so unlike
+// the legacy truncate-in-place Checkpoint there is no window where the new
+// dump coexists with the old log.
+//
+// OpenDir is the inverse: read MANIFEST, load the epoch's dump (schemas +
+// tails eagerly, spilled segments lazily via ReadAt — recovery cost is
+// O(catalog + WAL tail), not O(data)), replay the epoch's WAL, and sweep
+// crash debris from dead epochs. Sniffer offsets ride along for free: the
+// SnifferState table is ordinary data in the dump/WAL, so ingestion resumes
+// exactly where the consistent cut left it.
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "TRACMF01"
+	dumpMagicV2   = "TRACDB02"
+	segDirName    = "seg"
+)
+
+// ckptSpillRows is the whole-segment unit CheckpointDir spills to segment
+// files; the sub-unit remainder stays in the dump as a row tail. A var, not
+// a const, so crash tests can shrink it and exercise the spill path without
+// multi-thousand-row workloads.
+var ckptSpillRows = storage.DefaultSegmentSize
+
+// openConfig collects OpenDir options.
+type openConfig struct {
+	fs      crashfs.FS
+	verify  bool
+	syncWAL bool
+}
+
+// OpenOption configures OpenDir.
+type OpenOption func(*openConfig)
+
+// WithFS routes all durability I/O through fsys (crash-injection tests).
+func WithFS(fsys crashfs.FS) OpenOption {
+	return func(c *openConfig) { c.fs = fsys }
+}
+
+// WithVerify makes OpenDir eagerly hydrate every spilled segment file,
+// verifying all block checksums up front and returning an error instead of
+// deferring detection to first access. Recovery becomes O(data).
+func WithVerify() OpenOption {
+	return func(c *openConfig) { c.verify = true }
+}
+
+// WithSyncWAL enables fsync-per-commit (group-committed) on the WAL.
+func WithSyncWAL() OpenOption {
+	return func(c *openConfig) { c.syncWAL = true }
+}
+
+// OpenDir opens (or initializes) a durable database directory and recovers
+// its state: catalog dump, lazily-loaded segment files, WAL tail replay,
+// and stale-epoch cleanup. The returned DB logs every committed mutation to
+// the epoch's WAL; call CheckpointDir periodically to bound the log, and
+// Close when done.
+func OpenDir(dir string, opts ...OpenOption) (*DB, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db := New()
+	db.fsys = cfg.fs
+	fsys := db.fsRef()
+	if err := fsys.MkdirAll(filepath.Join(dir, segDirName), 0o755); err != nil {
+		return nil, err
+	}
+
+	epoch, found, err := readManifest(fsys, filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		epoch = 1 // fresh directory: epoch 1 starts empty, WAL-only
+	}
+	db.dir = dir
+	db.epoch = epoch
+	if found {
+		if err := db.loadDirDump(fsys, dir, epoch); err != nil {
+			return nil, err
+		}
+	}
+	// Bootstrap commit: guarantees the commit horizon is ≥ 1, so rows
+	// hydrated from segment files (stamped XminSeq 1) are visible to every
+	// snapshot even before the first real commit.
+	if err := db.mgr.Begin().Commit(); err != nil {
+		return nil, err
+	}
+	if cfg.verify {
+		for _, name := range db.catalog.Names() {
+			tbl, err := db.catalog.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.Hydrate(); err != nil {
+				return nil, fmt.Errorf("engine: verifying table %s: %w", name, err)
+			}
+		}
+	}
+	cleanupStaleEpochs(fsys, dir, epoch)
+	if err := db.AttachWAL(filepath.Join(dir, walFileName(epoch))); err != nil {
+		return nil, err
+	}
+	// Make the WAL's directory entry durable: fsyncing file contents later
+	// is worthless if the name itself evaporates with the page cache.
+	if err := fsys.SyncDir(dir); err != nil {
+		_ = db.DetachWAL() // the sync failure is the error that matters
+		return nil, err
+	}
+	if cfg.syncWAL {
+		db.walMu.Lock()
+		db.wal.Sync = true
+		db.walMu.Unlock()
+	}
+	return db, nil
+}
+
+// Close detaches the WAL (flush + fsync + close), reporting any error.
+func (db *DB) Close() error { return db.DetachWAL() }
+
+// Epoch returns the current checkpoint epoch (0 when not opened via
+// OpenDir).
+func (db *DB) Epoch() uint64 { return db.epoch }
+
+// Dir returns the durable directory (empty when not opened via OpenDir).
+func (db *DB) Dir() string { return db.dir }
+
+// CheckpointDir writes the next epoch — per-table segment files for the
+// sealed bulk, a dump for schemas and row tails, a fresh WAL — and commits
+// it atomically by rewriting MANIFEST. See the package comment above for
+// the crash-ordering argument.
+func (db *DB) CheckpointDir() error {
+	if db.dir == "" {
+		return errors.New("engine: database was not opened with OpenDir")
+	}
+	db.walMu.Lock()
+	w := db.wal
+	db.walMu.Unlock()
+	if w == nil {
+		return errors.New("engine: no WAL attached")
+	}
+	// Exclude in-flight commit+log pairs for the whole checkpoint (see
+	// DB.ckptMu): every commit is either fully before the snapshot (in the
+	// dump) or fully after the WAL swap (in the new log), never split.
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	if err := w.poisonErr(); err != nil {
+		return err
+	}
+	fsys := db.fsRef()
+	newEpoch := db.epoch + 1
+	snap := db.Snapshot()
+
+	// Phase 1: spill each table's sealed bulk to its new segment file.
+	type tableCkpt struct {
+		tbl       *storage.Table
+		spillFile string
+		spilled   int
+		tail      []*storage.Row
+	}
+	names := db.catalog.Names()
+	sort.Strings(names)
+	ckpts := make([]tableCkpt, 0, len(names))
+	for _, name := range names {
+		tbl, err := db.catalog.Get(name)
+		if err != nil {
+			return err
+		}
+		var live []*storage.Row
+		for _, r := range tbl.Rows() {
+			if snap.Visible(r) {
+				live = append(live, r)
+			}
+		}
+		ck := tableCkpt{tbl: tbl, tail: live}
+		if spill := len(live) - len(live)%ckptSpillRows; spill > 0 {
+			segs := storage.CompactSegments(live[:spill], tbl.Schema, ckptSpillRows)
+			ck.spillFile = segFileName(tbl.Name, newEpoch)
+			ck.spilled = spill
+			ck.tail = live[spill:]
+			path := filepath.Join(db.dir, segDirName, ck.spillFile)
+			err := crashfs.WriteDurable(fsys, path, func(f crashfs.File) error {
+				return storage.WriteSegmentFile(f, tbl.Schema, segs)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		ckpts = append(ckpts, ck)
+	}
+
+	// Phase 2: a fresh, empty, durable WAL for the new epoch.
+	newWALPath := filepath.Join(db.dir, walFileName(newEpoch))
+	neww, replayed, err := openWAL(fsys, newWALPath)
+	if err != nil {
+		return err
+	}
+	if len(replayed) != 0 {
+		_ = neww.Close() // the stale-file error is the error that matters
+		return fmt.Errorf("engine: new epoch WAL %s already has transactions", newWALPath)
+	}
+	if err := neww.f.Sync(); err != nil {
+		_ = neww.Close()
+		return err
+	}
+	if err := fsys.SyncDir(db.dir); err != nil {
+		_ = neww.Close()
+		return err
+	}
+
+	// Phase 3: the dump referencing the new segment files.
+	err = crashfs.WriteDurable(fsys, filepath.Join(db.dir, dumpFileName(newEpoch)), func(f crashfs.File) error {
+		cw := &crcWriter{w: f}
+		bw := bufio.NewWriter(cw)
+		if _, err := bw.WriteString(dumpMagicV2); err != nil {
+			return err
+		}
+		writeUvarint(bw, newEpoch)
+		writeUvarint(bw, uint64(len(ckpts)))
+		for _, ck := range ckpts {
+			if err := saveDirTable(bw, ck.tbl, ck.spillFile, ck.spilled, ck.tail); err != nil {
+				return fmt.Errorf("engine: saving table %s: %w", ck.tbl.Name, err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], cw.sum)
+		_, err := f.Write(sum[:])
+		return err
+	})
+	if err != nil {
+		_ = neww.Close()
+		return err
+	}
+
+	// Phase 4: the commit point — everything before this is invisible to
+	// recovery, everything after is cleanup.
+	if err := writeManifest(fsys, filepath.Join(db.dir, manifestName), newEpoch); err != nil {
+		_ = neww.Close()
+		return err
+	}
+
+	// Phase 5: swap the live WAL to the new epoch and sweep the old one.
+	db.walMu.Lock()
+	old := db.wal
+	neww.Sync = old.Sync
+	db.wal = neww
+	db.walMu.Unlock()
+	db.epoch = newEpoch
+	// The old log is fully subsumed by the new dump; its close result
+	// cannot change recovery.
+	_ = old.Close()
+	cleanupStaleEpochs(fsys, db.dir, newEpoch)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// manifest
+
+func readManifest(fsys crashfs.FS, path string) (epoch uint64, found bool, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	defer f.Close()
+	info, err := fsys.Stat(path)
+	if err != nil {
+		return 0, false, err
+	}
+	if info.Size() < int64(len(manifestMagic))+1+4 || info.Size() > 64 {
+		return 0, false, fmt.Errorf("engine: manifest %s has impossible size %d", path, info.Size())
+	}
+	buf := make([]byte, info.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return 0, false, err
+	}
+	body, sumBytes := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(sumBytes) {
+		return 0, false, fmt.Errorf("engine: manifest %s checksum mismatch", path)
+	}
+	if string(body[:len(manifestMagic)]) != manifestMagic {
+		return 0, false, fmt.Errorf("engine: manifest %s bad magic %q", path, body[:len(manifestMagic)])
+	}
+	epoch, n := binary.Uvarint(body[len(manifestMagic):])
+	if n <= 0 || epoch == 0 {
+		return 0, false, fmt.Errorf("engine: manifest %s corrupt epoch", path)
+	}
+	return epoch, true, nil
+}
+
+func writeManifest(fsys crashfs.FS, path string, epoch uint64) error {
+	body := append([]byte(manifestMagic), binary.AppendUvarint(nil, epoch)...)
+	body = binary.LittleEndian.AppendUint32(body, crc32.Checksum(body, castagnoli))
+	return crashfs.WriteDurable(fsys, path, func(f crashfs.File) error {
+		_, err := f.Write(body)
+		return err
+	})
+}
+
+// ---------------------------------------------------------------------------
+// epoch file naming
+
+func dumpFileName(epoch uint64) string { return fmt.Sprintf("dump.%d", epoch) }
+func walFileName(epoch uint64) string  { return fmt.Sprintf("wal.%d.log", epoch) }
+
+func segFileName(table string, epoch uint64) string {
+	return fmt.Sprintf("%s.%d.seg", strings.ToLower(table), epoch)
+}
+
+// cleanupStaleEpochs removes crash debris: temp files and dump/WAL/segment
+// files belonging to any epoch other than the live one. Best-effort — a
+// failure here only delays reclamation until the next open or checkpoint.
+func cleanupStaleEpochs(fsys crashfs.FS, dir string, epoch uint64) {
+	sweep := func(sub string, stale func(name string) bool) {
+		names, err := fsys.ReadDir(sub)
+		if err != nil {
+			return
+		}
+		removed := false
+		for _, name := range names {
+			if strings.HasSuffix(name, ".tmp") || stale(name) {
+				_ = fsys.Remove(filepath.Join(sub, name))
+				removed = true
+			}
+		}
+		if removed {
+			_ = fsys.SyncDir(sub)
+		}
+	}
+	sweep(dir, func(name string) bool {
+		if e, ok := parseEpochName(name, "dump.", ""); ok {
+			return e != epoch
+		}
+		if e, ok := parseEpochName(name, "wal.", ".log"); ok {
+			return e != epoch
+		}
+		return false
+	})
+	sweep(filepath.Join(dir, segDirName), func(name string) bool {
+		i := strings.LastIndex(strings.TrimSuffix(name, ".seg"), ".")
+		if !strings.HasSuffix(name, ".seg") || i < 0 {
+			return false
+		}
+		e, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg")[i+1:], 10, 64)
+		return err == nil && e != epoch
+	})
+}
+
+// parseEpochName extracts N from prefix+N+suffix, e.g. "wal.3.log".
+func parseEpochName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	e, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// ---------------------------------------------------------------------------
+// TRACDB02 dump codec
+
+// crcWriter tracks the running CRC32C of everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, castagnoli, p[:n])
+	return n, err
+}
+
+// saveDirTable writes one table's schema, index list, spill reference, and
+// row tail (the visible rows NOT covered by the segment file).
+func saveDirTable(w *bufio.Writer, tbl *storage.Table, spillFile string, spilled int, tail []*storage.Row) error {
+	writeString(w, tbl.Name)
+	schema := tbl.Schema
+	writeUvarint(w, uint64(schema.NumColumns()))
+	for _, col := range schema.Columns {
+		writeString(w, col.Name)
+		w.WriteByte(byte(col.Kind))
+		if col.PrimaryKey {
+			w.WriteByte(1)
+		} else {
+			w.WriteByte(0)
+		}
+		writeDomain(w, col.Domain)
+	}
+	writeVarint(w, int64(schema.SourceColumn))
+	checks := TableChecks(tbl)
+	writeUvarint(w, uint64(len(checks)))
+	for _, c := range checks {
+		writeString(w, c.SQL())
+	}
+	idxCols := tbl.IndexedColumns()
+	sort.Ints(idxCols)
+	writeUvarint(w, uint64(len(idxCols)))
+	for _, c := range idxCols {
+		writeUvarint(w, uint64(c))
+	}
+	writeString(w, spillFile)
+	writeUvarint(w, uint64(spilled))
+	writeUvarint(w, uint64(len(tail)))
+	for _, r := range tail {
+		for _, v := range r.Values {
+			if err := writeValue(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loadDirDump reads dump.<epoch>, restoring schemas and row tails eagerly
+// and registering spilled segment files for lazy hydration.
+func (db *DB) loadDirDump(fsys crashfs.FS, dir string, epoch uint64) error {
+	path := filepath.Join(dir, dumpFileName(epoch))
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := fsys.Stat(path)
+	if err != nil {
+		return err
+	}
+	if info.Size() < int64(len(dumpMagicV2))+4 {
+		return fmt.Errorf("engine: dump %s too short (%d bytes)", path, info.Size())
+	}
+	buf := make([]byte, info.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	body, sumBytes := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(sumBytes) {
+		return fmt.Errorf("engine: dump %s checksum mismatch", path)
+	}
+	r := bufio.NewReader(bytes.NewReader(body))
+	magic := make([]byte, len(dumpMagicV2))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return err
+	}
+	if string(magic) != dumpMagicV2 {
+		return fmt.Errorf("engine: %s is not a TRAC v2 dump (magic %q)", path, magic)
+	}
+	dumpEpoch, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	if dumpEpoch != epoch {
+		return fmt.Errorf("engine: dump %s claims epoch %d, manifest says %d", path, dumpEpoch, epoch)
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := db.loadDirTable(r, fsys, dir); err != nil {
+			return err
+		}
+	}
+	// Everything above bypassed Exec; settle the catalog version once so
+	// plans cached against the empty pre-load catalog cannot survive.
+	db.catalog.BumpVersion()
+	return nil
+}
+
+// loadDirTable restores one table from the v2 dump.
+func (db *DB) loadDirTable(r *bufio.Reader, fsys crashfs.FS, dir string) error {
+	name, err := readString(r)
+	if err != nil {
+		return err
+	}
+	nCols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	cols := make([]storage.Column, nCols)
+	for i := range cols {
+		cname, err := readString(r)
+		if err != nil {
+			return err
+		}
+		kindB, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		pkB, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		dom, err := readDomain(r)
+		if err != nil {
+			return err
+		}
+		cols[i] = storage.Column{Name: cname, Kind: types.Kind(kindB), PrimaryKey: pkB == 1, Domain: dom}
+	}
+	schema, err := storage.NewSchema(cols)
+	if err != nil {
+		return err
+	}
+	srcCol, err := readVarint(r)
+	if err != nil {
+		return err
+	}
+	if srcCol >= 0 {
+		schema.SourceColumn = int(srcCol)
+	}
+	nChecks, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nChecks; i++ {
+		src, err := readString(r)
+		if err != nil {
+			return err
+		}
+		e, err := sqlparser.ParseExpr(src)
+		if err != nil {
+			return fmt.Errorf("engine: bad CHECK in dump: %w", err)
+		}
+		schema.Checks = append(schema.Checks, e)
+	}
+	tbl := storage.NewTable(name, schema)
+	if err := db.catalog.Create(tbl); err != nil {
+		return err
+	}
+
+	nIdx, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	idxCols := make([]int, nIdx)
+	for i := range idxCols {
+		c, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		if c >= nCols {
+			return fmt.Errorf("engine: dump index column %d out of range", c)
+		}
+		idxCols[i] = int(c)
+	}
+	spillFile, err := readString(r)
+	if err != nil {
+		return err
+	}
+	spilled, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+
+	nRows, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	tx := db.mgr.Begin()
+	for i := uint64(0); i < nRows; i++ {
+		vals := make([]types.Value, nCols)
+		for j := range vals {
+			v, err := readValue(r)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			vals[j] = v
+		}
+		if err := tx.InsertRow(tbl, storage.NewRow(vals, 0)); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+
+	if spillFile != "" {
+		segPath := filepath.Join(dir, segDirName, spillFile)
+		want := int(spilled)
+		// Indexes wait for hydration; building them now would force the
+		// load this laziness exists to avoid.
+		tbl.SetSpill(func() ([]*storage.Segment, error) {
+			return loadSegmentFile(fsys, segPath, schema, want)
+		}, idxCols)
+		return nil
+	}
+	for _, c := range idxCols {
+		if err := tbl.CreateIndex(schema.Columns[c].Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSegmentFile reads and checksums one table's spilled segments.
+func loadSegmentFile(fsys crashfs.FS, path string, schema *storage.Schema, wantRows int) ([]*storage.Segment, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := fsys.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := storage.ReadSegmentFile(f, info.Size(), schema)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Len()
+	}
+	if total != wantRows {
+		return nil, fmt.Errorf("engine: segment file %s holds %d rows, dump expects %d", path, total, wantRows)
+	}
+	return segs, nil
+}

@@ -1,0 +1,389 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trac/internal/crashfs"
+	"trac/internal/storage"
+)
+
+// bulkInsert issues INSERTs of n rows into T(a BIGINT, src TEXT) starting
+// at base, batched to keep statement counts sane.
+func bulkInsert(t *testing.T, db *DB, table string, base, n int) {
+	t.Helper()
+	const batch = 500
+	for off := 0; off < n; off += batch {
+		lim := off + batch
+		if lim > n {
+			lim = n
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", table)
+		for i := off; i < lim; i++ {
+			if i > off {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 's%d')", base+i, (base+i)%4)
+		}
+		db.MustExec(sb.String())
+	}
+}
+
+func countRows(t *testing.T, db *DB, table string) int64 {
+	t.Helper()
+	res, err := db.Query(`SELECT COUNT(*) FROM ` + table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[0][0].Int()
+}
+
+func TestOpenDirFreshWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != 1 || db.Dir() != dir {
+		t.Fatalf("fresh dir epoch=%d dir=%q", db.Epoch(), db.Dir())
+	}
+	db.MustExec(`CREATE TABLE T (a BIGINT, src TEXT)`)
+	db.MustExec(`INSERT INTO T VALUES (1, 's0'), (2, 's1')`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any checkpoint there is no manifest: recovery is WAL-only.
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); !os.IsNotExist(err) {
+		t.Fatalf("manifest should not exist before first checkpoint: %v", err)
+	}
+	db2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := countRows(t, db2, "T"); got != 2 {
+		t.Fatalf("WAL-only recovery = %d rows, want 2", got)
+	}
+}
+
+func TestCheckpointDirSpillsAndRecoversLazily(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE Activity (a BIGINT, src TEXT)`)
+	db.MustExec(`CREATE INDEX ia ON Activity (a)`)
+	total := storage.DefaultSegmentSize + 300
+	bulkInsert(t, db, "Activity", 0, total)
+	// Deletions before the checkpoint: only the consistent visible cut may
+	// be persisted.
+	db.MustExec(`DELETE FROM Activity WHERE a < 100`)
+	live := total - 100
+
+	if err := db.CheckpointDir(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != 2 {
+		t.Fatalf("epoch after checkpoint = %d, want 2", db.Epoch())
+	}
+	// New-epoch files exist; the old epoch's WAL is swept.
+	for _, want := range []string{"MANIFEST", "dump.2", "wal.2.log", filepath.Join("seg", "activity.2.seg")} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Fatalf("missing %s after checkpoint: %v", want, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal.1.log")); !os.IsNotExist(err) {
+		t.Fatal("old epoch WAL not cleaned up")
+	}
+	// The database stays writable across the swap.
+	db.MustExec(`INSERT INTO Activity VALUES (999999, 's0')`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl, err := db2.Catalog().Get("Activity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery left the spilled bulk cold, but the index metadata is known.
+	if !tbl.Spilled() {
+		t.Fatal("spilled table should be cold after OpenDir")
+	}
+	if cols := tbl.IndexedColumns(); len(cols) != 1 || cols[0] != 0 {
+		t.Fatalf("pre-hydration IndexedColumns = %v", cols)
+	}
+	if got := countRows(t, db2, "Activity"); got != int64(live)+1 {
+		t.Fatalf("recovered rows = %d, want %d", got, live+1)
+	}
+	if tbl.Spilled() {
+		t.Fatal("query should have hydrated the table")
+	}
+	// Point query through the recovered (pending) index.
+	res, err := db2.Query(`SELECT src FROM Activity WHERE a = 4000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "s0" {
+		t.Fatalf("indexed lookup after recovery = %v", res.Rows)
+	}
+	if got := countRows(t, db2, "Activity"); got != int64(live)+1 {
+		t.Fatalf("post-hydration rows = %d, want %d", got, live+1)
+	}
+}
+
+func TestCheckpointDirRepeatedEpochs(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE T (a BIGINT, src TEXT)`)
+	for i := 0; i < 3; i++ {
+		bulkInsert(t, db, "T", i*10, 10)
+		if err := db.CheckpointDir(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Epoch() != 4 {
+		t.Fatalf("epoch = %d, want 4", db.Epoch())
+	}
+	bulkInsert(t, db, "T", 100, 5)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := countRows(t, db2, "T"); got != 35 {
+		t.Fatalf("rows = %d, want 35", got)
+	}
+	if db2.Epoch() != 4 {
+		t.Fatalf("recovered epoch = %d, want 4", db2.Epoch())
+	}
+}
+
+func TestOpenDirRecoveryIsLazy(t *testing.T) {
+	// Recovery must not read segment files: O(catalog + WAL tail), not
+	// O(data). The counting FS records which paths are opened.
+	m := crashfs.NewMem()
+	cfs := &countingFS{FS: m}
+	db, err := OpenDir("db", WithFS(cfs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE T (a BIGINT, src TEXT)`)
+	bulkInsert(t, db, "T", 0, storage.DefaultSegmentSize)
+	if err := db.CheckpointDir(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfs.opened = nil
+	db2, err := OpenDir("db", WithFS(cfs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for _, p := range cfs.opened {
+		if strings.HasSuffix(p, ".seg") {
+			t.Fatalf("OpenDir touched segment file %s; recovery must be lazy", p)
+		}
+	}
+	// First query pays for hydration exactly once.
+	if got := countRows(t, db2, "T"); got != int64(storage.DefaultSegmentSize) {
+		t.Fatalf("rows = %d", got)
+	}
+	segOpens := 0
+	for _, p := range cfs.opened {
+		if strings.HasSuffix(p, ".seg") {
+			segOpens++
+		}
+	}
+	if segOpens != 1 {
+		t.Fatalf("segment file opened %d times, want exactly 1", segOpens)
+	}
+}
+
+type countingFS struct {
+	crashfs.FS
+	opened []string
+}
+
+func (c *countingFS) OpenFile(path string, flag int, perm os.FileMode) (crashfs.File, error) {
+	c.opened = append(c.opened, path)
+	return c.FS.OpenFile(path, flag, perm)
+}
+
+func TestOpenDirVerifyDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE T (a BIGINT, src TEXT)`)
+	bulkInsert(t, db, "T", 0, storage.DefaultSegmentSize)
+	if err := db.CheckpointDir(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segPath := filepath.Join(dir, "seg", "t.2.seg")
+	raw, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(segPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenDir(dir, WithVerify()); err == nil {
+		t.Fatal("verify mode must reject a corrupted segment file")
+	}
+	// Lazy mode opens fine (the catalog is intact); the corruption is
+	// caught by Hydrate on first touch.
+	db2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl, _ := db2.Catalog().Get("T")
+	if err := tbl.Hydrate(); err == nil {
+		t.Fatal("hydrating a corrupted segment file must fail")
+	}
+}
+
+func TestOpenDirRejectsCorruptManifestAndDump(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE T (a BIGINT, src TEXT)`)
+	db.MustExec(`INSERT INTO T VALUES (1, 's0')`)
+	if err := db.CheckpointDir(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(path string, pos int) func() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), raw...)
+		if pos < 0 {
+			pos = len(mut) + pos
+		}
+		mut[pos] ^= 0x08
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return func() { os.WriteFile(path, raw, 0o644) }
+	}
+
+	restore := flip(filepath.Join(dir, manifestName), 9)
+	if _, err := OpenDir(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	restore()
+	restore = flip(filepath.Join(dir, "dump.2"), 12)
+	if _, err := OpenDir(dir); err == nil {
+		t.Fatal("corrupt dump accepted")
+	}
+	restore()
+	db2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := countRows(t, db2, "T"); got != 1 {
+		t.Fatalf("restored dir rows = %d", got)
+	}
+}
+
+func TestCheckpointDirPersistsChecksAndSourceColumn(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE M (a BIGINT, src TEXT, CHECK (a >= 0))`)
+	mt, err := db.Catalog().Get("M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Schema.SetSourceColumn("src"); err != nil {
+		t.Fatal(err)
+	}
+	db.Catalog().BumpVersion()
+	db.MustExec(`INSERT INTO M VALUES (7, 's1')`)
+	if err := db.CheckpointDir(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl, err := db2.Catalog().Get("M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema.SourceColumn != 1 {
+		t.Fatalf("source column = %d, want 1", tbl.Schema.SourceColumn)
+	}
+	if len(TableChecks(tbl)) != 1 {
+		t.Fatalf("checks = %d, want 1", len(TableChecks(tbl)))
+	}
+	if _, err := db2.Exec(`INSERT INTO M VALUES (-1, 's1')`); err == nil {
+		t.Fatal("recovered CHECK constraint not enforced")
+	}
+}
+
+func TestOpenDirMemFSRoundTrip(t *testing.T) {
+	m := crashfs.NewMem()
+	db, err := OpenDir("d", WithFS(m), WithSyncWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE T (a BIGINT, src TEXT)`)
+	db.MustExec(`INSERT INTO T VALUES (1, 's0'), (2, 's1'), (3, 's2')`)
+	if err := db.CheckpointDir(); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`INSERT INTO T VALUES (4, 's3')`)
+	// Crash without Close: everything since the checkpoint was fsynced by
+	// the group-committing WAL, so nothing may be lost.
+	m.Recover()
+	db2, err := OpenDir("d", WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := countRows(t, db2, "T"); got != 4 {
+		t.Fatalf("post-crash rows = %d, want 4", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 
+	"trac/internal/crashfs"
 	"trac/internal/sqlparser"
 	"trac/internal/storage"
 	"trac/internal/types"
@@ -52,17 +53,15 @@ func (db *DB) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveFile writes a dump to a file.
+// SaveFile writes a dump to a file atomically and durably: temp file in the
+// same directory, fsync, rename over path, parent-directory fsync. A crash
+// at any point leaves either the complete old dump or the complete new one
+// — never a torn file, and never a rename that evaporates with the page
+// cache.
 func (db *DB) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := db.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return crashfs.WriteDurable(db.fsRef(), path, func(f crashfs.File) error {
+		return db.Save(f)
+	})
 }
 
 // Load reads a dump into a fresh database.

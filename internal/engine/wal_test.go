@@ -1,9 +1,14 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+
+	"trac/internal/crashfs"
 )
 
 func walDB(t *testing.T, path string) *DB {
@@ -124,8 +129,8 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fi.Size() != 0 {
-		t.Errorf("WAL not truncated: %d bytes", fi.Size())
+	if fi.Size() != walHeaderSize {
+		t.Errorf("WAL not truncated: %d bytes, want bare header (%d)", fi.Size(), walHeaderSize)
 	}
 	// Post-checkpoint writes land in the (fresh) log.
 	db.MustExec(`INSERT INTO T VALUES (2)`)
@@ -172,6 +177,89 @@ func TestWALErrors(t *testing.T) {
 	if err := db3.AttachWAL(path); err == nil {
 		t.Error("replaying conflicting DDL should fail")
 		db3.DetachWAL()
+	}
+}
+
+func TestWALGroupCommitConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.wal")
+	db := walDB(t, path)
+	db.walMu.Lock()
+	db.wal.Sync = true
+	db.walMu.Unlock()
+	db.MustExec(`CREATE TABLE T (a BIGINT)`)
+	const writers, per = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if _, err := db.Exec(fmt.Sprintf(`INSERT INTO T VALUES (%d)`, id*per+j)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := db.DetachWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := walDB(t, path)
+	defer db2.DetachWAL()
+	res, _ := db2.Query(`SELECT COUNT(*) FROM T`)
+	if res.Rows[0][0].Int() != writers*per {
+		t.Errorf("group-commit recovery = %v rows, want %d", res.Rows[0][0], writers*per)
+	}
+}
+
+func TestWALFsyncFailurePoisons(t *testing.T) {
+	m := crashfs.NewMem()
+	db := New()
+	db.fsys = m
+	if err := db.AttachWAL("p.wal"); err != nil {
+		t.Fatal(err)
+	}
+	db.walMu.Lock()
+	db.wal.Sync = true
+	db.walMu.Unlock()
+	db.MustExec(`CREATE TABLE T (a BIGINT)`)
+	// Arm the next mutating op to fail: it will be the record write or the
+	// fsync of the next commit; either must poison the WAL.
+	m.SetCrashAt(1)
+	if _, err := db.Exec(`INSERT INTO T VALUES (1)`); err == nil {
+		t.Fatal("commit after injected I/O failure should error")
+	}
+	m.Recover()
+	// The fs is healthy again, but the WAL must stay poisoned: its durable
+	// contents are unknowable after a failed fsync.
+	_, err := db.Exec(`INSERT INTO T VALUES (2)`)
+	if !errors.Is(err, ErrWALPoisoned) && !errors.Is(err, ErrWALAppend) {
+		t.Fatalf("post-poison commit error = %v, want poisoned", err)
+	}
+	if err := db.Checkpoint("d.dump"); !errors.Is(err, ErrWALPoisoned) {
+		t.Fatalf("post-poison checkpoint error = %v, want ErrWALPoisoned", err)
+	}
+	// Close reports rather than swallows.
+	if err := db.DetachWAL(); err == nil {
+		t.Error("detaching a poisoned WAL should report the failure")
+	}
+}
+
+func TestWALRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not.wal")
+	if err := os.WriteFile(path, []byte("NOTAWAL!"+"garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	if err := db.AttachWAL(path); err == nil {
+		db.DetachWAL()
+		t.Fatal("attaching a non-WAL file should fail")
 	}
 }
 

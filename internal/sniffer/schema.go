@@ -32,15 +32,30 @@ const (
 // InstallSchema creates the monitoring tables, marks their data source
 // columns, sets the finite domain on Activity.value, and builds B-tree
 // indexes on every source column (as the paper's evaluation does).
+//
+// It is idempotent: tables that already exist are left alone and duplicate
+// index builds are no-ops, so a deployment that crashed partway through the
+// install (or recovered an older subset from its WAL) can simply call it
+// again to finish the job.
 func InstallSchema(db *engine.DB) error {
-	stmts := []string{
-		`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`,
-		`CREATE TABLE Routing (mach_id TEXT, neighbor TEXT, event_time TIMESTAMP)`,
-		`CREATE TABLE S (schedMachineId TEXT, jobId TEXT, remoteMachineId TEXT, job_user TEXT)`,
-		`CREATE TABLE R (runningMachineId TEXT, jobId TEXT)`,
-		`CREATE TABLE JobLog (mach_id TEXT, job_id TEXT, event TEXT, event_time TIMESTAMP)`,
-		`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`,
-		`CREATE TABLE SnifferState (sid TEXT PRIMARY KEY, log_offset BIGINT, applied BIGINT, last_ts TIMESTAMP)`,
+	tables := []struct{ name, ddl string }{
+		{ActivityTable, `CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`},
+		{RoutingTable, `CREATE TABLE Routing (mach_id TEXT, neighbor TEXT, event_time TIMESTAMP)`},
+		{SchedulerTable, `CREATE TABLE S (schedMachineId TEXT, jobId TEXT, remoteMachineId TEXT, job_user TEXT)`},
+		{RunningTable, `CREATE TABLE R (runningMachineId TEXT, jobId TEXT)`},
+		{JobLogTable, `CREATE TABLE JobLog (mach_id TEXT, job_id TEXT, event TEXT, event_time TIMESTAMP)`},
+		{HeartbeatTable, `CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`},
+		{SnifferStateTable, `CREATE TABLE SnifferState (sid TEXT PRIMARY KEY, log_offset BIGINT, applied BIGINT, last_ts TIMESTAMP)`},
+	}
+	for _, tbl := range tables {
+		if _, err := db.Catalog().Get(tbl.name); err == nil {
+			continue
+		}
+		if _, err := db.Exec(tbl.ddl); err != nil {
+			return err
+		}
+	}
+	indexes := []string{
 		`CREATE INDEX idx_activity_mach ON Activity (mach_id)`,
 		`CREATE INDEX idx_routing_mach ON Routing (mach_id)`,
 		`CREATE INDEX idx_s_sched ON S (schedMachineId)`,
@@ -49,7 +64,7 @@ func InstallSchema(db *engine.DB) error {
 		`CREATE INDEX idx_r_job ON R (jobId)`,
 		`CREATE INDEX idx_joblog_mach ON JobLog (mach_id)`,
 	}
-	for _, sql := range stmts {
+	for _, sql := range indexes {
 		if _, err := db.Exec(sql); err != nil {
 			return err
 		}

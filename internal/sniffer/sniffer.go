@@ -509,6 +509,19 @@ func (f *Fleet) PollAllContext(ctx context.Context) (int, error) {
 	return total, errors.Join(errs...)
 }
 
+// RestoreAll loads every sniffer's durable resume point from the
+// SnifferState table — the fleet half of crash recovery: after
+// engine.OpenDir rebuilds the database, RestoreAll repositions each sniffer
+// at the exact log offset its last committed batch covered, so ingestion
+// resumes exactly-once with no events lost or re-applied.
+func (f *Fleet) RestoreAll() error {
+	var errs []error
+	for _, s := range f.Sniffers {
+		errs = append(errs, s.Restore())
+	}
+	return errors.Join(errs...)
+}
+
 // Get returns the sniffer for a source name, or nil.
 func (f *Fleet) Get(source string) *Sniffer {
 	for _, s := range f.Sniffers {

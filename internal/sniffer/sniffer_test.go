@@ -33,9 +33,10 @@ func TestInstallSchema(t *testing.T) {
 			t.Errorf("table %s has no source column", table)
 		}
 	}
-	// Installing twice fails cleanly.
-	if err := InstallSchema(db); err == nil {
-		t.Error("double install should fail")
+	// Installing twice is a no-op (crash recovery re-runs the install to
+	// finish partial schemas and restore API-level metadata).
+	if err := InstallSchema(db); err != nil {
+		t.Errorf("re-install should be idempotent: %v", err)
 	}
 }
 

@@ -292,6 +292,7 @@ func (h *HeapSnap) Len() int { return len(h.Rows) }
 // every cursor derived from it. Versions appended or sealed after the call
 // are not included.
 func (t *Table) Snap() *HeapSnap {
+	t.ensureHydrated()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	segs := t.segments[:len(t.segments):len(t.segments)]
@@ -350,6 +351,7 @@ func (t *Table) sealRegionLocked(n int) {
 // It is the explicit form of the auto-sealer, for bulk loads and benchmarks
 // that want full columnar coverage.
 func (t *Table) Seal() int {
+	t.ensureHydrated()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	size := t.sealThreshold()
@@ -370,6 +372,7 @@ func (t *Table) Seal() int {
 
 // NumSegments returns the current sealed segment count.
 func (t *Table) NumSegments() int {
+	t.ensureHydrated()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return len(t.segments)
@@ -377,6 +380,7 @@ func (t *Table) NumSegments() int {
 
 // SealedRows returns how many leading row versions are covered by segments.
 func (t *Table) SealedRows() int {
+	t.ensureHydrated()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.sealed

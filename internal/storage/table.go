@@ -87,6 +87,109 @@ type Table struct {
 	segments  []*Segment
 	sealed    int
 	sealEvery int
+
+	// spill is non-nil while the table's checkpointed sealed prefix still
+	// lives only in its segment file. Read accessors hydrate it on first
+	// touch; Append deliberately does not (recovery replaying an append-only
+	// WAL tail stays O(tail)). See SetSpill.
+	spill atomic.Pointer[tableSpill]
+}
+
+// tableSpill is the not-yet-hydrated portion of a recovered table.
+type tableSpill struct {
+	once sync.Once
+	err  error
+	load func() ([]*Segment, error)
+	// pendingIdx lists column positions whose indexes are created at
+	// hydration time (building them earlier would force the load).
+	pendingIdx []int
+}
+
+// SetSpill registers a lazy loader for the table's spilled sealed prefix.
+// Until the first read access, the table holds only its row tail; the
+// loader then supplies the checkpointed segments, which are spliced in
+// front of any rows appended in the meantime, and the pending indexes are
+// built over the full heap. Call before the table is shared across
+// goroutines (i.e. during recovery).
+func (t *Table) SetSpill(load func() ([]*Segment, error), pendingIdx []int) {
+	t.spill.Store(&tableSpill{load: load, pendingIdx: pendingIdx})
+}
+
+// Spilled reports whether the table still has an unhydrated spilled prefix.
+func (t *Table) Spilled() bool { return t.spill.Load() != nil }
+
+// Hydrate forces the spilled prefix resident, returning the load error (a
+// failed checksum, a missing file). It is idempotent and safe for
+// concurrent use; on success the table behaves as if fully loaded.
+func (t *Table) Hydrate() error {
+	sp := t.spill.Load()
+	if sp == nil {
+		return nil
+	}
+	sp.once.Do(func() { sp.err = t.hydrate(sp) })
+	if sp.err != nil {
+		return sp.err
+	}
+	t.spill.Store(nil)
+	return nil
+}
+
+// hydrate splices the loaded segments in front of the live tail. Runs at
+// most once per tableSpill (guarded by its sync.Once).
+func (t *Table) hydrate(sp *tableSpill) error {
+	segs, err := sp.load()
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Len()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rows := make([]*Row, 0, total+len(t.rows))
+	for _, s := range segs {
+		rows = append(rows, s.Rows...)
+	}
+	rows = append(rows, t.rows...)
+	t.rows = rows
+	t.segments = append(segs[:len(segs):len(segs)], t.segments...)
+	t.sealed += total
+	for col := range t.indexes {
+		// An index created before hydration (not possible through the
+		// public API, which hydrates first) would be missing the spilled
+		// rows; rebuild defensively.
+		rebuilt := NewBTree()
+		for _, row := range t.rows {
+			rebuilt.Insert(row.Values[col], row)
+		}
+		t.indexes[col] = rebuilt
+	}
+	for _, col := range sp.pendingIdx {
+		if _, ok := t.indexes[col]; ok {
+			continue
+		}
+		idx := NewBTree()
+		for _, row := range t.rows {
+			idx.Insert(row.Values[col], row)
+		}
+		t.indexes[col] = idx
+	}
+	return nil
+}
+
+// ensureHydrated is the accessor-side gate: a nil spill pointer (the
+// steady state) costs one atomic load. Hydration failure here is a
+// detected-corruption invariant violation with no error channel to the
+// caller, so it panics; recovery paths that want the error call Hydrate
+// directly (engine.OpenDir's verify mode does, eagerly).
+func (t *Table) ensureHydrated() {
+	if t.spill.Load() == nil {
+		return
+	}
+	if err := t.Hydrate(); err != nil {
+		panic(fmt.Sprintf("storage: table %s: hydrating spilled segments: %v", t.Name, err))
+	}
 }
 
 // NewTable creates an empty table.
@@ -114,6 +217,7 @@ func (t *Table) Append(row *Row) error {
 // Rows returns a stable snapshot of the version vector: versions appended
 // after the call are not included, and the returned slice is never mutated.
 func (t *Table) Rows() []*Row {
+	t.ensureHydrated()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.rows[:len(t.rows):len(t.rows)]
@@ -121,6 +225,7 @@ func (t *Table) Rows() []*Row {
 
 // NumVersions returns the total number of row versions in the heap.
 func (t *Table) NumVersions() int {
+	t.ensureHydrated()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return len(t.rows)
@@ -132,6 +237,9 @@ func (t *Table) CreateIndex(column string) error {
 	col := t.Schema.ColumnIndex(column)
 	if col < 0 {
 		return fmt.Errorf("storage: table %s has no column %q", t.Name, column)
+	}
+	if err := t.Hydrate(); err != nil {
+		return err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -148,13 +256,21 @@ func (t *Table) CreateIndex(column string) error {
 
 // Index returns the B+tree over the given column position, or nil.
 func (t *Table) Index(col int) *BTree {
+	t.ensureHydrated()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.indexes[col]
 }
 
-// IndexedColumns lists column positions that currently have indexes.
+// IndexedColumns lists column positions that currently have indexes,
+// including ones whose build is deferred until hydration.
 func (t *Table) IndexedColumns() []int {
+	if sp := t.spill.Load(); sp != nil {
+		// Answerable without forcing the load: the pending set plus any
+		// already-built indexes (none pre-hydration through the public API).
+		out := append([]int(nil), sp.pendingIdx...)
+		return out
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := make([]int, 0, len(t.indexes))

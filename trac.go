@@ -305,6 +305,36 @@ func OpenFile(path string) (*DB, error) {
 	return &DB{eng: eng}, nil
 }
 
+// OpenOption configures OpenDir.
+type OpenOption = engine.OpenOption
+
+// WithVerify makes OpenDir eagerly verify every segment file checksum
+// instead of deferring detection to first access.
+var WithVerify = engine.WithVerify
+
+// WithSyncWAL enables fsync-per-commit (group-committed) durability.
+var WithSyncWAL = engine.WithSyncWAL
+
+// OpenDir opens (or initializes) a crash-safe database directory: a
+// checkpoint dump with checksummed segment files plus a write-ahead log.
+// Recovery — loading the last checkpoint, lazily mapping its segment
+// files, and replaying the WAL tail — happens before OpenDir returns.
+// Call CheckpointDir periodically to bound the log and Close when done.
+func OpenDir(dir string, opts ...OpenOption) (*DB, error) {
+	eng, err := engine.OpenDir(dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// CheckpointDir atomically writes a new checkpoint epoch (segment files,
+// dump, fresh WAL) for a database opened with OpenDir.
+func (db *DB) CheckpointDir() error { return db.eng.CheckpointDir() }
+
+// Close flushes and closes the write-ahead log, if one is attached.
+func (db *DB) Close() error { return db.eng.Close() }
+
 // AttachWAL enables a logical write-ahead log at path: complete
 // transactions already in the file are replayed first, and every SQL
 // mutation committed afterwards (Exec statements and loader batches) is
