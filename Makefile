@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check chaos crash bench bench-smoke bench-parallel
+.PHONY: build test lint lint-fix check chaos crash bench bench-smoke bench-parallel
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,17 @@ test:
 
 # lint runs the stock vet plus tracvet, the repo's own invariant suite
 # (catalog-version bumps, lock pairing, error wrapping, cancelable loops,
-# owned goroutines). Exits non-zero on any finding.
+# owned goroutines, lock-order cycles, batch-pool ownership, crashfs
+# discipline, channel leaks). Exits non-zero on any finding.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/tracvet ./...
+
+# lint-fix applies tracvet's mechanical remedies in place (errwrap's final
+# %v -> %w, synccheck's explicit `_ =` discard), then re-lints so the exit
+# status reflects what a human still has to look at.
+lint-fix:
+	$(GO) run ./cmd/tracvet -fix ./...
 
 # check is the CI gate: lint everything, run the concurrency-sensitive
 # packages (parallel scan, plan cache, MVCC) under the race detector, run

@@ -22,13 +22,20 @@ type Finding struct {
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
 	Reason   string `json:"reason,omitempty"`
+
+	// fixEdits is the mechanical remedy, when the analyzer has one; applied
+	// by -fix, never serialized (edits are byte offsets valid only this run).
+	fixEdits []TextEdit
 }
 
-// Analyzer is one repo-specific invariant checker.
+// Analyzer is one repo-specific invariant checker. Per-package analyzers set
+// Run; whole-program analyzers (lockorder) set RunProgram instead and see
+// every module-internal package at once.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgPass)
 }
 
 // Pass is the per-package state handed to each analyzer.
@@ -39,12 +46,17 @@ type Pass struct {
 	Info  *types.Info
 	Path  string
 
-	reportf func(pos token.Pos, msg string)
+	reportf func(pos token.Pos, msg string, edits []TextEdit)
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	p.reportf(pos, fmt.Sprintf(format, args...))
+	p.reportf(pos, fmt.Sprintf(format, args...), nil)
+}
+
+// ReportfFix records a finding that carries a mechanical -fix remedy.
+func (p *Pass) ReportfFix(pos token.Pos, edits []TextEdit, format string, args ...any) {
+	p.reportf(pos, fmt.Sprintf(format, args...), edits)
 }
 
 // TypeOf returns the static type of an expression (nil when unknown).
@@ -251,6 +263,7 @@ func runAnalyzers(l *loader, pkgs []*pkgInfo, analyzers []*Analyzer, relDir stri
 		analyzer string
 		pos      token.Position
 		msg      string
+		edits    []TextEdit
 	}
 	var raw []rawFinding
 	var sups []suppression
@@ -261,50 +274,98 @@ func runAnalyzers(l *loader, pkgs []*pkgInfo, analyzers []*Analyzer, relDir stri
 		}
 		for _, f := range pi.Files {
 			fileSups := collectSuppressions(l.Fset, f, known, func(pos token.Pos, msg string) {
-				raw = append(raw, rawFinding{"tracvet", l.Fset.Position(pos), msg})
+				raw = append(raw, rawFinding{"tracvet", l.Fset.Position(pos), msg, nil})
 			})
 			sups = append(sups, fileSups...)
 		}
 		pass := &Pass{Fset: l.Fset, Files: pi.Files, Pkg: pi.Pkg, Info: pi.Info, Path: pi.Path}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			name := a.Name
-			pass.reportf = func(pos token.Pos, msg string) {
-				raw = append(raw, rawFinding{name, l.Fset.Position(pos), msg})
+			pass.reportf = func(pos token.Pos, msg string, edits []TextEdit) {
+				raw = append(raw, rawFinding{name, l.Fset.Position(pos), msg, edits})
 			}
 			a.Run(pass)
+		}
+	}
+
+	// Whole-program analyzers run once over the dependency-closed package
+	// set; their findings are filtered to command-line targets by ProgPass.
+	var progAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			progAnalyzers = append(progAnalyzers, a)
+		}
+	}
+	if len(progAnalyzers) > 0 {
+		prog := buildProgram(l, pkgs)
+		for _, a := range progAnalyzers {
+			name := a.Name
+			pp := &ProgPass{Prog: prog, reportf: func(pos token.Pos, msg string) {
+				raw = append(raw, rawFinding{name, l.Fset.Position(pos), msg, nil})
+			}}
+			a.RunProgram(pp)
 		}
 	}
 
 	// Non-nil slices so the -json encoding is stable: a clean run emits
 	// "findings": [] rather than null.
 	res := &result{Findings: []Finding{}, Suppressed: []Finding{}, Counts: make(map[string]int)}
-	for _, rf := range raw {
+	match := func(rf rawFinding) (string, bool) {
+		for i := range sups {
+			s := &sups[i]
+			if s.Analyzer == rf.analyzer && s.File == rf.pos.Filename &&
+				(s.Line == rf.pos.Line || s.Line == rf.pos.Line-1) {
+				s.used = true
+				return s.Reason, true
+			}
+		}
+		return "", false
+	}
+	reasons := make([]string, len(raw))
+	suppressedAt := make([]bool, len(raw))
+	for i, rf := range raw {
+		reasons[i], suppressedAt[i] = match(rf)
+	}
+	// A suppression that matched nothing is itself a finding (only when its
+	// analyzer actually ran — suppressions for disabled analyzers are mute,
+	// not dead).
+	enabled := make(map[string]bool, len(analyzers)+1)
+	enabled["tracvet"] = true
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	for _, s := range sups {
+		if !s.used && enabled[s.Analyzer] {
+			raw = append(raw, rawFinding{"tracvet",
+				token.Position{Filename: s.File, Line: s.Line, Column: 1},
+				fmt.Sprintf("unused //tracvet:ignore %s: nothing is suppressed here — delete it (stale suppressions hide future regressions)", s.Analyzer),
+				nil})
+			reasons = append(reasons, "")
+			suppressedAt = append(suppressedAt, false)
+		}
+	}
+	for i, rf := range raw {
 		f := Finding{
 			Analyzer: rf.analyzer,
 			File:     rf.pos.Filename,
 			Line:     rf.pos.Line,
 			Col:      rf.pos.Column,
 			Message:  rf.msg,
-		}
-		suppressed := false
-		for i := range sups {
-			s := &sups[i]
-			if s.Analyzer == rf.analyzer && s.File == rf.pos.Filename &&
-				(s.Line == rf.pos.Line || s.Line == rf.pos.Line-1) {
-				s.used = true
-				f.Reason = s.Reason
-				suppressed = true
-				break
-			}
+			Reason:   reasons[i],
+			fixEdits: rf.edits,
 		}
 		if relDir != "" {
 			if rel, err := relPath(relDir, f.File); err == nil {
 				f.File = rel
 			}
 		}
-		if suppressed {
+		if suppressedAt[i] {
 			res.Suppressed = append(res.Suppressed, f)
 		} else {
+			f.Reason = ""
 			res.Findings = append(res.Findings, f)
 			res.Counts[f.Analyzer]++
 		}

@@ -1,0 +1,385 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// This file builds a small AST-level control-flow graph — the substrate the
+// flow-sensitive analyzers (poolreuse) run reaching-definitions-style
+// dataflow over. One node per statement; compound statements contribute a
+// "head" node carrying only their init/condition expressions, with edges
+// into each branch body, so a transfer function can walk node.uses without
+// accidentally descending into a branch it is not on.
+//
+// The builder is deliberately modest: break/continue (with labels),
+// fallthrough, returns, panics, and select/switch clauses are modeled;
+// goto is treated as terminating (the repo has none), and defers are
+// recorded on the graph rather than threaded through edges — they run at
+// exits, and the analyzers that care (deferred PutBatch/Unlock) consult the
+// list directly.
+
+// cfgNode is one statement (or synthetic join) in the graph.
+type cfgNode struct {
+	// stmt is the underlying statement; nil for the synthetic exit node.
+	stmt ast.Stmt
+	// uses are the sub-nodes a transfer function should walk for this node:
+	// the whole statement for simple statements, only the init/cond parts
+	// for compound ones (their bodies are separate nodes).
+	uses []ast.Node
+	// isReturn marks an explicit return statement (exit-bound edge).
+	isReturn bool
+	succs    []*cfgNode
+	idx      int
+}
+
+// cfgGraph is a function body's control-flow graph.
+type cfgGraph struct {
+	entry *cfgNode
+	// exit is the synthetic sink every return and the body's fall-off reach.
+	exit  *cfgNode
+	nodes []*cfgNode
+	// defers are the function's defer statements in source order.
+	defers []*ast.DeferStmt
+}
+
+type cfgBuilder struct {
+	g *cfgGraph
+	// label targets for break/continue; "" is the innermost.
+	breakTo    map[string]*cfgNode
+	continueTo map[string]*cfgNode
+	breakStack []*cfgNode
+	contStack  []*cfgNode
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *cfgGraph {
+	b := &cfgBuilder{
+		g:          &cfgGraph{},
+		breakTo:    make(map[string]*cfgNode),
+		continueTo: make(map[string]*cfgNode),
+	}
+	b.g.exit = b.newNode(nil)
+	b.g.entry = b.buildList(body.List, b.g.exit, "")
+	return b.g
+}
+
+func (b *cfgBuilder) newNode(stmt ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: stmt, idx: len(b.g.nodes)}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+// buildList builds a statement list backwards: each statement's node gets
+// the next statement's entry as successor; the last falls through to succ.
+// label names the statement list's enclosing labeled statement (propagated
+// to the first loop/switch built from it).
+func (b *cfgBuilder) buildList(list []ast.Stmt, succ *cfgNode, label string) *cfgNode {
+	entry := succ
+	for i := len(list) - 1; i >= 0; i-- {
+		lbl := ""
+		if i == 0 {
+			lbl = label
+		}
+		entry = b.buildStmt(list[i], entry, lbl)
+	}
+	return entry
+}
+
+// buildStmt builds one statement, returning its entry node. succ is where
+// control goes when the statement completes normally.
+func (b *cfgBuilder) buildStmt(stmt ast.Stmt, succ *cfgNode, label string) *cfgNode {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return b.buildList(s.List, succ, "")
+
+	case *ast.LabeledStmt:
+		return b.buildStmt(s.Stmt, succ, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		n.uses = exprNodes(s.Results)
+		n.isReturn = true
+		n.succs = []*cfgNode{b.g.exit}
+		return n
+
+	case *ast.BranchStmt:
+		return b.buildBranch(s, succ)
+
+	case *ast.DeferStmt:
+		b.g.defers = append(b.g.defers, s)
+		n := b.newNode(s)
+		n.uses = []ast.Node{s.Call}
+		n.succs = []*cfgNode{succ}
+		return n
+
+	case *ast.IfStmt:
+		head := b.newNode(s)
+		if s.Init != nil {
+			head.uses = append(head.uses, s.Init)
+		}
+		head.uses = append(head.uses, s.Cond)
+		thenEntry := b.buildList(s.Body.List, succ, "")
+		elseEntry := succ
+		if s.Else != nil {
+			elseEntry = b.buildStmt(s.Else, succ, "")
+		}
+		head.succs = []*cfgNode{thenEntry, elseEntry}
+		return head
+
+	case *ast.ForStmt:
+		head := b.newNode(s)
+		if s.Cond != nil {
+			head.uses = append(head.uses, s.Cond)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newNode(s.Post)
+			post.uses = []ast.Node{s.Post}
+			post.succs = []*cfgNode{head}
+		}
+		b.pushLoop(label, succ, post)
+		bodyEntry := b.buildList(s.Body.List, post, "")
+		b.popLoop(label)
+		head.succs = []*cfgNode{bodyEntry}
+		if s.Cond != nil {
+			head.succs = append(head.succs, succ)
+		}
+		if s.Init != nil {
+			init := b.newNode(s.Init)
+			init.uses = []ast.Node{s.Init}
+			init.succs = []*cfgNode{head}
+			return init
+		}
+		return head
+
+	case *ast.RangeStmt:
+		head := b.newNode(s)
+		head.uses = append(head.uses, s.X)
+		if s.Key != nil {
+			head.uses = append(head.uses, s.Key)
+		}
+		if s.Value != nil {
+			head.uses = append(head.uses, s.Value)
+		}
+		b.pushLoop(label, succ, head)
+		bodyEntry := b.buildList(s.Body.List, head, "")
+		b.popLoop(label)
+		head.succs = []*cfgNode{bodyEntry, succ}
+		return head
+
+	case *ast.SwitchStmt:
+		return b.buildSwitch(s, s.Init, s.Tag, s.Body, succ, label, false)
+
+	case *ast.TypeSwitchStmt:
+		return b.buildSwitch(s, s.Init, nil, s.Body, succ, label, false)
+
+	case *ast.SelectStmt:
+		return b.buildSwitch(s, nil, nil, s.Body, succ, label, true)
+
+	case *ast.ExprStmt:
+		n := b.newNode(s)
+		n.uses = []ast.Node{s.X}
+		if isPanicCall(s.X) {
+			n.succs = []*cfgNode{b.g.exit}
+		} else {
+			n.succs = []*cfgNode{succ}
+		}
+		return n
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go, empty.
+		n := b.newNode(stmt)
+		n.uses = []ast.Node{stmt}
+		n.succs = []*cfgNode{succ}
+		return n
+	}
+}
+
+// buildBranch wires break/continue/fallthrough. goto is modeled as exit
+// (conservative: nothing downstream is analyzed on that path).
+func (b *cfgBuilder) buildBranch(s *ast.BranchStmt, succ *cfgNode) *cfgNode {
+	n := b.newNode(s)
+	target := b.g.exit
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := b.lookupBreak(name); t != nil {
+			target = t
+		}
+	case "continue":
+		if t := b.lookupContinue(name); t != nil {
+			target = t
+		}
+	case "fallthrough":
+		// Resolved by buildSwitch, which rewires this node; until then
+		// fall through to succ (the next clause entry is substituted).
+		target = succ
+	}
+	n.succs = []*cfgNode{target}
+	return n
+}
+
+// buildSwitch covers switch, type switch, and select: a head node with an
+// edge into each clause body (plus succ when no default exists — some
+// clause may not match; select without default always blocks until one
+// fires, but for dataflow purposes the extra edge is a harmless
+// over-approximation and select gets it too when it has no default).
+func (b *cfgBuilder) buildSwitch(stmt ast.Stmt, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, succ *cfgNode, label string, isSelect bool) *cfgNode {
+	head := b.newNode(stmt)
+	if init != nil {
+		head.uses = append(head.uses, init)
+	}
+	if tag != nil {
+		head.uses = append(head.uses, tag)
+	}
+	if ts, ok := stmt.(*ast.TypeSwitchStmt); ok {
+		head.uses = append(head.uses, ts.Assign)
+	}
+
+	b.pushSwitch(label, succ)
+	hasDefault := false
+	entries := make([]*cfgNode, len(body.List))
+	// Build clauses in reverse so fallthrough can target the next clause.
+	var nextEntry *cfgNode
+	for i := len(body.List) - 1; i >= 0; i-- {
+		var clauseBody []ast.Stmt
+		var clauseExprs []ast.Expr
+		switch c := body.List[i].(type) {
+		case *ast.CaseClause:
+			clauseBody, clauseExprs = c.Body, c.List
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			clauseBody = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		default:
+			continue
+		}
+		entry := b.buildList(clauseBody, succ, "")
+		// A trailing fallthrough falls into the next clause's body.
+		if n := len(clauseBody); n > 0 && nextEntry != nil {
+			if br, ok := clauseBody[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				relinkFallthrough(entry, br, nextEntry)
+			}
+		}
+		if cc, ok := body.List[i].(*ast.CommClause); ok && cc.Comm != nil {
+			// The comm op itself executes before the clause body.
+			comm := b.buildStmt(cc.Comm, entry, "")
+			entry = comm
+		} else {
+			for _, e := range clauseExprs {
+				head.uses = append(head.uses, e)
+			}
+		}
+		entries[i] = entry
+		nextEntry = entry
+	}
+	b.popSwitch(label)
+
+	for _, e := range entries {
+		if e != nil {
+			head.succs = append(head.succs, e)
+		}
+	}
+	if !hasDefault || len(head.succs) == 0 {
+		head.succs = append(head.succs, succ)
+	}
+	_ = isSelect
+	return head
+}
+
+// relinkFallthrough points the clause's trailing fallthrough node at the
+// next clause's entry.
+func relinkFallthrough(entry *cfgNode, br *ast.BranchStmt, next *cfgNode) {
+	seen := make(map[*cfgNode]bool)
+	var walk func(n *cfgNode)
+	walk = func(n *cfgNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.stmt == ast.Stmt(br) {
+			n.succs = []*cfgNode{next}
+			return
+		}
+		for _, s := range n.succs {
+			walk(s)
+		}
+	}
+	walk(entry)
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *cfgNode) {
+	b.breakStack = append(b.breakStack, brk)
+	b.contStack = append(b.contStack, cont)
+	if label != "" {
+		b.breakTo[label] = brk
+		b.continueTo[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.contStack = b.contStack[:len(b.contStack)-1]
+	if label != "" {
+		delete(b.breakTo, label)
+		delete(b.continueTo, label)
+	}
+}
+
+func (b *cfgBuilder) pushSwitch(label string, brk *cfgNode) {
+	b.breakStack = append(b.breakStack, brk)
+	if label != "" {
+		b.breakTo[label] = brk
+	}
+}
+
+func (b *cfgBuilder) popSwitch(label string) {
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	if label != "" {
+		delete(b.breakTo, label)
+	}
+}
+
+func (b *cfgBuilder) lookupBreak(label string) *cfgNode {
+	if label != "" {
+		return b.breakTo[label]
+	}
+	if n := len(b.breakStack); n > 0 {
+		return b.breakStack[n-1]
+	}
+	return nil
+}
+
+func (b *cfgBuilder) lookupContinue(label string) *cfgNode {
+	if label != "" {
+		return b.continueTo[label]
+	}
+	if n := len(b.contStack); n > 0 {
+		return b.contStack[n-1]
+	}
+	return nil
+}
+
+func exprNodes(exprs []ast.Expr) []ast.Node {
+	out := make([]ast.Node, len(exprs))
+	for i, e := range exprs {
+		out[i] = e
+	}
+	return out
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

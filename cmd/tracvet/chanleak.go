@@ -1,0 +1,220 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// chanleak flags goroutines that can block forever on a channel operation
+// with no way out: once the counterparty stops sending (or never closes),
+// the goroutine pins its stack, its captures, and — in this codebase — the
+// pooled batches it holds, for the life of the process. The morsel-driven
+// executor and the sniffer supervisor spawn goroutines per query and per
+// source, so an unkillable goroutine is a leak multiplied by load.
+//
+// The rules are deliberately narrow (no false positives on the legitimate
+// wait-for-shutdown patterns):
+//
+//   - `select {}`: blocks forever by construction;
+//   - an infinite `for { ... }` whose body has no return, break, goto, or
+//     panic, where the goroutine parks on a bare channel send/receive (or a
+//     single-case select, which blocks identically) — when the peer goes
+//     away this goroutine never exits. A second select case (stop/context/
+//     default), a loop exit, or ranging over the channel (close releases
+//     it) are all accepted escapes.
+//
+// Timer/ticker channels (element type time.Time) and context Done()
+// channels are exempt: the runtime or the context owner guarantees a
+// wake-up. Goroutine bodies are analyzed directly; `go name(...)` follows
+// one level into same-package declarations, matching the nakedgoroutine
+// precedent.
+var chanleakAnalyzer = &Analyzer{
+	Name: "chanleak",
+	Doc:  "goroutines that can block forever on a channel with no close/context/select escape",
+	Run:  runChanleak,
+}
+
+func runChanleak(p *Pass) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	visited := make(map[*ast.BlockStmt]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				body = lit.Body
+			} else if fn := p.calleeFunc(g.Call); fn != nil {
+				if fd := decls[fn]; fd != nil {
+					body = fd.Body
+				}
+			}
+			if body != nil && !visited[body] {
+				visited[body] = true
+				clCheckBody(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// clCheckBody scans one goroutine body for forever-blocking shapes.
+func clCheckBody(p *Pass, body *ast.BlockStmt) {
+	walkShallow(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SelectStmt:
+			if len(s.Body.List) == 0 {
+				p.Reportf(s.Pos(), "empty select blocks this goroutine forever: it can never exit or be collected")
+			}
+			return false // cases are escapes; don't descend into loop logic below
+		case *ast.ForStmt:
+			if s.Init == nil && s.Cond == nil && s.Post == nil {
+				clCheckInfiniteLoop(p, s)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// clCheckInfiniteLoop flags a `for {}` whose body parks on one channel op
+// and has no exit.
+func clCheckInfiniteLoop(p *Pass, loop *ast.ForStmt) {
+	hasExit := false
+	var escapeSelect bool // a multi-case or defaulted select is an escape hatch
+	var parks []ast.Node  // blocking ops with no alternative
+	walkShallow(loop.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			hasExit = true
+		case *ast.BranchStmt:
+			if tok := s.Tok.String(); tok == "break" || tok == "goto" {
+				hasExit = true
+			}
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				hasExit = true
+			}
+		case *ast.SelectStmt:
+			if clSelectEscapes(p, s) {
+				escapeSelect = true
+			} else if comm := clSingleComm(s); comm != nil && !clExemptChan(p, comm) {
+				parks = append(parks, s)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if s.Op.String() == "<-" && !clExemptRecv(p, s) {
+				parks = append(parks, s)
+			}
+		case *ast.SendStmt:
+			parks = append(parks, s)
+		case *ast.RangeStmt:
+			// Ranging over a channel exits on close: an accepted escape.
+			if clIsChan(p.TypeOf(s.X)) {
+				escapeSelect = true
+			}
+		}
+		return true
+	})
+	if hasExit || escapeSelect || len(parks) == 0 {
+		return
+	}
+	p.Reportf(parks[0].Pos(),
+		"goroutine blocks on a bare channel op inside an infinite loop with no return/break/select escape: if the peer stops, this goroutine leaks forever — add a stop/context case or range over the channel")
+}
+
+// clSelectEscapes reports whether a select gives the goroutine more than one
+// way forward (≥2 comm cases, or a default).
+func clSelectEscapes(p *Pass, s *ast.SelectStmt) bool {
+	comms := 0
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default: never blocks
+		}
+		comms++
+	}
+	return comms >= 2
+}
+
+// clSingleComm returns the sole comm statement of a single-case select.
+func clSingleComm(s *ast.SelectStmt) ast.Stmt {
+	var comm ast.Stmt
+	n := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comm = cc.Comm
+			n++
+		}
+	}
+	if n == 1 {
+		return comm
+	}
+	return nil
+}
+
+// clExemptChan exempts a single-case select whose comm is an exempt receive.
+func clExemptChan(p *Pass, comm ast.Stmt) bool {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			return clExemptRecv(p, u)
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				return clExemptRecv(p, u)
+			}
+		}
+	}
+	return false
+}
+
+// clExemptRecv exempts receives the runtime or a context owner will wake:
+// timer/ticker channels (element time.Time) and <-ctx.Done().
+func clExemptRecv(p *Pass, u *ast.UnaryExpr) bool {
+	if call, ok := ast.Unparen(u.X).(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	t := p.TypeOf(u.X)
+	ch, ok := t.(*types.Chan)
+	if !ok {
+		if named, ok2 := t.(*types.Named); ok2 {
+			ch, ok = named.Underlying().(*types.Chan)
+		}
+	}
+	if !ok || ch == nil {
+		return true // unknown type: stay quiet
+	}
+	if named, ok := ch.Elem().(*types.Named); ok {
+		if named.Obj().Name() == "Time" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time" {
+			return true
+		}
+	}
+	return false
+}
+
+// clIsChan reports whether t is a channel type.
+func clIsChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

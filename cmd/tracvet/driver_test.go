@@ -1,0 +1,297 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// driver_test exercises tracvet end to end through run(): output formats,
+// flag handling, the -fix rewrite cycle, and the seeded-mutant guarantees the
+// acceptance criteria demand.
+
+// capture runs the CLI with stdout and stderr redirected to temp files and
+// returns the exit status plus both streams.
+func capture(t *testing.T, argv ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(argv, outF, errF)
+	for _, f := range []*os.File{outF, errF} {
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ob, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(ob), string(eb)
+}
+
+// writeModule materializes a throwaway module so the loader sees a real
+// go.mod boundary, and returns its directory.
+func writeModule(t *testing.T, name string, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module " + name + "\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunSARIF: -sarif emits a decodable SARIF 2.1.0 log whose rules cover
+// every analyzer and whose results carry physical locations.
+func TestRunSARIF(t *testing.T) {
+	code, stdout, stderr := capture(t, "-sarif", filepath.Join("testdata", "src", "errwrap"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (fixture has findings); stderr:\n%s", code, stderr)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("SARIF output does not decode: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "tracvet" {
+		t.Errorf("driver name = %q, want tracvet", r.Tool.Driver.Name)
+	}
+	if want := len(allAnalyzers) + 1; len(r.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d (all analyzers + driver)", len(r.Tool.Driver.Rules), want)
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("no results in SARIF output for a fixture with findings")
+	}
+	sawErrwrap := false
+	for _, res := range r.Results {
+		if res.RuleID == "errwrap" {
+			sawErrwrap = true
+		}
+		if len(res.Locations) != 1 || res.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %q lacks a physical location", res.Message.Text)
+		}
+	}
+	if !sawErrwrap {
+		t.Error("no errwrap result in SARIF output over the errwrap fixture")
+	}
+}
+
+// TestRunJSONDisable: -json round-trips through the result encoding, and
+// -disable removes the named analyzer's findings end to end.
+func TestRunJSONDisable(t *testing.T) {
+	fixture := filepath.Join("testdata", "src", "errwrap")
+
+	code, stdout, stderr := capture(t, "-json", fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	var res result
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("-json output does not decode: %v", err)
+	}
+	if res.Counts["errwrap"] == 0 {
+		t.Errorf("counts[errwrap] = 0, want > 0 over the errwrap fixture")
+	}
+
+	code, stdout, stderr = capture(t, "-json", "-disable", "errwrap", fixture)
+	var disabled result
+	if err := json.Unmarshal([]byte(stdout), &disabled); err != nil {
+		t.Fatalf("-json -disable output does not decode: %v\nstderr:\n%s", err, stderr)
+	}
+	for _, f := range disabled.Findings {
+		if f.Analyzer == "errwrap" {
+			t.Errorf("-disable errwrap leaked a finding: %+v", f)
+		}
+	}
+	_ = code // exit depends on what the other analyzers see; the leak check is the assertion
+}
+
+// TestRunFlagConflict: -json and -sarif are mutually exclusive.
+func TestRunFlagConflict(t *testing.T) {
+	code, _, stderr := capture(t, "-json", "-sarif", filepath.Join("testdata", "src", "errwrap"))
+	if code != 2 {
+		t.Errorf("exit = %d, want 2 for -json -sarif", code)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("stderr does not explain the conflict:\n%s", stderr)
+	}
+}
+
+// TestFixEndToEnd: -fix rewrites the fixable findings (errwrap's final %v,
+// synccheck's discarded Close), and the rewritten module both type-checks
+// (vet reloads it from source — a broken rewrite would be a load error, exit
+// 2) and re-lints clean (exit 0).
+func TestFixEndToEnd(t *testing.T) {
+	dir := writeModule(t, "fixme", map[string]string{
+		"save.go": `package fixme
+
+import (
+	"fmt"
+	"os"
+)
+
+func save(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %v", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %v", path, err)
+	}
+	f.Close()
+	return nil
+}
+`,
+	})
+
+	// Without -fix the module has findings.
+	code, _, _ := capture(t, dir)
+	if code != 1 {
+		t.Fatalf("pre-fix exit = %d, want 1", code)
+	}
+
+	code, stdout, stderr := capture(t, "-fix", dir)
+	if code != 0 {
+		t.Fatalf("post-fix exit = %d, want 0 (rewrite must re-lint clean)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "applied 4 fix(es)") {
+		t.Errorf("stderr does not report 4 applied fixes:\n%s", stderr)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "save.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(src)
+	if strings.Contains(got, "%v") {
+		t.Errorf("errwrap fix left a %%v verb:\n%s", got)
+	}
+	if n := strings.Count(got, "%w"); n != 2 {
+		t.Errorf("got %d %%w verbs after fix, want 2:\n%s", n, got)
+	}
+	if n := strings.Count(got, "_ = f.Close()"); n != 2 {
+		t.Errorf("got %d explicit Close discards after fix, want 2:\n%s", n, got)
+	}
+}
+
+// TestPoolreuseMutant: the acceptance-criteria mutant — a NextBatch
+// implementation that recycles the batch and then returns it — is caught by
+// poolreuse, and the healthy twin is clean.
+func TestPoolreuseMutant(t *testing.T) {
+	const pool = `package mutant
+
+type Batch struct {
+	Rows [][]int
+	Sel  []int
+}
+
+func GetBatch() *Batch  { return &Batch{} }
+func PutBatch(b *Batch) {}
+`
+	mutant := writeModule(t, "mutant", map[string]string{
+		"pool.go": pool,
+		"source.go": `package mutant
+
+type rowSource struct{ rows [][]int }
+
+// NextBatch recycles the batch it is about to hand out: the classic
+// use-after-put the analyzer exists to catch.
+func (s *rowSource) NextBatch() (*Batch, error) {
+	b := GetBatch()
+	b.Rows = append(b.Rows[:0], s.rows...)
+	PutBatch(b)
+	return b, nil
+}
+`,
+	})
+	res, err := vet([]string{mutant}, []*Analyzer{analyzerByName(t, "poolreuse")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := regexp.MustCompile(`use of batch b after PutBatch`)
+	var hits int
+	for _, f := range res.Findings {
+		if want.MatchString(f.Message) {
+			hits++
+		} else {
+			t.Errorf("unexpected finding: %+v", f)
+		}
+	}
+	if hits != 1 {
+		t.Errorf("got %d use-after-put findings on the mutant, want 1:\n%+v", hits, res.Findings)
+	}
+
+	healthy := writeModule(t, "mutant", map[string]string{
+		"pool.go": pool,
+		"source.go": `package mutant
+
+type rowSource struct{ rows [][]int }
+
+// NextBatch transfers ownership to the caller; nothing to recycle here.
+func (s *rowSource) NextBatch() (*Batch, error) {
+	b := GetBatch()
+	b.Rows = append(b.Rows[:0], s.rows...)
+	return b, nil
+}
+`,
+	})
+	res, err = vet([]string{healthy}, []*Analyzer{analyzerByName(t, "poolreuse")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("healthy twin flagged: %+v", f)
+	}
+}
+
+// TestUnusedSuppressionFinding: a //tracvet:ignore that suppresses nothing is
+// itself a driver finding, so stale suppressions cannot linger.
+func TestUnusedSuppressionFinding(t *testing.T) {
+	dir := writeModule(t, "stale", map[string]string{
+		"stale.go": `package stale
+
+//tracvet:ignore errwrap predates the rewrite of this function
+func nothing() int { return 0 }
+`,
+	})
+	res, err := vet([]string{dir}, []*Analyzer{analyzerByName(t, "errwrap")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unused int
+	for _, f := range res.Findings {
+		if f.Analyzer == "tracvet" && strings.Contains(f.Message, "unused //tracvet:ignore errwrap") {
+			unused++
+		} else {
+			t.Errorf("unexpected finding: %+v", f)
+		}
+	}
+	if unused != 1 {
+		t.Errorf("got %d unused-suppression findings, want 1:\n%+v", unused, res.Findings)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A TextEdit is one byte-range replacement in a source file. Analyzers
+// attach edits to findings whose remedy is purely mechanical; the -fix mode
+// applies them. Start and End are byte offsets into the file as loaded this
+// run; File is absolute.
+type TextEdit struct {
+	File  string
+	Start int
+	End   int
+	New   string
+}
+
+// applyFixes applies the edits attached to (unsuppressed) findings and
+// returns how many findings were fixed. Edits are applied per file from the
+// highest offset down, so earlier offsets stay valid; overlapping edits are
+// dropped after the first (re-running tracvet picks up whatever remains).
+func applyFixes(findings []Finding) (int, error) {
+	byFile := make(map[string][]TextEdit)
+	fixed := 0
+	for _, f := range findings {
+		if len(f.fixEdits) == 0 {
+			continue
+		}
+		fixed++
+		byFile[f.fixEdits[0].File] = append(byFile[f.fixEdits[0].File], f.fixEdits...)
+	}
+	var files []string
+	for file := range byFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := byFile[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return fixed, fmt.Errorf("tracvet -fix: %w", err)
+		}
+		prevStart := len(data) + 1
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(data) || e.End < e.Start || e.End > prevStart {
+				continue // stale or overlapping edit: leave for a re-run
+			}
+			data = append(data[:e.Start], append([]byte(e.New), data[e.End:]...)...)
+			prevStart = e.Start
+		}
+		st, err := os.Stat(file)
+		if err != nil {
+			return fixed, fmt.Errorf("tracvet -fix: %w", err)
+		}
+		if err := os.WriteFile(file, data, st.Mode().Perm()); err != nil {
+			return fixed, fmt.Errorf("tracvet -fix: %w", err)
+		}
+	}
+	return fixed, nil
+}

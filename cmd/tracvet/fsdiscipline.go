@@ -1,0 +1,77 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// fsdiscipline guards the crash-recovery contract from PR 7: every mutating
+// filesystem operation on the durable path must go through internal/crashfs
+// (WriteDurable's temp+fsync+rename discipline, or an FS handle the crash
+// sweep can inject faults into). A direct os.Create/os.Rename/os.Remove in
+// internal/storage or internal/engine is invisible to the crash-injecting
+// FS, so `make crash` would sweep right past it — the write would look
+// durable in tests and tear in production. Read-only calls (os.Open,
+// os.ReadFile, os.Stat) are fine: recovery may read however it likes.
+//
+// The check is package-scoped rather than callsite-clever on purpose: the
+// durable layers have exactly one sanctioned way to touch the disk, so any
+// direct mutator is either a bug or deserves a spelled-out
+// //tracvet:ignore reason.
+var fsdisciplineAnalyzer = &Analyzer{
+	Name: "fsdiscipline",
+	Doc:  "durable-path packages must mutate the filesystem via crashfs, not os directly",
+	Run:  runFsdiscipline,
+}
+
+// fsMutators are the os functions that change filesystem state.
+var fsMutators = map[string]bool{
+	"Create":    true,
+	"OpenFile":  true,
+	"Rename":    true,
+	"Remove":    true,
+	"RemoveAll": true,
+	"WriteFile": true,
+	"Mkdir":     true,
+	"MkdirAll":  true,
+	"Truncate":  true,
+	"Chtimes":   true,
+	"Link":      true,
+	"Symlink":   true,
+}
+
+// fsScoped reports whether the package is on the durable path.
+func fsScoped(path string) bool {
+	return strings.HasSuffix(path, "internal/storage") ||
+		strings.HasSuffix(path, "internal/engine") ||
+		strings.HasSuffix(path, "testdata/src/fsdiscipline")
+}
+
+func runFsdiscipline(p *Pass) {
+	if !fsScoped(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return true // method on an os.File already opened somewhere sanctioned
+			}
+			if !fsMutators[fn.Name()] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"direct os.%s bypasses crashfs: the crash sweep cannot inject faults here, so `make crash` would miss a torn write — use the package's crashfs.FS",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // pkgInfo is one loaded, type-checked package.
@@ -132,12 +133,27 @@ func (l *loader) LoadDir(dir string) (*pkgInfo, error) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, n := range names {
-		f, perr := parser.ParseFile(l.Fset, filepath.Join(abs, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+	// Parse in parallel: token.FileSet serializes its own bookkeeping, so
+	// concurrent ParseFile calls against one fset are safe, and parsing is
+	// the bulk of load time for the big packages. Type-checking stays
+	// sequential (the importer recursion is stateful), but every dependency
+	// package gets the same parallel parse when its turn comes.
+	files := make([]*ast.File, len(names))
+	perrs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, n := range names {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			files[i], perrs[i] = parser.ParseFile(l.Fset, filepath.Join(abs, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		}(i, n)
+	}
+	wg.Wait()
+	for i, perr := range perrs {
 		if perr != nil {
 			return nil, perr
 		}
-		pi.Files = append(pi.Files, f)
+		pi.Files = append(pi.Files, files[i])
 	}
 	if len(pi.Files) == 0 {
 		return pi, nil

@@ -8,19 +8,33 @@
 //	ctxloop        retry/poll loops are cancelable
 //	nakedgoroutine goroutines recover or route failures to an owner
 //	synccheck      Close/Sync errors on writable files are checked (durability)
+//	lockorder      no cycles in the global lock acquisition graph; no RLock→Lock upgrades
+//	poolreuse      pooled exec.Batch ownership: no use-after-put/double-put/leak
+//	fsdiscipline   durable paths mutate the filesystem via crashfs only
+//	chanleak       goroutines cannot block forever on an escapeless channel op
+//
+// The first six are per-package syntactic/type-based checks. poolreuse runs
+// flow-sensitive dataflow over an AST-level CFG (cfg.go) with one level of
+// callee summaries; lockorder is whole-program, building a lock-class
+// acquisition graph across every module-internal package reachable from the
+// arguments (program.go).
 //
 // Usage:
 //
-//	tracvet [-json] [-disable a,b] [packages]
+//	tracvet [-json|-sarif] [-fix] [-disable a,b] [packages]
 //
 // Packages default to "./...". Exit status: 0 clean, 1 findings, 2 usage or
-// load errors. False positives are silenced in place with a justified
+// load errors. -sarif emits SARIF 2.1.0 for CI code-scanning upload. -fix
+// applies the mechanical remedies (errwrap %v→%w on the final verb,
+// synccheck explicit `_ =` discard), then re-runs the analysis and reports
+// what remains. False positives are silenced in place with a justified
 // comment on (or the line before) the flagged line:
 //
 //	//tracvet:ignore <analyzer> <reason>
 //
-// Malformed or unknown suppressions are themselves findings, so a typo
-// cannot silently disable a check.
+// Malformed, unknown, reasonless, or unused suppressions are themselves
+// findings, so a typo cannot silently disable a check and stale suppressions
+// cannot linger.
 package main
 
 import (
@@ -39,6 +53,10 @@ var allAnalyzers = []*Analyzer{
 	ctxloopAnalyzer,
 	nakedgoroutineAnalyzer,
 	synccheckAnalyzer,
+	lockorderAnalyzer,
+	poolreuseAnalyzer,
+	fsdisciplineAnalyzer,
+	chanleakAnalyzer,
 }
 
 func main() {
@@ -49,10 +67,12 @@ func run(argv []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("tracvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	fix := fs.Bool("fix", false, "apply mechanical fixes, then report what remains")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: tracvet [-json] [-disable a,b] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: tracvet [-json|-sarif] [-fix] [-disable a,b] [packages]\n\nAnalyzers:\n")
 		for _, a := range allAnalyzers {
 			fmt.Fprintf(stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -84,14 +104,40 @@ func run(argv []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	if *jsonOut {
+	if *fix {
+		n, ferr := applyFixes(res.Findings)
+		if ferr != nil {
+			fmt.Fprintln(stderr, ferr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "tracvet: applied %d fix(es)\n", n)
+		// Re-analyze from the rewritten sources so the report (and the exit
+		// status) reflects what is actually left.
+		res, err = vet(patterns, enabled)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracvet:", err)
+			return 2
+		}
+	}
+
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "tracvet: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(stdout, res); err != nil {
+			fmt.Fprintln(stderr, "tracvet:", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fmt.Fprintln(stderr, "tracvet:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range res.Findings {
 			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 		}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Program is the whole-repo view the cross-package analyzers run over: every
+// module-internal package loaded this run (the packages named on the command
+// line plus everything they import), a function-declaration index, and a
+// static call graph. Per-package analyzers see one package at a time through
+// Pass; program analyzers see all of them at once through ProgPass, which is
+// what lets lockorder chase a mutex acquired three packages below the one
+// being vetted.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs is every module-internal package with source, dependency-closed,
+	// sorted by import path.
+	Pkgs []*pkgInfo
+	// Targets is the set of import paths named on the command line; program
+	// analyzers only report findings positioned inside a target package, so
+	// `tracvet ./internal/exec` does not surface engine diagnostics.
+	Targets map[string]bool
+
+	// Decls indexes every function/method declaration with a body.
+	Decls map[*types.Func]*ProgDecl
+
+	passes map[*pkgInfo]*Pass
+}
+
+// ProgDecl is one function declaration plus the package it lives in.
+type ProgDecl struct {
+	Decl *ast.FuncDecl
+	Pkg  *pkgInfo
+}
+
+// ProgPass is the whole-program analog of Pass.
+type ProgPass struct {
+	Prog *Program
+
+	reportf func(pos token.Pos, msg string)
+}
+
+// Reportf records a finding at pos. Positions outside target packages are
+// dropped, so analyzers may report freely on whatever the call graph reaches.
+func (pp *ProgPass) Reportf(pos token.Pos, format string, args ...any) {
+	if !pp.Prog.InTarget(pos) {
+		return
+	}
+	pp.reportf(pos, fmt.Sprintf(format, args...))
+}
+
+// buildProgram assembles the program view from the loader's cache after all
+// explicit packages have been loaded (their imports are in the cache too).
+func buildProgram(l *loader, targets []*pkgInfo) *Program {
+	prog := &Program{
+		Fset:    l.Fset,
+		Targets: make(map[string]bool, len(targets)),
+		Decls:   make(map[*types.Func]*ProgDecl),
+		passes:  make(map[*pkgInfo]*Pass),
+	}
+	for _, pi := range targets {
+		prog.Targets[pi.Path] = true
+	}
+	seen := make(map[string]bool)
+	for _, pi := range l.byPath {
+		if pi == nil || len(pi.Files) == 0 || pi.Pkg == nil || seen[pi.Path] {
+			continue
+		}
+		if len(pi.Errs) > 0 {
+			continue // a broken dependency cannot be analyzed
+		}
+		seen[pi.Path] = true
+		prog.Pkgs = append(prog.Pkgs, pi)
+	}
+	for _, pi := range targets {
+		if !seen[pi.Path] && len(pi.Files) > 0 && pi.Pkg != nil {
+			seen[pi.Path] = true
+			prog.Pkgs = append(prog.Pkgs, pi)
+		}
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+
+	for _, pi := range prog.Pkgs {
+		pass := prog.PassFor(pi)
+		for _, f := range pi.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					prog.Decls[fn] = &ProgDecl{Decl: fd, Pkg: pi}
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// PassFor returns a reporting-free Pass for one of the program's packages,
+// so the per-package helpers (syncMutexOp, calleeFunc, funcUnits) work
+// unchanged in program analyzers.
+func (prog *Program) PassFor(pi *pkgInfo) *Pass {
+	if p, ok := prog.passes[pi]; ok {
+		return p
+	}
+	p := &Pass{Fset: prog.Fset, Files: pi.Files, Pkg: pi.Pkg, Info: pi.Info, Path: pi.Path}
+	prog.passes[pi] = p
+	return p
+}
+
+// InTarget reports whether pos lies in a file of a command-line target
+// package.
+func (prog *Program) InTarget(pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	dir := filepath.Dir(prog.Fset.Position(pos).Filename)
+	for _, pi := range prog.Pkgs {
+		if prog.Targets[pi.Path] && pi.Dir == dir {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// SARIF 2.1.0 output — the minimal subset GitHub code scanning ingests: one
+// run, one rule per analyzer, one result per finding with a physical
+// location. Suppressed findings are emitted with a suppression record so
+// the justification is visible in the scanning UI rather than silently
+// absent.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF encodes the run result as a SARIF log.
+func writeSARIF(w io.Writer, res *result) error {
+	rules := []sarifRule{{ID: "tracvet", ShortDescription: sarifMessage{Text: "tracvet driver diagnostics (suppression hygiene)"}}}
+	for _, a := range allAnalyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "tracvet", Rules: rules}},
+		Results: []sarifResult{},
+	}
+	for _, f := range res.Findings {
+		run.Results = append(run.Results, sarifFinding(f, nil))
+	}
+	for _, f := range res.Suppressed {
+		run.Results = append(run.Results, sarifFinding(f, &sarifSuppression{
+			Kind: "inSource", Justification: f.Reason,
+		}))
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func sarifFinding(f Finding, sup *sarifSuppression) sarifResult {
+	r := sarifResult{
+		RuleID:  f.Analyzer,
+		Level:   "warning",
+		Message: sarifMessage{Text: f.Message},
+		Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+			ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(f.File)},
+			Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+		}}},
+	}
+	if sup != nil {
+		r.Suppressions = []sarifSuppression{*sup}
+	}
+	return r
+}

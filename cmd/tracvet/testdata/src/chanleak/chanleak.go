@@ -1,0 +1,60 @@
+// Package chanleak exercises the forever-blocking-goroutine analyzer.
+package chanleak
+
+// spawnEmptySelect parks a goroutine on select{}: unkillable by
+// construction.
+func spawnEmptySelect() {
+	go func() {
+		select {} // want "empty select blocks this goroutine forever"
+	}()
+}
+
+// spawnBareLoop receives in an infinite loop with no exit: when the sender
+// stops, the goroutine (and everything it captures) leaks.
+func spawnBareLoop(ch chan int) {
+	total := 0
+	go func() {
+		for {
+			v := <-ch // want "blocks on a bare channel op inside an infinite loop"
+			total += v
+		}
+	}()
+}
+
+// spawnSingleSelect wraps the same bare receive in a one-case select, which
+// blocks identically.
+func spawnSingleSelect(ch chan int) {
+	go func() {
+		for {
+			select { // want "blocks on a bare channel op inside an infinite loop"
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// spawnSendLoop blocks on the send side: nobody receiving means a stuck
+// producer.
+func spawnSendLoop(ch chan int) {
+	go func() {
+		i := 0
+		for {
+			ch <- i // want "blocks on a bare channel op inside an infinite loop"
+			i++
+		}
+	}()
+}
+
+// worker loops forever on a bare receive; `go worker(...)` is followed one
+// level into the declaration.
+func worker(ch chan int) {
+	for {
+		v := <-ch // want "blocks on a bare channel op inside an infinite loop"
+		_ = v
+	}
+}
+
+func spawnNamed(ch chan int) {
+	go worker(ch)
+}

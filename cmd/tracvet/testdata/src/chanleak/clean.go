@@ -1,0 +1,91 @@
+package chanleak
+
+import (
+	"context"
+	"time"
+)
+
+// The clean shapes are the supervisor/exchange patterns from the real
+// codebase: every parked goroutine has a second case, a loop exit, a close
+// to range over, or a runtime-guaranteed wakeup.
+
+// stopCase has a shutdown channel: the owner can always release it.
+func stopCase(ch, stop chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// rangeOverChannel exits when the sender closes.
+func rangeOverChannel(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// okCheck exits on close via the two-value receive.
+func okCheck(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// tickerLoop parks on a time.Time channel: the runtime wakes it every tick.
+func tickerLoop(t *time.Ticker) {
+	go func() {
+		for {
+			<-t.C
+		}
+	}()
+}
+
+// ctxWait parks on ctx.Done(): the context owner guarantees the wakeup.
+func ctxWait(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// defaultCase never blocks at all.
+func defaultCase(ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			default:
+				return
+			}
+		}
+	}()
+}
+
+// oneShot blocks at most once, outside any loop: the fundamental completion
+// signal, not a leak shape.
+func oneShot(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}

@@ -1,0 +1,48 @@
+// Package fsdiscipline exercises the durable-path filesystem discipline:
+// this fixture directory matches the analyzer's scope list, standing in for
+// internal/storage and internal/engine.
+package fsdiscipline
+
+import "os"
+
+// badWriters hits the mutating os entry points the crash sweep cannot see.
+func badWriters(dir string) error {
+	f, err := os.Create(dir + "/x") // want "direct os.Create bypasses crashfs"
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.WriteFile(dir+"/y", []byte("data"), 0o644); err != nil { // want "direct os.WriteFile bypasses crashfs"
+		return err
+	}
+	if err := os.Rename(dir+"/y", dir+"/z"); err != nil { // want "direct os.Rename bypasses crashfs"
+		return err
+	}
+	if err := os.Mkdir(dir+"/sub", 0o755); err != nil { // want "direct os.Mkdir bypasses crashfs"
+		return err
+	}
+	return os.Remove(dir + "/z") // want "direct os.Remove bypasses crashfs"
+}
+
+// readers are exempt: recovery may read however it likes.
+func readers(dir string) ([]byte, error) {
+	if _, err := os.Stat(dir + "/x"); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(dir + "/x")
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, st.Size())
+	if _, err := f.Read(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,58 @@
+package lockorder
+
+import "sync"
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+var (
+	e E
+	f F
+)
+
+// Consistent nesting (always E before F) builds edges but no cycle.
+func efOne() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func efTwo() {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// Sequential (released before the next acquire) never makes an edge, so
+// opposite textual order is fine — this is the AttachWAL shape.
+func sequential() {
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+type R struct{ mu sync.RWMutex }
+
+// downgradeFree releases the read lock before writing: a legal pattern,
+// not an upgrade.
+func (r *R) downgradeFree() {
+	r.mu.RLock()
+	r.mu.RUnlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// handOverHand re-locks after an explicit unlock inside one function; the
+// later deferred unlock must not stretch the first region over the middle.
+func handOverHand() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}

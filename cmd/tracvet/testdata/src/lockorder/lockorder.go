@@ -1,0 +1,70 @@
+// Package lockorder exercises the global lock-acquisition-order analyzer:
+// inconsistent nesting across functions, order edges through callees, and
+// same-function RLock→Lock upgrades.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// ab nests B's lock inside A's; with ba below this closes a cycle.
+func ab() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "closing a lock-order cycle"
+	b.mu.Unlock()
+}
+
+// ba nests the other way around.
+func ba() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want "closing a lock-order cycle"
+	a.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+var (
+	c C
+	d D
+)
+
+func lockD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// cd reaches D's lock through a callee while holding C's.
+func cd() {
+	c.mu.Lock()
+	lockD() // want "via lockD.*closing a lock-order cycle"
+	c.mu.Unlock()
+}
+
+// dc takes them directly in the opposite order.
+func dc() {
+	d.mu.Lock()
+	c.mu.Lock() // want "closing a lock-order cycle"
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+type U struct{ mu sync.RWMutex }
+
+// upgrade takes the write lock while its own read lock is held.
+func (u *U) upgrade() {
+	u.mu.RLock()
+	u.mu.Lock() // want "cannot upgrade"
+	u.mu.Unlock()
+	u.mu.RUnlock()
+}

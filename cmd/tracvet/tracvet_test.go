@@ -95,6 +95,10 @@ func TestErrwrapGolden(t *testing.T)        { runGolden(t, "errwrap") }
 func TestCtxloopGolden(t *testing.T)        { runGolden(t, "ctxloop") }
 func TestNakedgoroutineGolden(t *testing.T) { runGolden(t, "nakedgoroutine") }
 func TestSynccheckGolden(t *testing.T)      { runGolden(t, "synccheck") }
+func TestLockorderGolden(t *testing.T)      { runGolden(t, "lockorder") }
+func TestPoolreuseGolden(t *testing.T)      { runGolden(t, "poolreuse") }
+func TestFsdisciplineGolden(t *testing.T)   { runGolden(t, "fsdiscipline") }
+func TestChanleakGolden(t *testing.T)       { runGolden(t, "chanleak") }
 
 // TestSuppressions: a justified //tracvet:ignore silences its finding and is
 // reported in the suppressed set; malformed or unknown ones are findings of
