@@ -27,7 +27,7 @@ lint-fix:
 # the crash-injection recovery sweeps, then smoke every benchmark so
 # bench-only code paths cannot rot unnoticed.
 check: lint bench-smoke crash
-	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/txn/...
+	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/txn/... ./internal/shard/... ./internal/workload/...
 
 # crash kills the storage stack at every mutating filesystem operation and
 # asserts the reopened database is a consistent cut: the engine sweep covers
@@ -53,13 +53,16 @@ chaos:
 # (the checked-in vectorized-vs-row executor report) via tracbench. The
 # execbench total matches the 200k-row Go benchmark dataset: per-row executor
 # overhead — what vectorization removes — dominates there, while much larger
-# heaps leave both sides memory-bound on the row heap.
+# heaps leave both sides memory-bound on the row heap. The shardbench runs at
+# 1M rows so per-shard scan time dominates the fixed scatter-gather cost and
+# the pruned-probe speedup reflects data volume, not report overhead.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/tracbench -execbench -total 200000 -iterations 11 -o BENCH_exec.json
 	$(GO) run ./cmd/tracbench -storagebench -total 200000 -iterations 11 -storage-o BENCH_storage.json
 	$(GO) run ./cmd/tracbench -aggbench -total 200000 -iterations 11 -agg-o BENCH_agg.json
 	$(GO) run ./cmd/tracbench -recoverybench -total 200000 -iterations 5 -recovery-o BENCH_recovery.json
+	$(GO) run ./cmd/tracbench -shardbench -total 1000000 -iterations 5 -shard-o BENCH_shard.json
 
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkParallelScan|BenchmarkPreparedReportCached' -benchtime 3x .

@@ -13,6 +13,9 @@
 //	\domain <table> <column> v1,v2,...   declare a finite string domain
 //	\save <file> / \load <file>          dump / restore the database
 //	\cache                    show plan-cache entries, hits and misses
+//	\shards                   per-shard table layout (-shards N databases):
+//	                          partition assignment, sealed/tail rows, zone
+//	                          source counts
 //	\sources [secs]           per-source ingestion health: recency, lag
 //	                          behind the freshest source, durable offsets
 //	                          (sources more than secs behind are marked
@@ -40,9 +43,10 @@ import (
 func main() {
 	demo := flag.Bool("demo", false, "preload the paper's example schema and data")
 	script := flag.String("f", "", "execute statements from this file before reading stdin")
+	shards := flag.Int("shards", 1, "open the database as N hash-partitioned engine shards")
 	flag.Parse()
 
-	db := trac.Open()
+	db := trac.Open(trac.WithShards(*shards))
 	if *demo {
 		loadDemo(db)
 		fmt.Println("demo fixture loaded: Activity, Routing, Heartbeat (sources m1..m11)")
@@ -145,6 +149,8 @@ func dispatch(db *trac.DB, sess *trac.Session, line string) (*trac.DB, *trac.Ses
 		showSources(db, strings.TrimSpace(strings.TrimPrefix(line, `\sources`)))
 	case line == `\seal` || strings.HasPrefix(line, `\seal `):
 		sealTables(db, strings.TrimSpace(strings.TrimPrefix(line, `\seal`)))
+	case line == `\shards`:
+		showShards(db)
 	case line == `\cache`:
 		hits, misses := db.Engine().PlanCache().Stats()
 		fmt.Printf("plan cache: %d entries, %d hits, %d misses (catalog version %d)\n",
@@ -160,7 +166,7 @@ func dispatch(db *trac.DB, sess *trac.Session, line string) (*trac.DB, *trac.Ses
 		sess = db.NewSession()
 		fmt.Println("loaded; tables:", strings.Join(db.Catalog(), ", "))
 	case strings.HasPrefix(line, `\`):
-		fmt.Println("unknown meta command; try \\recency, \\gen, \\explain, \\save, \\load, \\cache, \\sources, \\seal, \\d, \\q")
+		fmt.Println("unknown meta command; try \\recency, \\gen, \\explain, \\save, \\load, \\cache, \\shards, \\sources, \\seal, \\d, \\q")
 	default:
 		runSQL(db, line)
 	}
@@ -206,6 +212,34 @@ func sealTables(db *trac.DB, arg string) {
 		}
 		fmt.Printf("  %-16s %4d segments, %d rows sealed, tail %d rows\n",
 			tbl.Name, tbl.NumSegments(), tbl.SealedRows(), tbl.NumVersions()-tbl.SealedRows())
+	}
+}
+
+// showShards prints the per-shard storage layout: which tables are
+// hash-partitioned on which column, how each shard's slice is split between
+// sealed segments and the unsealed tail, and how many distinct sources its
+// zone maps track (the input to shard- and segment-level pruning).
+func showShards(db *trac.DB) {
+	r := db.Router()
+	if r == nil {
+		fmt.Println("database is unsharded; restart with -shards N to shard it")
+		return
+	}
+	fmt.Printf("%d shards\n", r.N())
+	fmt.Printf("%-6s %-16s %-22s %-9s %-11s %-9s %s\n",
+		"shard", "table", "partition", "segments", "sealed", "tail", "zone sources")
+	for _, st := range r.Stats() {
+		part := "replicated"
+		if st.Stats.Partitioned {
+			part = fmt.Sprintf("hash(%s) %d/%d", st.Stats.Partition.Column,
+				st.Stats.Partition.Index, st.Stats.Partition.Of)
+		}
+		zs := fmt.Sprintf("%d", st.Stats.ZoneSources)
+		if st.Stats.SourcesCapped {
+			zs += "+ (capped)"
+		}
+		fmt.Printf("%-6d %-16s %-22s %-9d %-11d %-9d %s\n",
+			st.Shard, st.Table, part, st.Stats.Segments, st.Stats.SealedRows, st.Stats.TailRows, zs)
 	}
 }
 
@@ -277,6 +311,11 @@ func loadDemo(db *trac.DB) {
 	db.MustExec(`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`)
 	db.MustExec(`CREATE TABLE Routing (mach_id TEXT, neighbor TEXT, event_time TIMESTAMP)`)
 	db.MustExec(`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`)
+	if db.Shards() > 1 {
+		if err := db.PartitionTable("Activity", "mach_id"); err != nil {
+			panic(err)
+		}
+	}
 	db.MustExec(`CREATE INDEX idx_activity ON Activity (mach_id)`)
 	db.MustExec(`CREATE INDEX idx_routing ON Routing (mach_id)`)
 	if err := db.SetSourceColumn("Activity", "mach_id"); err != nil {

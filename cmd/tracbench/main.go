@@ -7,6 +7,7 @@
 //	tracbench -storagebench        # columnar-segment-vs-row storage microbench
 //	tracbench -aggbench            # aggregation pushdown/parallelism microbench
 //	tracbench -recoverybench       # durable-directory recovery microbench
+//	tracbench -shardbench          # sharded scatter-gather vs single-shard microbench
 //	tracbench -all                 # everything
 //
 // The sweep defaults to 1,000,000 Activity rows (the paper used 10,000,000
@@ -44,6 +45,9 @@ func main() {
 	recoverybench := flag.Bool("recoverybench", false, "run the durable-directory recovery microbenchmarks")
 	recoveryOut := flag.String("recovery-o", "BENCH_recovery.json", "output path for the -recoverybench report")
 	tailRows := flag.Int("tail-rows", 0, "post-checkpoint WAL tail rows for -recoverybench (0 = total/100)")
+	shardbench := flag.Bool("shardbench", false, "run the sharded scatter-gather microbenchmarks")
+	shardOut := flag.String("shard-o", "BENCH_shard.json", "output path for the -shardbench report")
+	shardCounts := flag.String("shard-counts", "1,4,8", "comma-separated shard counts for -shardbench (first must be 1)")
 	flag.Parse()
 
 	if *all {
@@ -53,8 +57,9 @@ func main() {
 		*storagebench = true
 		*aggbench = true
 		*recoverybench = true
+		*shardbench = true
 	}
-	if *figure == 0 && !*fpr && !*execbench && !*storagebench && !*aggbench && !*recoverybench {
+	if *figure == 0 && !*fpr && !*execbench && !*storagebench && !*aggbench && !*recoverybench && !*shardbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -193,6 +198,39 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *recoveryOut)
+		}
+	}
+
+	if *shardbench {
+		progress := func(string) {}
+		if !*quiet {
+			progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		var counts []int
+		for _, s := range strings.Split(*shardCounts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad shard count %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		report, err := benchharness.RunShardBench(*total, 1_000, *iters, counts, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shardbench failed:", err)
+			os.Exit(1)
+		}
+		out, err := benchharness.MarshalShardBench(report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shardbench marshal failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*shardOut, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "shardbench write failed:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *shardOut)
 		}
 	}
 

@@ -26,20 +26,40 @@ import (
 type ExecScenario struct {
 	Name      string
 	InputRows int // rows entering the pipeline per run
+	Workers   int // >0 when the optimized side fans out across goroutines
 	Row       func() (int, error)
 	Vec       func() (int, error)
 }
 
 // ExecBenchResult is one measured pair, serialized into BENCH_exec.json.
+// Every scenario records the GOMAXPROCS it ran under and, for parallel
+// scenarios, the worker count; a parallel scenario measured on a box that
+// cannot actually run its workers concurrently is labeled degenerate rather
+// than silently reported as a ~1x "speedup".
 type ExecBenchResult struct {
 	Name          string  `json:"name"`
 	InputRows     int     `json:"input_rows"`
 	OutputRows    int     `json:"output_rows"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	Workers       int     `json:"workers,omitempty"`
+	Degenerate    bool    `json:"degenerate,omitempty"`
+	Label         string  `json:"label,omitempty"`
 	RowNsPerRow   float64 `json:"row_ns_per_row"`
 	VecNsPerRow   float64 `json:"vectorized_ns_per_row"`
 	RowRowsPerSec float64 `json:"row_rows_per_sec"`
 	VecRowsPerSec float64 `json:"vectorized_rows_per_sec"`
 	Speedup       float64 `json:"speedup"`
+}
+
+// DegenerateParallel reports whether a scenario that wants `workers`
+// concurrent goroutines cannot get any real concurrency at the current
+// GOMAXPROCS, and the label to attach to its measurement if so.
+func DegenerateParallel(workers int) (bool, string) {
+	procs := runtime.GOMAXPROCS(0)
+	if workers > 1 && procs < 2 {
+		return true, fmt.Sprintf("degenerate: %d workers time-sliced on GOMAXPROCS=%d; measures fan-out overhead, not scaling", workers, procs)
+	}
+	return false, ""
 }
 
 // ExecBenchReport is the top-level BENCH_exec.json document.
@@ -232,6 +252,7 @@ func (d *ExecDataset) ExchangeScenario(workers int) (*ExecScenario, error) {
 	return &ExecScenario{
 		Name:      "exchange",
 		InputRows: d.Rows,
+		Workers:   workers,
 		Row: func() (int, error) {
 			return rowExchangeCount(mkScan().BatchPartials())
 		},
@@ -382,8 +403,11 @@ func MeasureExecScenario(sc *ExecScenario, iterations int) (*ExecBenchResult, er
 		}
 		return float64(sc.InputRows) / d.Seconds()
 	}
+	degenerate, label := DegenerateParallel(sc.Workers)
 	return &ExecBenchResult{
 		Name: sc.Name, InputRows: sc.InputRows, OutputRows: rowOut,
+		GoMaxProcs: runtime.GOMAXPROCS(0), Workers: sc.Workers,
+		Degenerate: degenerate, Label: label,
 		RowNsPerRow: perRow(rowTime), VecNsPerRow: perRow(vecTime),
 		RowRowsPerSec: perSec(rowTime), VecRowsPerSec: perSec(vecTime),
 		Speedup: float64(rowTime) / float64(vecTime),

@@ -13,6 +13,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ type RecoveryBenchReport struct {
 	TotalRows  int                   `json:"total_rows"`
 	TailRows   int                   `json:"tail_rows"`
 	Iterations int                   `json:"iterations"`
+	GoMaxProcs int                   `json:"gomaxprocs"`
 	Results    []RecoveryBenchResult `json:"results"`
 }
 
@@ -165,7 +167,10 @@ func RunRecoveryBench(totalRows, tailRows, iterations int, progress func(string)
 			tailRows = 1
 		}
 	}
-	report := &RecoveryBenchReport{TotalRows: totalRows, TailRows: tailRows, Iterations: iterations}
+	report := &RecoveryBenchReport{
+		TotalRows: totalRows, TailRows: tailRows, Iterations: iterations,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 	scenarios := []struct {
 		name       string
 		checkpoint bool

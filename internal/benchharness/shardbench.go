@@ -1,0 +1,296 @@
+// Sharded scatter-gather benchmarks: the same query measured at 1, 4 and 8
+// engine shards, over a dataset built so that shard pruning is the ONLY
+// mechanism that can reduce work — sources are assigned round-robin (no
+// zone-map clustering) and the partition column carries no index, so a
+// source probe costs a full scan of every shard it touches. The prunable
+// scenarios then speed up with the shard count even on one core, because an
+// N-shard router scans 1/N of the rows, while the unprunable scenarios
+// measure pure scatter-gather overhead. The same scenarios back
+// BenchmarkShardScatter and the `tracbench -shardbench` run that emits
+// BENCH_shard.json.
+package benchharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"trac/internal/core/report"
+	"trac/internal/engine"
+	"trac/internal/shard"
+	"trac/internal/types"
+)
+
+// ShardBenchResult is one (scenario, shard count) measurement.
+type ShardBenchResult struct {
+	Name          string  `json:"name"`
+	Shards        int     `json:"shards"`
+	ShardsTouched int     `json:"shards_touched"`
+	Pruned        int     `json:"pruned"`
+	OutputRows    int     `json:"output_rows"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	Workers       int     `json:"workers"`
+	Degenerate    bool    `json:"degenerate,omitempty"`
+	Label         string  `json:"label,omitempty"`
+	LatencyMs     float64 `json:"latency_ms"`
+	Speedup       float64 `json:"speedup"` // single-shard latency / this latency
+}
+
+// ShardBenchReport is the top-level BENCH_shard.json document.
+type ShardBenchReport struct {
+	TotalRows   int                `json:"total_rows"`
+	Sources     int                `json:"data_sources"`
+	Iterations  int                `json:"iterations"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	ShardCounts []int              `json:"shard_counts"`
+	Results     []ShardBenchResult `json:"results"`
+}
+
+// buildShardBenchRouter loads the anti-clustered dataset behind n shards:
+// Activity hash-partitioned on mach_id with sources interleaved row by row,
+// sealed into segments whose zone maps therefore cannot prune a thing, and
+// deliberately NO index on mach_id.
+func buildShardBenchRouter(n, totalRows, sources int) (*shard.Router, error) {
+	r, err := shard.New(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, sql := range []string{
+		`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`,
+	} {
+		if _, err := r.Exec(sql); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Partition("Activity", "mach_id"); err != nil {
+		return nil, err
+	}
+	if err := r.Atomic(func(db *engine.DB) error {
+		tbl, err := db.Catalog().Get("Activity")
+		if err != nil {
+			return err
+		}
+		if err := tbl.Schema.SetSourceColumn("mach_id"); err != nil {
+			return err
+		}
+		db.Catalog().BumpVersion()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	start := time.Date(2006, 3, 15, 0, 0, 0, 0, time.UTC)
+	rows := make([][]types.Value, totalRows)
+	for i := range rows {
+		src := 1 + i%sources
+		val := "busy"
+		if i%2 == 0 {
+			val = "idle"
+		}
+		rows[i] = []types.Value{
+			types.NewString(fmt.Sprintf("Tao%d", src)),
+			types.NewString(val),
+			types.NewTime(start.Add(time.Duration(i) * time.Second)),
+		}
+	}
+	if err := r.LoadRows("Activity", rows); err != nil {
+		return nil, err
+	}
+	hb := make([][]types.Value, sources)
+	for i := range hb {
+		hb[i] = []types.Value{
+			types.NewString(fmt.Sprintf("Tao%d", i+1)),
+			types.NewTime(start.Add(time.Duration(totalRows+i) * time.Second)),
+		}
+	}
+	if err := r.LoadRows("Heartbeat", hb); err != nil {
+		return nil, err
+	}
+	r.SealAll()
+	return r, nil
+}
+
+// shardScenario is one query shape measured across shard counts.
+type shardScenario struct {
+	Name     string
+	Prunable bool // the partition-key bound should collapse the shard set
+	Run      func(r *shard.Router, sess *engine.Session) (int, error)
+	Probe    string // SELECT whose Explain yields the scatter note ("" = Run-only)
+}
+
+// shardScenarios builds the measured set. The probe source is chosen mid-
+// range so it exists at every sweep size.
+func shardScenarios(sources int) []shardScenario {
+	probeSrc := fmt.Sprintf("Tao%d", sources/2)
+	probeSQL := fmt.Sprintf(`SELECT value, event_time FROM Activity WHERE mach_id = '%s'`, probeSrc)
+	scanSQL := `SELECT COUNT(*) FROM Activity WHERE value = 'busy'`
+	groupSQL := `SELECT mach_id, COUNT(*) FROM Activity GROUP BY mach_id`
+	reportSQL := fmt.Sprintf(`SELECT value FROM Activity WHERE mach_id = '%s'`, probeSrc)
+	fullReportSQL := `SELECT mach_id FROM Activity WHERE value = 'idle'`
+	cfg := report.Config{SkipTempTables: true}
+	return []shardScenario{
+		{
+			Name: "source-probe", Prunable: true, Probe: probeSQL,
+			Run: func(r *shard.Router, _ *engine.Session) (int, error) {
+				res, err := r.Query(probeSQL)
+				if err != nil {
+					return 0, err
+				}
+				return len(res.Rows), nil
+			},
+		},
+		{
+			Name: "source-probe-recency", Prunable: true, Probe: reportSQL,
+			Run: func(r *shard.Router, sess *engine.Session) (int, error) {
+				rep, err := r.RecencyReport(sess, reportSQL, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return len(rep.Result.Rows), nil
+			},
+		},
+		{
+			Name: "unprunable-scan", Probe: scanSQL,
+			Run: func(r *shard.Router, _ *engine.Session) (int, error) {
+				res, err := r.Query(scanSQL)
+				if err != nil {
+					return 0, err
+				}
+				return len(res.Rows), nil
+			},
+		},
+		{
+			Name: "group-by-source", Probe: groupSQL,
+			Run: func(r *shard.Router, _ *engine.Session) (int, error) {
+				res, err := r.Query(groupSQL)
+				if err != nil {
+					return 0, err
+				}
+				return len(res.Rows), nil
+			},
+		},
+		{
+			Name: "full-recency-report", Probe: fullReportSQL,
+			Run: func(r *shard.Router, sess *engine.Session) (int, error) {
+				rep, err := r.RecencyReport(sess, fullReportSQL, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return len(rep.Normal) + len(rep.Exceptional), nil
+			},
+		},
+	}
+}
+
+// scatterNote extracts (touched, pruned) from the router's EXPLAIN output.
+func scatterNote(r *shard.Router, sql string) (int, int, error) {
+	out, err := r.Explain(sql)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, line := range strings.Split(out, "\n") {
+		var touched, total, pruned int
+		if i := strings.Index(line, "shards: "); i >= 0 {
+			if strings.Contains(line, "replicated") {
+				return 1, 0, nil
+			}
+			if _, err := fmt.Sscanf(line[i:], "shards: %d of %d, pruned %d", &touched, &total, &pruned); err == nil {
+				return touched, pruned, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("no scatter note in EXPLAIN of %s:\n%s", sql, out)
+}
+
+// RunShardBench measures every scenario at every shard count and assembles
+// the report. The first shard count is the baseline for speedups and must
+// be 1.
+func RunShardBench(totalRows, sources, iterations int, shardCounts []int, progress func(string)) (*ShardBenchReport, error) {
+	if iterations < 1 {
+		iterations = 3
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 4, 8}
+	}
+	if shardCounts[0] != 1 {
+		return nil, fmt.Errorf("shardbench: first shard count must be 1 (the baseline), got %d", shardCounts[0])
+	}
+	rep := &ShardBenchReport{
+		TotalRows: totalRows, Sources: sources, Iterations: iterations,
+		GoMaxProcs: runtime.GOMAXPROCS(0), ShardCounts: shardCounts,
+	}
+	baseline := map[string]float64{}
+	for _, n := range shardCounts {
+		r, err := buildShardBenchRouter(n, totalRows, sources)
+		if err != nil {
+			return nil, err
+		}
+		sess := r.Shard(0).NewSession()
+		for _, sc := range shardScenarios(sources) {
+			touched, pruned, err := scatterNote(r, sc.Probe)
+			if err != nil {
+				return nil, err
+			}
+			if sc.Prunable && touched != 1 {
+				return nil, fmt.Errorf("shardbench: %s at %d shards touches %d shards, want 1", sc.Name, n, touched)
+			}
+			// Warm up untimed (hydrates segments, fills plan caches).
+			if _, err := sc.Run(r, sess); err != nil {
+				return nil, fmt.Errorf("%s at %d shards: %w", sc.Name, n, err)
+			}
+			best := time.Duration(0)
+			out := 0
+			for i := 0; i < iterations; i++ {
+				runtime.GC()
+				start := time.Now()
+				rows, err := sc.Run(r, sess)
+				d := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("%s at %d shards: %w", sc.Name, n, err)
+				}
+				out = rows
+				if best == 0 || d < best {
+					best = d
+				}
+			}
+			degenerate, label := false, ""
+			if !sc.Prunable && n > 1 {
+				degenerate, label = DegenerateParallel(n)
+			}
+			res := ShardBenchResult{
+				Name: sc.Name, Shards: n, ShardsTouched: touched, Pruned: pruned,
+				OutputRows: out, GoMaxProcs: runtime.GOMAXPROCS(0), Workers: n,
+				Degenerate: degenerate, Label: label,
+				LatencyMs: float64(best) / float64(time.Millisecond),
+			}
+			if n == 1 {
+				baseline[sc.Name] = res.LatencyMs
+				res.Speedup = 1
+			} else if b := baseline[sc.Name]; b > 0 && res.LatencyMs > 0 {
+				res.Speedup = b / res.LatencyMs
+			}
+			if progress != nil {
+				note := ""
+				if res.Degenerate {
+					note = "   [degenerate]"
+				}
+				progress(fmt.Sprintf("%-22s %d shards (%d touched, %d pruned) %10.2f ms   speedup %5.2fx%s",
+					res.Name, res.Shards, res.ShardsTouched, res.Pruned, res.LatencyMs, res.Speedup, note))
+			}
+			rep.Results = append(rep.Results, res)
+		}
+		sess.Close()
+	}
+	return rep, nil
+}
+
+// MarshalShardBench renders the report as the BENCH_shard.json document.
+func MarshalShardBench(r *ShardBenchReport) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,145 @@
+package benchharness
+
+import (
+	"strings"
+	"testing"
+
+	"trac/internal/core/report"
+)
+
+// TestShardBenchAgrees is the correctness gate for the sharded sweep: every
+// scenario must produce the same output rows at every shard count, the
+// prunable probes must collapse to a single shard, and the unprunable
+// scenarios on a multi-shard router must be honestly labeled when the box
+// cannot run shards in parallel.
+func TestShardBenchAgrees(t *testing.T) {
+	rep, err := RunShardBench(4_000, 100, 1, []int{1, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoMaxProcs < 1 {
+		t.Errorf("gomaxprocs not recorded: %d", rep.GoMaxProcs)
+	}
+	byShards := map[string]map[int]ShardBenchResult{}
+	for _, r := range rep.Results {
+		if byShards[r.Name] == nil {
+			byShards[r.Name] = map[int]ShardBenchResult{}
+		}
+		byShards[r.Name][r.Shards] = r
+		if r.GoMaxProcs != rep.GoMaxProcs {
+			t.Errorf("%s@%d: gomaxprocs %d, want %d", r.Name, r.Shards, r.GoMaxProcs, rep.GoMaxProcs)
+		}
+		if r.Workers != r.Shards {
+			t.Errorf("%s@%d: workers %d, want %d", r.Name, r.Shards, r.Workers, r.Shards)
+		}
+	}
+	if len(byShards) != 5 {
+		t.Fatalf("got %d scenarios, want 5", len(byShards))
+	}
+	for name, m := range byShards {
+		one, three := m[1], m[3]
+		if one.OutputRows == 0 || one.OutputRows != three.OutputRows {
+			t.Errorf("%s: output rows diverge across shard counts: %d vs %d",
+				name, one.OutputRows, three.OutputRows)
+		}
+		if one.Speedup != 1 {
+			t.Errorf("%s: baseline speedup %v, want 1", name, one.Speedup)
+		}
+		if three.Speedup <= 0 {
+			t.Errorf("%s: speedup not computed at 3 shards", name)
+		}
+	}
+	for _, name := range []string{"source-probe", "source-probe-recency"} {
+		r := byShards[name][3]
+		if r.ShardsTouched != 1 || r.Pruned != 2 {
+			t.Errorf("%s@3: touched %d pruned %d, want 1/2", name, r.ShardsTouched, r.Pruned)
+		}
+		if r.Degenerate {
+			t.Errorf("%s@3: prunable scenario labeled degenerate", name)
+		}
+	}
+	for _, name := range []string{"unprunable-scan", "group-by-source", "full-recency-report"} {
+		r := byShards[name][3]
+		if r.ShardsTouched != 3 || r.Pruned != 0 {
+			t.Errorf("%s@3: touched %d pruned %d, want 3/0", name, r.ShardsTouched, r.Pruned)
+		}
+		degenerate, _ := DegenerateParallel(3)
+		if r.Degenerate != degenerate {
+			t.Errorf("%s@3: degenerate=%v, want %v (gomaxprocs %d)",
+				name, r.Degenerate, degenerate, rep.GoMaxProcs)
+		}
+		if degenerate && !strings.Contains(r.Label, "degenerate") {
+			t.Errorf("%s@3: degenerate run missing label: %q", name, r.Label)
+		}
+	}
+}
+
+// TestShardBenchRejectsBadBaseline pins the guard that keeps speedups
+// anchored to a single-shard run.
+func TestShardBenchRejectsBadBaseline(t *testing.T) {
+	if _, err := RunShardBench(100, 10, 1, []int{4, 8}, nil); err == nil {
+		t.Fatal("want error for shard counts not starting at 1")
+	}
+}
+
+const (
+	shardBenchRows    = 50_000
+	shardBenchSources = 1_000
+)
+
+func shardBenchScenario(b *testing.B, n int, name string) {
+	b.Helper()
+	r, err := buildShardBenchRouter(n, shardBenchRows, shardBenchSources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := r.Shard(0).NewSession()
+	defer sess.Close()
+	var run func() (int, error)
+	for _, sc := range shardScenarios(shardBenchSources) {
+		if sc.Name == name {
+			scc := sc
+			run = func() (int, error) { return scc.Run(r, sess) }
+		}
+	}
+	if run == nil {
+		b.Fatalf("no scenario %q", name)
+	}
+	if _, err := run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardProbe1(b *testing.B) { shardBenchScenario(b, 1, "source-probe") }
+func BenchmarkShardProbe4(b *testing.B) { shardBenchScenario(b, 4, "source-probe") }
+
+func BenchmarkShardRecencyProbe1(b *testing.B) { shardBenchScenario(b, 1, "source-probe-recency") }
+func BenchmarkShardRecencyProbe4(b *testing.B) { shardBenchScenario(b, 4, "source-probe-recency") }
+
+func BenchmarkShardUnprunableScan4(b *testing.B) { shardBenchScenario(b, 4, "unprunable-scan") }
+
+// BenchmarkShardFullReport exercises the complete scatter-gather recency
+// pipeline — consistent cut, per-shard partials, merged report — end to end.
+func BenchmarkShardFullReport(b *testing.B) {
+	r, err := buildShardBenchRouter(4, shardBenchRows, shardBenchSources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := r.Shard(0).NewSession()
+	defer sess.Close()
+	cfg := report.Config{SkipTempTables: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RecencyReport(sess, `SELECT mach_id FROM Activity WHERE value = 'idle'`, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

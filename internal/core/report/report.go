@@ -140,6 +140,10 @@ type Prepared struct {
 	genTime   time.Duration
 }
 
+// GenTime reports how long preparation took (the paper's generation-cost
+// component), for callers assembling report timings themselves.
+func (p *Prepared) GenTime() time.Duration { return p.genTime }
+
 // Prepare parses the user query and generates its recency query.
 func Prepare(db *engine.DB, userSQL string, cfg Config) (*Prepared, error) {
 	start := time.Now()
@@ -275,9 +279,9 @@ func (p *Prepared) Execute(sess *engine.Session) (*Report, error) {
 	}
 
 	t2 := time.Now()
-	p.splitAndSummarize(rep, pairs)
+	Summarize(rep, pairs, cfg)
 	if !cfg.SkipTempTables {
-		if err := materialize(sess, rep); err != nil {
+		if err := Materialize(sess, rep); err != nil {
 			return nil, err
 		}
 	}
@@ -285,8 +289,11 @@ func (p *Prepared) Execute(sess *engine.Session) (*Report, error) {
 	return rep, nil
 }
 
-func (p *Prepared) splitAndSummarize(rep *Report, pairs []SourceRecency) {
-	cfg := p.Config
+// Summarize classifies the (sid, recency) pairs into normal and exceptional
+// sources and fills the report's least/most/bound summary. Exported so a
+// sharded executor can gather per-shard pair sets and assemble the same
+// report the single-engine path produces.
+func Summarize(rep *Report, pairs []SourceRecency, cfg Config) {
 	sort.Slice(pairs, func(i, j int) bool {
 		if !pairs[i].Recency.Equal(pairs[j].Recency) {
 			return pairs[i].Recency.Before(pairs[j].Recency)
@@ -324,7 +331,10 @@ func (p *Prepared) splitAndSummarize(rep *Report, pairs []SourceRecency) {
 	}
 }
 
-func materialize(sess *engine.Session, rep *Report) error {
+// Materialize creates the session temp tables (sys_temp_e, sys_temp_a) for a
+// summarized report. Exported for the sharded report path, which materializes
+// on its designated session shard.
+func Materialize(sess *engine.Session, rep *Report) error {
 	cols := []storage.Column{
 		{Name: "sid", Kind: types.KindString},
 		{Name: "recency", Kind: types.KindTime},

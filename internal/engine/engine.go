@@ -183,6 +183,13 @@ func (db *DB) parseSelectCached(sql string) (*sqlparser.SelectStmt, error) {
 	return sel, nil
 }
 
+// ParseSelect exposes the memoized SELECT parse to callers that split
+// planning from execution themselves (the shard router builds per-shard
+// statements from one parsed AST). Same cache, same semantics as Query.
+func (db *DB) ParseSelect(sql string) (*sqlparser.SelectStmt, error) {
+	return db.parseSelectCached(sql)
+}
+
 // QueryStmtAt runs an already-parsed SELECT under a snapshot.
 func (db *DB) QueryStmtAt(sel *sqlparser.SelectStmt, snap txn.Snapshot) (*Result, error) {
 	plan, err := db.planner.PlanSelect(sel, snap)
@@ -609,6 +616,13 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt, tx *txn.Txn) (int, error) {
 
 // coerceToColumn adapts a literal value to a column's kind (string →
 // timestamp, int → float) and rejects clearly mistyped values.
+// CoerceToColumn exposes the engine's insert-time coercion rules. The shard
+// router hashes partition keys on the value actually stored, so its routing
+// must coerce exactly the way execInsert does.
+func CoerceToColumn(v types.Value, col storage.Column) (types.Value, error) {
+	return coerceToColumn(v, col)
+}
+
 func coerceToColumn(v types.Value, col storage.Column) (types.Value, error) {
 	if v.IsNull() || v.Kind() == col.Kind {
 		return v, nil

@@ -1,0 +1,37 @@
+package exec
+
+import (
+	"sync"
+
+	"trac/internal/types"
+)
+
+// DrainAll runs every operator to completion concurrently — the scatter
+// fan-in of a cross-shard plan — and returns the materialized rows grouped
+// per operator, in operator order. Unlike Exchange, which interleaves its
+// children's tuples nondeterministically, DrainAll preserves the per-child
+// grouping, so a gather that merges the groups in index order stays
+// deterministic while the drains themselves still overlap.
+//
+// Operators must be independent (each is Opened, iterated and Closed on its
+// own goroutine). The first error wins; remaining drains still run to
+// completion so no operator is left un-Closed.
+func DrainAll(ops []Operator) ([][][]types.Value, error) {
+	out := make([][][]types.Value, len(ops))
+	errs := make([]error, len(ops))
+	var wg sync.WaitGroup
+	for i, op := range ops {
+		wg.Add(1)
+		go func(i int, op Operator) {
+			defer wg.Done()
+			out[i], errs[i] = Drain(op)
+		}(i, op)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

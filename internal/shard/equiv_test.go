@@ -1,0 +1,258 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"trac/internal/core/report"
+	"trac/internal/engine"
+	"trac/internal/shard"
+	"trac/internal/workload"
+)
+
+var equivSpec = workload.Spec{TotalRows: 3000, DataSources: 100}
+
+// buildPair creates the same workload dataset unsharded and behind an
+// n-shard router (Activity hash-partitioned, Routing/Heartbeat replicated),
+// both with the NullProbe fixture.
+func buildPair(t *testing.T, n int) (*engine.DB, *shard.Router) {
+	t.Helper()
+	db, err := workload.Build(equivSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := workload.BuildSharded(equivSpec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stmt := range workload.NullProbeStmts() {
+		db.MustExec(stmt)
+		mustExec(t, r, stmt)
+	}
+	return db, r
+}
+
+// setMode applies one planner configuration to every shard.
+func setMode(r *shard.Router, disableVectorized, disableStatPushdown bool, parallelThreshold, maxParallel int) {
+	for i := 0; i < r.N(); i++ {
+		pl := r.Shard(i).Planner()
+		pl.DisableVectorized = disableVectorized
+		pl.DisableStatPushdown = disableStatPushdown
+		pl.ParallelThreshold = parallelThreshold
+		pl.MaxParallel = maxParallel
+	}
+}
+
+// TestShardedMatchesUnsharded is the cross-shard equivalence property: the
+// full corpus (Q1–Q4, generated recency queries, NULL semantics, joins,
+// UNION, GROUP BY) at 1, 3 and 8 shards must be row-identical to the
+// unsharded engine under every planner mode — the unsharded suite already
+// proves the modes agree with each other, so the unsharded default mode is
+// the baseline for all of them.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			db, r := buildPair(t, n)
+			corpus, err := workload.EquivCorpus(db.Catalog())
+			if err != nil {
+				t.Fatal(err)
+			}
+			modes := []struct {
+				name                string
+				disableVectorized   bool
+				disableStatPushdown bool
+				parallelThreshold   int
+				maxParallel         int
+			}{
+				{name: "row", disableVectorized: true},
+				{name: "vectorized"},
+				{name: "vectorized-nopushdown", disableStatPushdown: true},
+				{name: "vectorized-parallel", parallelThreshold: 50, maxParallel: 4},
+				{name: "vectorized-parallel-nopushdown", disableStatPushdown: true, parallelThreshold: 50, maxParallel: 4},
+				{name: "row-parallel", disableVectorized: true, parallelThreshold: 50, maxParallel: 4},
+			}
+			sawScatter := false
+			for qi, sql := range corpus {
+				res, err := db.Query(sql)
+				if err != nil {
+					t.Fatalf("q%d unsharded %s: %v", qi, sql, err)
+				}
+				baseline := workload.RowSet(res)
+				for _, m := range modes {
+					setMode(r, m.disableVectorized, m.disableStatPushdown, m.parallelThreshold, m.maxParallel)
+					sres, err := r.Query(sql)
+					if err != nil {
+						t.Fatalf("q%d [%s] sharded %s: %v", qi, m.name, sql, err)
+					}
+					if sres.Parallel > 1 {
+						sawScatter = true
+					}
+					if got := workload.RowSet(sres); fmt.Sprint(got) != fmt.Sprint(baseline) {
+						t.Errorf("q%d [%s] sharded diverges at %d shards\nquery: %s\nunsharded: %v\nsharded:   %v",
+							qi, m.name, n, sql, baseline, got)
+					}
+				}
+				setMode(r, false, false, 0, 0)
+			}
+			if n > 1 && !sawScatter {
+				t.Error("no corpus query ever fanned out across shards")
+			}
+		})
+	}
+}
+
+// TestShardedMatchesUnshardedSealed repeats the default-mode corpus run over
+// dual-format heaps: both sides sealed into columnar segments in small
+// chunks, then grown identical unsealed row tails, so scans cross zone-map
+// pruning and the row tail on every shard.
+func TestShardedMatchesUnshardedSealed(t *testing.T) {
+	db, r := buildPair(t, 3)
+	for _, name := range db.Catalog().Names() {
+		tbl, err := db.Catalog().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.SetSealThreshold(200)
+	}
+	for i := 0; i < r.N(); i++ {
+		cat := r.Shard(i).Catalog()
+		for _, name := range cat.Names() {
+			tbl, err := cat.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl.SetSealThreshold(200)
+		}
+	}
+	db.SealAll()
+	r.SealAll()
+	for _, sql := range []string{
+		`INSERT INTO Activity VALUES ('src-tail', 'idle', '2006-03-15 00:01:00')`,
+		`INSERT INTO Activity VALUES ('src-tail', 'busy', NULL)`,
+		`INSERT INTO Routing VALUES ('src-tail', 'Tao1', '2006-03-15 00:01:00')`,
+		`INSERT INTO NullProbe VALUES (7, NULL, 0.45)`,
+		`INSERT INTO NullProbe VALUES (8, 'idle', NULL)`,
+	} {
+		db.MustExec(sql)
+		mustExec(t, r, sql)
+	}
+	corpus, err := workload.EquivCorpus(db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, sql := range corpus {
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("q%d unsharded: %v", qi, err)
+		}
+		sres, err := r.Query(sql)
+		if err != nil {
+			t.Fatalf("q%d sharded: %v", qi, err)
+		}
+		if got, want := workload.RowSet(sres), workload.RowSet(res); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("q%d sealed-mixed diverges\nquery: %s\nunsharded: %v\nsharded:   %v", qi, sql, want, got)
+		}
+	}
+}
+
+// TestShardedRecencyReportMatches compares the full recency report — result
+// rows, relevant-source classification, least/most recency and the bound of
+// inconsistency — between report.Run on the unsharded engine and
+// Router.RecencyReport at several shard counts, for Q1–Q4 and an
+// unselective probe.
+func TestShardedRecencyReportMatches(t *testing.T) {
+	queries := []string{}
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q4"} {
+		sql, err := workload.Query(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, sql)
+	}
+	queries = append(queries, `SELECT mach_id, value FROM Activity WHERE value = 'idle'`)
+
+	for _, n := range []int{1, 3, 8} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			db, r := buildPair(t, n)
+			for qi, sql := range queries {
+				for _, cfg := range []report.Config{
+					{},
+					{Method: report.Naive, SkipTempTables: true},
+				} {
+					sess := db.NewSession()
+					want, err := report.Run(sess, sql, cfg)
+					if err != nil {
+						t.Fatalf("q%d unsharded report: %v", qi, err)
+					}
+					ssess := r.Shard(0).NewSession()
+					got, err := r.RecencyReport(ssess, sql, cfg)
+					if err != nil {
+						t.Fatalf("q%d sharded report: %v", qi, err)
+					}
+					if a, b := workload.RowSet(got.Result), workload.RowSet(want.Result); fmt.Sprint(a) != fmt.Sprint(b) {
+						t.Errorf("q%d: result rows diverge\nsharded:   %v\nunsharded: %v", qi, a, b)
+					}
+					if got.Empty != want.Empty || got.RecencySQL != want.RecencySQL {
+						t.Errorf("q%d: generated recency query diverges: empty %v/%v sql %q vs %q",
+							qi, got.Empty, want.Empty, got.RecencySQL, want.RecencySQL)
+					}
+					if len(got.Normal) != len(want.Normal) || len(got.Exceptional) != len(want.Exceptional) {
+						t.Fatalf("q%d: classification diverges: %d/%d normal, %d/%d exceptional",
+							qi, len(got.Normal), len(want.Normal), len(got.Exceptional), len(want.Exceptional))
+					}
+					for i := range got.Normal {
+						if got.Normal[i] != want.Normal[i] {
+							t.Errorf("q%d: normal[%d] = %+v, want %+v", qi, i, got.Normal[i], want.Normal[i])
+						}
+					}
+					if got.Least != want.Least || got.Most != want.Most || got.Bound != want.Bound {
+						t.Errorf("q%d: bound diverges: [%v, %v] width %v vs [%v, %v] width %v",
+							qi, got.Least, got.Most, got.Bound, want.Least, want.Most, want.Bound)
+					}
+					sess.Close()
+					ssess.Close()
+				}
+			}
+			// Sessions persisting temp tables bump only shard 0; the router
+			// must settle versions so later cuts stay coherent.
+			r.SettleVersions()
+			if _, err := r.Query(`SELECT COUNT(*) FROM Activity`); err != nil {
+				t.Fatalf("query after reports: %v", err)
+			}
+		})
+	}
+}
+
+// TestShardedReportTempTables checks a sharded report's temp tables
+// materialize on shard 0's session and stay queryable through the router
+// (non-partitioned tables route to shard 0), with SettleVersions healing the
+// shard-0-only catalog bumps that session persistence performs.
+func TestShardedReportTempTables(t *testing.T) {
+	_, r := buildPair(t, 3)
+	sess := r.Shard(0).NewSession()
+	defer sess.Close()
+	sql, err := workload.Query("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.RecencyReport(sess, sql, report.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NormalTable == "" {
+		t.Fatal("report did not materialize a normal temp table")
+	}
+	r.SettleVersions()
+	res, err := r.Query(`SELECT COUNT(*) FROM ` + rep.NormalTable)
+	if err != nil {
+		t.Fatalf("temp table not queryable through router: %v", err)
+	}
+	if got := res.Rows[0][0].Int(); got != int64(len(rep.Normal)) {
+		t.Errorf("temp table has %d rows, report has %d normal sources", got, len(rep.Normal))
+	}
+	if rep.Bound < 0 {
+		t.Errorf("negative bound of inconsistency %v", rep.Bound)
+	}
+}

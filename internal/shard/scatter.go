@@ -1,0 +1,438 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trac/internal/planner"
+	"trac/internal/sqlparser"
+	"trac/internal/types"
+)
+
+// scatterPlan is the cached decomposition of one SELECT across the shard
+// set: per UNION block, the shard set it must touch, the statement each
+// shard runs, and the gather recipe that reassembles exactly the rows the
+// unsharded engine would produce. Decompositions depend only on the SQL and
+// the catalog, so they are cached under the cut's coherent catalog version.
+type scatterPlan struct {
+	sel     *sqlparser.SelectStmt
+	blocks  []*blockPlan
+	columns []string
+}
+
+// blockPlan is the scatter/gather shape of one SELECT block.
+type blockPlan struct {
+	shards     []int // ascending shard set
+	pruned     int   // shards eliminated by the partition-key bound
+	replicated bool  // references no partitioned table: one shard suffices
+	stmt       *sqlparser.SelectStmt
+
+	agg *aggGather // non-nil: aggregate block
+
+	// Non-aggregate gather shape: the per-shard statement may carry hidden
+	// trailing items for ORDER BY expressions that are not output columns;
+	// the gather sorts the extended tuples, strips to nVisible, then applies
+	// DISTINCT and LIMIT in the unsharded planner's order.
+	nVisible int
+	sortKeys []posKey
+	distinct bool
+	limit    *int64
+}
+
+// posKey sorts gathered tuples by an absolute position.
+type posKey struct {
+	pos  int
+	desc bool
+}
+
+// partialKind selects the merge rule for one per-shard partial column.
+type partialKind int
+
+const (
+	mergeCount partialKind = iota // sum of never-null int partial counts
+	mergeSum                      // null-skipping exact-int/float sum
+	mergeMin                      // null-skipping minimum
+	mergeMax                      // null-skipping maximum
+)
+
+// finalSpec turns merged partials into the value of one original aggregate
+// call: either a direct partial, or an AVG assembled from a SUM and COUNT
+// partial pair.
+type finalSpec struct {
+	avg      bool
+	partial  int // !avg: direct partial index
+	sum, cnt int // avg: partial indexes
+}
+
+// aggGather reassembles an aggregate block: per-shard statements return
+// [group keys..., partials...]; the gather merges partials per group key,
+// finalizes the original aggregate calls, and replays HAVING / ORDER BY /
+// projection / DISTINCT / LIMIT exactly as the unsharded planner's
+// finishGrouped tail does.
+type aggGather struct {
+	nKeys    int
+	keySQL   []string
+	partials []partialKind
+	finals   []finalSpec
+	aggSQL   []string // finals[i] realizes the call with this SQL text
+	items    []sqlparser.Expr
+	sel      *sqlparser.SelectStmt // Having/OrderBy/Distinct/Limit/Items source
+}
+
+// decompose splits a parsed SELECT into per-block scatter plans, mirroring
+// the unsharded planner's planUnion/planBlock split.
+func (r *Router) decompose(sel *sqlparser.SelectStmt) (*scatterPlan, error) {
+	sp := &scatterPlan{sel: sel}
+	blocks := []*sqlparser.SelectStmt{sel}
+	if len(sel.Union) > 0 {
+		head := *sel
+		head.Union = nil
+		head.OrderBy = nil
+		head.Limit = nil
+		blocks = append([]*sqlparser.SelectStmt{&head}, sel.Union...)
+	}
+	for i, b := range blocks {
+		bp, columns, err := r.decomposeBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			sp.columns = columns
+		} else if len(columns) != len(sp.columns) {
+			return nil, fmt.Errorf("planner: UNION blocks have different arity (%d vs %d)",
+				len(sp.columns), len(columns))
+		}
+		sp.blocks = append(sp.blocks, bp)
+	}
+	return sp, nil
+}
+
+// decomposeBlock computes one block's shard set and per-shard statement.
+func (r *Router) decomposeBlock(b *sqlparser.SelectStmt) (*blockPlan, []string, error) {
+	bp := &blockPlan{}
+
+	// Constant SELECT: no FROM, no data — any one shard answers it.
+	if len(b.From) == 0 {
+		bp.shards, bp.replicated = []int{0}, true
+		bp.stmt = b
+		bp.nVisible = len(b.Items)
+		columns := make([]string, len(b.Items))
+		for i, it := range b.Items {
+			columns[i] = itemName(it)
+		}
+		return bp, columns, nil
+	}
+
+	if err := r.shardSet(b, bp); err != nil {
+		return nil, nil, err
+	}
+
+	items, columns, err := r.expandItems(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	hasAgg := false
+	for _, it := range items {
+		if _, ok := it.(*sqlparser.FuncCall); ok {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(b.GroupBy) > 0 || b.Having != nil {
+		if err := r.decomposeAgg(b, bp, items); err != nil {
+			return nil, nil, err
+		}
+		return bp, columns, nil
+	}
+	if err := r.decomposePlain(b, bp, items); err != nil {
+		return nil, nil, err
+	}
+	return bp, columns, nil
+}
+
+// shardSet computes which shards a block must touch. A block over only
+// replicated tables runs on shard 0 (every shard holds the full data); a
+// block over one partitioned table scatters to the shards its partition-key
+// bound hashes to, or to all shards when the WHERE clause carries no such
+// bound. Two partitioned tables in one block would need co-partitioned or
+// shuffled joins, which the router does not implement.
+func (r *Router) shardSet(b *sqlparser.SelectStmt, bp *blockPlan) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cat := r.shards[0].Catalog()
+	type partRef struct {
+		binding string
+		col     string
+		kind    types.Kind
+	}
+	var prefs []partRef
+	for _, ref := range b.From {
+		col, ok := r.part[strings.ToLower(ref.Name)]
+		if !ok {
+			continue
+		}
+		tbl, err := cat.Get(ref.Name)
+		if err != nil {
+			return err
+		}
+		ci := tbl.Schema.ColumnIndex(col)
+		prefs = append(prefs, partRef{binding: ref.Binding(), col: col, kind: tbl.Schema.Columns[ci].Kind})
+	}
+	switch len(prefs) {
+	case 0:
+		bp.shards, bp.replicated = []int{0}, true
+		return nil
+	case 1:
+	default:
+		return fmt.Errorf("shard: query joins %d partitioned tables; only one partitioned table per block is supported", len(prefs))
+	}
+	p := prefs[0]
+	keys, ok := planner.PartitionKeys(b.Where, p.binding, p.col, p.kind)
+	if !ok {
+		bp.shards = make([]int, len(r.shards))
+		for i := range bp.shards {
+			bp.shards[i] = i
+		}
+		return nil
+	}
+	set := make(map[int]bool, len(keys))
+	for _, k := range keys {
+		set[r.ShardOf(k)] = true
+	}
+	for s := range set {
+		bp.shards = append(bp.shards, s)
+	}
+	sort.Ints(bp.shards)
+	bp.pruned = len(r.shards) - len(bp.shards)
+	return nil
+}
+
+// decomposePlain builds the per-shard statement and gather shape for a
+// non-aggregate block.
+func (r *Router) decomposePlain(b *sqlparser.SelectStmt, bp *blockPlan, items []sqlparser.Expr) error {
+	bp.nVisible = len(items)
+	bp.distinct = b.Distinct
+	bp.limit = b.Limit
+
+	shardSel := &sqlparser.SelectStmt{
+		Distinct: b.Distinct,
+		Items:    b.Items,
+		From:     b.From,
+		Where:    b.Where,
+		Limit:    b.Limit,
+	}
+	if len(b.OrderBy) == 0 {
+		// Without ORDER BY a per-shard LIMIT is a valid prefix of each
+		// shard's arbitrary order; the gather truncates the concatenation.
+		bp.stmt = shardSel
+		return nil
+	}
+
+	// Resolve ORDER BY keys to output positions, mirroring planBlock:
+	// 1-based positions and bare aliases resolve to select items; anything
+	// else becomes a hidden trailing item each shard also returns.
+	var hidden []sqlparser.SelectItem
+	for _, o := range b.OrderBy {
+		oe := o.Expr
+		if lit, ok := oe.(*sqlparser.Literal); ok && lit.Val.Kind() == types.KindInt {
+			pos := int(lit.Val.Int()) - 1
+			if pos < 0 || pos >= len(items) {
+				return fmt.Errorf("planner: ORDER BY position %d out of range", pos+1)
+			}
+			bp.sortKeys = append(bp.sortKeys, posKey{pos: pos, desc: o.Desc})
+			continue
+		}
+		if cr, ok := oe.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			alias := -1
+			for i, it := range b.Items {
+				if strings.EqualFold(it.Alias, cr.Column) {
+					alias = i
+					break
+				}
+			}
+			if alias >= 0 {
+				bp.sortKeys = append(bp.sortKeys, posKey{pos: alias, desc: o.Desc})
+				continue
+			}
+		}
+		// An ORDER BY expression textually identical to an output item
+		// already travels with the row.
+		match := -1
+		for i, it := range items {
+			if it.SQL() == oe.SQL() {
+				match = i
+				break
+			}
+		}
+		if match >= 0 {
+			bp.sortKeys = append(bp.sortKeys, posKey{pos: match, desc: o.Desc})
+			continue
+		}
+		hidden = append(hidden, sqlparser.SelectItem{Expr: oe})
+		bp.sortKeys = append(bp.sortKeys, posKey{pos: len(items) + len(hidden) - 1, desc: o.Desc})
+	}
+
+	if len(hidden) > 0 {
+		shardSel.Items = append(append([]sqlparser.SelectItem(nil), b.Items...), hidden...)
+		if b.Distinct {
+			// Hidden columns would change DISTINCT's grouping; dedup (and
+			// therefore LIMIT, which applies post-dedup) move to the gather.
+			shardSel.Distinct = false
+			shardSel.Limit = nil
+		}
+	}
+	if shardSel.Limit != nil {
+		// Keep the per-shard LIMIT as a top-k: each shard's ordered prefix
+		// is a superset of its contribution to the global top-k.
+		shardSel.OrderBy = b.OrderBy
+	}
+	bp.stmt = shardSel
+	return nil
+}
+
+// decomposeAgg builds the per-shard partial-aggregate statement and the
+// gather recipe for an aggregate block.
+func (r *Router) decomposeAgg(b *sqlparser.SelectStmt, bp *blockPlan, items []sqlparser.Expr) error {
+	ag := &aggGather{sel: b, items: items}
+
+	// Resolve GROUP BY keys like finishGrouped: a bare alias resolves to
+	// its select-list expression; keySQL is the canonical matching text.
+	var keyExprs []sqlparser.Expr
+	for _, g := range b.GroupBy {
+		ge := g
+		if cr, ok := g.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			for _, it := range b.Items {
+				if strings.EqualFold(it.Alias, cr.Column) && !it.Star {
+					ge = it.Expr
+					break
+				}
+			}
+		}
+		keyExprs = append(keyExprs, ge)
+		ag.keySQL = append(ag.keySQL, ge.SQL())
+	}
+	ag.nKeys = len(keyExprs)
+
+	// Collect the distinct aggregate calls reachable from items, HAVING and
+	// ORDER BY (the same set finishGrouped's compile hook discovers), then
+	// decompose each into mergeable partials. AVG(x) needs SUM(x)+COUNT(x);
+	// every other call merges as itself. Identical partials are shared.
+	var calls []*sqlparser.FuncCall
+	seen := make(map[string]bool)
+	collect := func(e sqlparser.Expr) {
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if fc, ok := x.(*sqlparser.FuncCall); ok && !seen[fc.SQL()] {
+				seen[fc.SQL()] = true
+				calls = append(calls, fc)
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range items {
+		collect(it)
+	}
+	if b.Having != nil {
+		collect(b.Having)
+	}
+	for _, o := range b.OrderBy {
+		collect(o.Expr)
+	}
+
+	var partialCalls []*sqlparser.FuncCall
+	partialIdx := make(map[string]int)
+	addPartial := func(fc *sqlparser.FuncCall, kind partialKind) int {
+		key := fc.SQL()
+		if i, ok := partialIdx[key]; ok {
+			return i
+		}
+		partialIdx[key] = len(partialCalls)
+		partialCalls = append(partialCalls, fc)
+		ag.partials = append(ag.partials, kind)
+		return len(partialCalls) - 1
+	}
+	for _, fc := range calls {
+		ag.aggSQL = append(ag.aggSQL, fc.SQL())
+		switch fc.Name {
+		case sqlparser.FuncCount:
+			ag.finals = append(ag.finals, finalSpec{partial: addPartial(fc, mergeCount)})
+		case sqlparser.FuncSum:
+			ag.finals = append(ag.finals, finalSpec{partial: addPartial(fc, mergeSum)})
+		case sqlparser.FuncMin:
+			ag.finals = append(ag.finals, finalSpec{partial: addPartial(fc, mergeMin)})
+		case sqlparser.FuncMax:
+			ag.finals = append(ag.finals, finalSpec{partial: addPartial(fc, mergeMax)})
+		case sqlparser.FuncAvg:
+			sum := addPartial(&sqlparser.FuncCall{Name: sqlparser.FuncSum, Arg: fc.Arg}, mergeSum)
+			cnt := addPartial(&sqlparser.FuncCall{Name: sqlparser.FuncCount, Arg: fc.Arg}, mergeCount)
+			ag.finals = append(ag.finals, finalSpec{avg: true, sum: sum, cnt: cnt})
+		default:
+			return fmt.Errorf("shard: unsupported aggregate %s", fc.Name)
+		}
+	}
+
+	// Per-shard statement: grouped partials, no HAVING/ORDER BY/DISTINCT/
+	// LIMIT — those apply to globally merged groups only.
+	shardItems := make([]sqlparser.SelectItem, 0, ag.nKeys+len(partialCalls))
+	for _, ge := range keyExprs {
+		shardItems = append(shardItems, sqlparser.SelectItem{Expr: ge})
+	}
+	for _, fc := range partialCalls {
+		shardItems = append(shardItems, sqlparser.SelectItem{Expr: fc})
+	}
+	bp.stmt = &sqlparser.SelectStmt{
+		Items:   shardItems,
+		From:    b.From,
+		Where:   b.Where,
+		GroupBy: keyExprs,
+	}
+	bp.agg = ag
+	return nil
+}
+
+// expandItems resolves stars against shard 0's catalog (all shards share one
+// schema) and returns per-output-column expressions plus column names — the
+// shard-side mirror of the planner's expandItems.
+func (r *Router) expandItems(b *sqlparser.SelectStmt) ([]sqlparser.Expr, []string, error) {
+	cat := r.shards[0].Catalog()
+	var items []sqlparser.Expr
+	var columns []string
+	for _, it := range b.Items {
+		if !it.Star {
+			items = append(items, it.Expr)
+			columns = append(columns, itemName(it))
+			continue
+		}
+		for _, ref := range b.From {
+			if it.Table != "" && !strings.EqualFold(it.Table, ref.Binding()) {
+				continue
+			}
+			tbl, err := cat.Get(ref.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, col := range tbl.Schema.Columns {
+				items = append(items, &sqlparser.ColumnRef{Table: ref.Binding(), Column: col.Name})
+				columns = append(columns, col.Name)
+			}
+		}
+	}
+	if len(items) == 0 {
+		return nil, nil, fmt.Errorf("planner: empty select list")
+	}
+	return items, columns, nil
+}
+
+// itemName mirrors the planner's output-column naming.
+func itemName(it sqlparser.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+		return cr.Column
+	}
+	if fc, ok := it.Expr.(*sqlparser.FuncCall); ok {
+		return strings.ToLower(string(fc.Name))
+	}
+	return it.Expr.SQL()
+}

@@ -93,6 +93,91 @@ type Table struct {
 	// touch; Append deliberately does not (recovery replaying an append-only
 	// WAL tail stays O(tail)). See SetSpill.
 	spill atomic.Pointer[tableSpill]
+
+	// part is set when this table is one hash partition of a sharded
+	// deployment (see internal/shard); nil for an unsharded or replicated
+	// table. Stored here so seal/zone statistics can be reported per
+	// partition.
+	part *Partition
+}
+
+// Partition identifies one hash partition of a sharded table: this replica
+// holds the rows whose partition-column hash lands on shard Index of Of.
+type Partition struct {
+	Index  int    // shard index, 0-based
+	Of     int    // total shard count
+	Column string // partition column name
+}
+
+// SetPartition marks the table as shard p.Index's partition. Called by the
+// shard router right after DDL lands on the shard.
+func (t *Table) SetPartition(p Partition) {
+	t.mu.Lock()
+	t.part = &p
+	t.mu.Unlock()
+}
+
+// Partition returns the table's partition identity, or ok=false when the
+// table is unsharded or replicated to every shard.
+func (t *Table) Partition() (Partition, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.part == nil {
+		return Partition{}, false
+	}
+	return *t.part, true
+}
+
+// PartitionStats is the per-partition seal/zone summary a shard reports for
+// one local table replica: how much of the partition is sealed columnar, how
+// large the row tail is, and how many distinct sources the sealed segments'
+// zone maps have seen (the figure shard-level source-set pruning works from).
+type PartitionStats struct {
+	Partition     Partition
+	Partitioned   bool // false: replicated/unsharded replica
+	Segments      int
+	SealedRows    int
+	TailRows      int
+	ZoneSources   int  // distinct sources across sealed zone maps
+	SourcesCapped bool // some segment overflowed MaxZoneSources
+}
+
+// PartitionStats snapshots the table's partition-aware seal/zone statistics.
+// The distinct-source union covers only the schema's source column (the only
+// column zone maps track value sets for); a segment whose set overflowed
+// MaxZoneSources marks the union as capped rather than silently undercounting.
+func (t *Table) PartitionStats() PartitionStats {
+	t.ensureHydrated()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ps := PartitionStats{
+		Segments:   len(t.segments),
+		SealedRows: t.sealed,
+		TailRows:   len(t.rows) - t.sealed,
+	}
+	if t.part != nil {
+		ps.Partition, ps.Partitioned = *t.part, true
+	}
+	if sc := t.Schema.SourceColumn; sc >= 0 {
+		union := make(map[string]struct{})
+		for _, seg := range t.segments {
+			if sc >= len(seg.Zones) {
+				continue
+			}
+			z := &seg.Zones[sc]
+			if z.Sources == nil {
+				if seg.Len() > z.NullCount {
+					ps.SourcesCapped = true
+				}
+				continue
+			}
+			for _, s := range z.Sources {
+				union[s] = struct{}{}
+			}
+		}
+		ps.ZoneSources = len(union)
+	}
+	return ps
 }
 
 // tableSpill is the not-yet-hydrated portion of a recovered table.

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"trac/internal/engine"
+	"trac/internal/shard"
+	"trac/internal/types"
+)
+
+// BuildSharded creates the same schema and dataset as Build inside an
+// n-shard router: Activity is hash-partitioned on mach_id, Routing and
+// Heartbeat are replicated to every shard, and row generation is identical
+// row for row (same Spec, same seed, same order) so the union of the shard
+// partitions is exactly the unsharded dataset — the property the cross-shard
+// equivalence suite compares against. Rows are materialized before routing,
+// so this is intended for test- and bench-scale specs, not the paper's 10^7
+// sweep.
+func BuildSharded(spec Spec, n int) (*shard.Router, error) {
+	spec = spec.withDefaults()
+	if spec.TotalRows%spec.DataSources != 0 {
+		return nil, fmt.Errorf("workload: TotalRows %d not divisible by DataSources %d",
+			spec.TotalRows, spec.DataSources)
+	}
+	r, err := shard.New(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, sql := range []string{
+		`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Routing (mach_id TEXT, neighbor TEXT, event_time TIMESTAMP)`,
+		`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`,
+	} {
+		if _, err := r.Exec(sql); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Partition("Activity", "mach_id"); err != nil {
+		return nil, err
+	}
+	// Source metadata and value domains, applied uniformly so every shard's
+	// catalog stays version- and content-identical (the DDL-broadcast
+	// invariant the consistent cut depends on). The writes bypass Exec, so
+	// settle with one version bump per shard, exactly as Build does.
+	if err := r.Atomic(func(db *engine.DB) error {
+		act, err := db.Catalog().Get("Activity")
+		if err != nil {
+			return err
+		}
+		rout, err := db.Catalog().Get("Routing")
+		if err != nil {
+			return err
+		}
+		act.Schema.SetSourceColumn("mach_id")
+		rout.Schema.SetSourceColumn("mach_id")
+		act.Schema.Columns[1].Domain = types.FiniteStringDomain("busy", "idle")
+		db.Catalog().BumpVersion()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	ratio := spec.TotalRows / spec.DataSources
+	tick := time.Second
+
+	actRows := make([][]types.Value, spec.TotalRows)
+	for i := range actRows {
+		src := 1 + i/ratio
+		val := "busy"
+		if rng.Intn(2) == 0 {
+			val = "idle"
+		}
+		actRows[i] = []types.Value{
+			types.NewString(sourceName(src)),
+			types.NewString(val),
+			types.NewTime(spec.Start.Add(time.Duration(i%ratio) * tick)),
+		}
+	}
+	if err := r.LoadRows("Activity", actRows); err != nil {
+		return nil, err
+	}
+
+	routRows := make([][]types.Value, spec.DataSources)
+	for i := range routRows {
+		routRows[i] = []types.Value{
+			types.NewString(sourceName(i + 1)),
+			types.NewString(sourceName(i + 1)),
+			types.NewTime(spec.Start),
+		}
+	}
+	if err := r.LoadRows("Routing", routRows); err != nil {
+		return nil, err
+	}
+
+	recencyBase := spec.Start.Add(time.Duration(ratio) * tick)
+	hbRows := make([][]types.Value, spec.DataSources)
+	for i := range hbRows {
+		rec := recencyBase.Add(time.Duration(i%600) * time.Second)
+		if spec.StaleSources > 0 && i >= spec.DataSources-spec.StaleSources {
+			rec = spec.Start.Add(-24 * time.Hour)
+		}
+		hbRows[i] = []types.Value{
+			types.NewString(sourceName(i + 1)),
+			types.NewTime(rec),
+		}
+	}
+	if err := r.LoadRows("Heartbeat", hbRows); err != nil {
+		return nil, err
+	}
+
+	return r, r.Atomic(func(db *engine.DB) error {
+		for _, idx := range []struct{ table, col string }{
+			{"Activity", "mach_id"}, {"Routing", "mach_id"}, {"Heartbeat", "sid"},
+		} {
+			tbl, err := db.Catalog().Get(idx.table)
+			if err != nil {
+				return err
+			}
+			if err := tbl.CreateIndex(idx.col); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,89 @@
+package trac_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"trac"
+)
+
+// TestShardedPublicAPI drives the sharded database through the public
+// surface only: open with shards, partition, load through SQL, heartbeat,
+// query with pruning, and run a recency report under one consistent cut.
+func TestShardedPublicAPI(t *testing.T) {
+	db := trac.Open(trac.WithShards(4))
+	if db.Shards() != 4 || db.Router() == nil {
+		t.Fatalf("Shards() = %d, Router() = %v", db.Shards(), db.Router())
+	}
+	db.MustExec(`CREATE TABLE Activity (mach_id TEXT, value TEXT, event_time TIMESTAMP)`)
+	db.MustExec(`CREATE TABLE Heartbeat (sid TEXT PRIMARY KEY, recency TIMESTAMP)`)
+	if err := db.PartitionTable("Activity", "mach_id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetSourceColumn("Activity", "mach_id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetColumnDomain("Activity", "value", trac.StringDomain("busy", "idle")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		db.MustExec(fmt.Sprintf(
+			`INSERT INTO Activity VALUES ('Tao%d', 'idle', '2006-03-15 00:00:%02d')`, i, i))
+		if err := db.Heartbeat(fmt.Sprintf("Tao%d", i), fmt.Sprintf("2006-03-15 00:10:%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := db.Query(`SELECT COUNT(*) FROM Activity`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 8 {
+		t.Fatalf("COUNT(*) = %d, want 8", got)
+	}
+
+	plan, err := db.Explain(`SELECT value FROM Activity WHERE mach_id = 'Tao1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "of 4, pruned") {
+		t.Errorf("EXPLAIN missing shard-pruning note:\n%s", plan)
+	}
+
+	sess := db.NewSession()
+	defer sess.Close()
+	rep, err := sess.RecencyReport(`SELECT value FROM Activity WHERE mach_id IN ('Tao1', 'Tao2')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Result.Rows) != 2 {
+		t.Errorf("user query returned %d rows, want 2", len(rep.Result.Rows))
+	}
+	if got := len(rep.Normal) + len(rep.Exceptional); got != 2 {
+		t.Errorf("report covers %d sources, want 2 (Tao1, Tao2)", got)
+	}
+	if rep.NormalTable == "" {
+		t.Error("sharded report did not materialize temp tables")
+	}
+
+	pr, err := db.PrepareReport(`SELECT value FROM Activity WHERE mach_id = 'Tao3'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := pr.Execute(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep2.Normal) + len(rep2.Exceptional); got != 1 {
+		t.Errorf("prepared report covers %d sources, want 1", got)
+	}
+
+	// Persistence stays explicitly unsupported when sharded.
+	if err := db.SaveFile(t.TempDir() + "/dump"); err == nil {
+		t.Error("SaveFile should fail on a sharded database")
+	}
+	if err := db.AttachWAL(t.TempDir() + "/wal"); err == nil {
+		t.Error("AttachWAL should fail on a sharded database")
+	}
+}

@@ -31,13 +31,15 @@ import (
 	"trac/internal/core/recgen"
 	"trac/internal/core/report"
 	"trac/internal/engine"
+	"trac/internal/shard"
 	"trac/internal/storage"
 	"trac/internal/types"
 )
 
 // DB is an embedded TRAC database.
 type DB struct {
-	eng *engine.DB
+	eng    *engine.DB
+	router *shard.Router // non-nil when opened with WithShards(n > 1)
 }
 
 // Result is a materialized query result.
@@ -49,39 +51,117 @@ type Report = report.Report
 // SourceRecency is one (source, recency timestamp) pair in a report.
 type SourceRecency = report.SourceRecency
 
+// Opt configures Open.
+type Opt func(*openConfig)
+
+type openConfig struct {
+	shards int
+}
+
+// WithShards opens the database as n hash-partitioned engine shards behind
+// a scatter-gather router. Call PartitionTable after creating a table to
+// hash-partition it by its source column; every other table is replicated.
+// n = 1 (the default) is the ordinary single-engine database.
+func WithShards(n int) Opt {
+	return func(c *openConfig) { c.shards = n }
+}
+
 // Open creates an empty in-memory TRAC database.
-func Open() *DB {
+func Open(opts ...Opt) *DB {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards > 1 {
+		r, err := shard.New(cfg.shards)
+		if err != nil {
+			// Unreachable: shard.New only rejects n < 1.
+			panic(err)
+		}
+		return &DB{eng: r.Shard(0), router: r}
+	}
 	return &DB{eng: engine.New()}
 }
 
 // Engine exposes the underlying engine for advanced integration (bulk
-// loading, direct snapshots). Most applications never need it.
+// loading, direct snapshots). For a sharded database this is shard 0; use
+// Router for the full shard set.
 func (db *DB) Engine() *engine.DB { return db.eng }
 
+// Router exposes the shard router, or nil for an unsharded database.
+func (db *DB) Router() *shard.Router { return db.router }
+
+// Shards returns the shard count (1 when unsharded).
+func (db *DB) Shards() int {
+	if db.router == nil {
+		return 1
+	}
+	return db.router.N()
+}
+
+// PartitionTable declares a table hash-partitioned on a column across the
+// shards. It must run after the table's DDL and before any rows are loaded.
+func (db *DB) PartitionTable(table, column string) error {
+	if db.router == nil {
+		return fmt.Errorf("trac: PartitionTable requires a database opened with WithShards(n > 1)")
+	}
+	return db.router.Partition(table, column)
+}
+
 // Exec executes any SQL statement (DDL or DML), returning the number of
-// affected rows.
-func (db *DB) Exec(sql string) (int, error) { return db.eng.Exec(sql) }
+// affected rows. On a sharded database, DML routes by partition key or
+// replicates, and DDL broadcasts to every shard atomically.
+func (db *DB) Exec(sql string) (int, error) {
+	if db.router != nil {
+		return db.router.Exec(sql)
+	}
+	return db.eng.Exec(sql)
+}
 
 // MustExec executes a statement and panics on error (fixtures, tests).
-func (db *DB) MustExec(sql string) int { return db.eng.MustExec(sql) }
+func (db *DB) MustExec(sql string) int {
+	n, err := db.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
 
-// Query runs a SELECT and materializes its result.
-func (db *DB) Query(sql string) (*Result, error) { return db.eng.Query(sql) }
+// Query runs a SELECT and materializes its result; sharded databases
+// scatter it across the pruned shard set under a consistent cut.
+func (db *DB) Query(sql string) (*Result, error) {
+	if db.router != nil {
+		return db.router.Query(sql)
+	}
+	return db.eng.Query(sql)
+}
 
 // SetSourceColumn marks a table's data source column (§3.3 of the paper):
 // the column identifying which distributed source wrote each tuple. Every
 // monitored table needs one for recency reporting to cover it.
 func (db *DB) SetSourceColumn(table, column string) error {
-	tbl, err := db.eng.Catalog().Get(table)
-	if err != nil {
-		return err
+	return db.eachEngine(func(eng *engine.DB) error {
+		tbl, err := eng.Catalog().Get(table)
+		if err != nil {
+			return err
+		}
+		if err := tbl.Schema.SetSourceColumn(column); err != nil {
+			return err
+		}
+		// Source columns change what the generator emits: invalidate cached plans.
+		eng.Catalog().BumpVersion()
+		return nil
+	})
+}
+
+// eachEngine applies a metadata mutation to the single engine, or uniformly
+// to every shard under the router's exclusive cut lock so catalogs (and
+// their versions) stay identical across shards.
+func (db *DB) eachEngine(fn func(eng *engine.DB) error) error {
+	if db.router != nil {
+		return db.router.Atomic(fn)
 	}
-	if err := tbl.Schema.SetSourceColumn(column); err != nil {
-		return err
-	}
-	// Source columns change what the generator emits: invalidate cached plans.
-	db.eng.Catalog().BumpVersion()
-	return nil
+	return fn(db.eng)
 }
 
 // SetColumnDomain declares the domain of legal values for a column. Domains
@@ -89,19 +169,21 @@ func (db *DB) SetSourceColumn(table, column string) error {
 // from "upper bound" to "guaranteed minimal", Theorems 3/4) and brute-force
 // evaluation in tests.
 func (db *DB) SetColumnDomain(table, column string, domain Domain) error {
-	tbl, err := db.eng.Catalog().Get(table)
-	if err != nil {
-		return err
-	}
-	ci := tbl.Schema.ColumnIndex(column)
-	if ci < 0 {
-		return fmt.Errorf("trac: table %s has no column %q", table, column)
-	}
-	tbl.Schema.Columns[ci].Domain = domain.d
-	// Domains drive satisfiability pruning in generation: invalidate cached
-	// plans.
-	db.eng.Catalog().BumpVersion()
-	return nil
+	return db.eachEngine(func(eng *engine.DB) error {
+		tbl, err := eng.Catalog().Get(table)
+		if err != nil {
+			return err
+		}
+		ci := tbl.Schema.ColumnIndex(column)
+		if ci < 0 {
+			return fmt.Errorf("trac: table %s has no column %q", table, column)
+		}
+		tbl.Schema.Columns[ci].Domain = domain.d
+		// Domains drive satisfiability pruning in generation: invalidate cached
+		// plans.
+		eng.Catalog().BumpVersion()
+		return nil
+	})
 }
 
 // AddCheck registers a CHECK constraint predicate on an existing table
@@ -110,7 +192,9 @@ func (db *DB) SetColumnDomain(table, column string, domain Domain) error {
 // the user query, so potential tuples that could never legally exist stop
 // making sources relevant.
 func (db *DB) AddCheck(table, exprSQL string) error {
-	return db.eng.AddCheck(table, exprSQL)
+	return db.eachEngine(func(eng *engine.DB) error {
+		return eng.AddCheck(table, exprSQL)
+	})
 }
 
 // Domain describes a column's set of legal values.
@@ -146,9 +230,17 @@ func (s *Session) Close() error { return s.sess.Close() }
 // TempTables lists the session's temp tables (newest last).
 func (s *Session) TempTables() []string { return s.sess.TempTables() }
 
-// Persist copies a temp table into a permanent one.
+// Persist copies a temp table into a permanent one. On a sharded database
+// the copy lands on shard 0 and the router's catalog versions are settled so
+// later cuts stay coherent.
 func (s *Session) Persist(tempName, permanentName string) error {
-	return s.sess.Persist(tempName, permanentName)
+	if err := s.sess.Persist(tempName, permanentName); err != nil {
+		return err
+	}
+	if s.db.router != nil {
+		s.db.router.SettleVersions()
+	}
+	return nil
 }
 
 // Option tunes a recency report.
@@ -214,6 +306,9 @@ func (s *Session) RecencyReport(sql string, opts ...Option) (*Report, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if s.db.router != nil {
+		return s.db.router.RecencyReport(s.sess, sql, cfg)
+	}
 	return report.Run(s.sess, sql, cfg)
 }
 
@@ -221,11 +316,14 @@ func (s *Session) RecencyReport(sql string, opts ...Option) (*Report, error) {
 // executable many times (the paper's "hardcoded recency query" variant;
 // also the right shape for dashboards that repeat a monitoring query).
 type PreparedReport struct {
-	p *report.Prepared
+	p   *report.Prepared
+	db  *DB
+	sql string
 }
 
 // PrepareReport parses the query and generates its recency query without
-// running either.
+// running either. On a sharded database, preparation runs against shard 0's
+// catalog, which the DDL broadcast keeps identical everywhere.
 func (db *DB) PrepareReport(sql string, opts ...Option) (*PreparedReport, error) {
 	var cfg report.Config
 	for _, o := range opts {
@@ -235,11 +333,15 @@ func (db *DB) PrepareReport(sql string, opts ...Option) (*PreparedReport, error)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedReport{p: p}, nil
+	return &PreparedReport{p: p, db: db, sql: sql}, nil
 }
 
-// Execute runs the prepared pair under a fresh snapshot in the session.
+// Execute runs the prepared pair under a fresh snapshot in the session —
+// a fresh consistent cut across all shards when the database is sharded.
 func (pr *PreparedReport) Execute(s *Session) (*Report, error) {
+	if pr.db.router != nil {
+		return pr.db.router.RecencyReport(s.sess, pr.sql, pr.p.Config)
+	}
 	return pr.p.Execute(s.sess)
 }
 
@@ -262,8 +364,12 @@ func (db *DB) GenerateRecencyQuery(userSQL string, opts ...Option) (recencySQL s
 	return pr.p.Generated.SQL, pr.p.Generated.Minimal, pr.p.Generated.Reasons, nil
 }
 
-// Explain returns the physical plan notes for a SELECT.
+// Explain returns the physical plan notes for a SELECT; sharded databases
+// prefix each block with its `shards: k of N, pruned p` scatter note.
 func (db *DB) Explain(sql string) (string, error) {
+	if db.router != nil {
+		return db.router.Explain(sql)
+	}
 	return db.eng.ExplainAt(sql, db.eng.Snapshot())
 }
 
@@ -275,26 +381,37 @@ func (db *DB) Heartbeat(sid, timestamp string) error {
 	if err != nil {
 		return err
 	}
-	b := db.eng.BeginBatch()
-	defer b.Abort()
 	sidSQL := types.NewString(sid).SQL()
 	tsSQL := types.NewTime(ts).SQL()
-	n, err := b.Exec(`UPDATE Heartbeat SET recency = ` + tsSQL + ` WHERE sid = ` + sidSQL)
-	if err != nil {
-		return err
-	}
-	if n == 0 {
-		if _, err := b.Exec(`INSERT INTO Heartbeat (sid, recency) VALUES (` + sidSQL + `, ` + tsSQL + `)`); err != nil {
+	// Heartbeat is replicated on a sharded database; eachEngine upserts on
+	// every shard as one atomic broadcast, so a cut never sees a source's
+	// recency advanced on some shards only.
+	return db.eachEngine(func(eng *engine.DB) error {
+		b := eng.BeginBatch()
+		defer b.Abort()
+		n, err := b.Exec(`UPDATE Heartbeat SET recency = ` + tsSQL + ` WHERE sid = ` + sidSQL)
+		if err != nil {
 			return err
 		}
-	}
-	return b.Commit()
+		if n == 0 {
+			if _, err := b.Exec(`INSERT INTO Heartbeat (sid, recency) VALUES (` + sidSQL + `, ` + tsSQL + `)`); err != nil {
+				return err
+			}
+		}
+		return b.Commit()
+	})
 }
 
 // SaveFile writes a snapshot-consistent dump of the database (schemas,
 // source-column and domain metadata, CHECK constraints, indexes, and all
 // visible rows) to a file. Concurrent writers do not tear the dump.
-func (db *DB) SaveFile(path string) error { return db.eng.SaveFile(path) }
+// Unsharded databases only: a sharded dump format does not exist yet.
+func (db *DB) SaveFile(path string) error {
+	if db.router != nil {
+		return fmt.Errorf("trac: SaveFile is not supported on a sharded database")
+	}
+	return db.eng.SaveFile(path)
+}
 
 // OpenFile loads a database previously written by SaveFile.
 func OpenFile(path string) (*DB, error) {
@@ -339,7 +456,13 @@ func (db *DB) Close() error { return db.eng.Close() }
 // transactions already in the file are replayed first, and every SQL
 // mutation committed afterwards (Exec statements and loader batches) is
 // appended atomically. Pair with Checkpoint for bounded recovery time.
-func (db *DB) AttachWAL(path string) error { return db.eng.AttachWAL(path) }
+// Unsharded databases only.
+func (db *DB) AttachWAL(path string) error {
+	if db.router != nil {
+		return fmt.Errorf("trac: AttachWAL is not supported on a sharded database")
+	}
+	return db.eng.AttachWAL(path)
+}
 
 // Checkpoint writes a full dump to dumpPath and truncates the attached WAL.
 // Recovery is then OpenFile(dumpPath) followed by AttachWAL(walPath).
