@@ -27,7 +27,7 @@ lint-fix:
 # the crash-injection recovery sweeps, then smoke every benchmark so
 # bench-only code paths cannot rot unnoticed.
 check: lint bench-smoke crash
-	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/txn/... ./internal/shard/... ./internal/workload/...
+	$(GO) test -race ./internal/exec/... ./internal/engine/... ./internal/txn/... ./internal/shard/... ./internal/workload/... ./internal/server/... ./client/...
 
 # crash kills the storage stack at every mutating filesystem operation and
 # asserts the reopened database is a consistent cut: the engine sweep covers
@@ -63,6 +63,7 @@ bench:
 	$(GO) run ./cmd/tracbench -aggbench -total 200000 -iterations 11 -agg-o BENCH_agg.json
 	$(GO) run ./cmd/tracbench -recoverybench -total 200000 -iterations 5 -recovery-o BENCH_recovery.json
 	$(GO) run ./cmd/tracbench -shardbench -total 1000000 -iterations 5 -shard-o BENCH_shard.json
+	$(GO) run ./cmd/tracbench -servebench -serve-o BENCH_serve.json
 
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkParallelScan|BenchmarkPreparedReportCached' -benchtime 3x .

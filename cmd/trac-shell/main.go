@@ -33,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"trac"
@@ -72,16 +74,48 @@ func main() {
 		f.Close()
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	fmt.Print("trac=# ")
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == `\q` {
-			return
+	// The stdin scanner runs in its own goroutine (it owns and closes
+	// lines) so the main loop can also react to SIGINT/SIGTERM: a signal
+	// drains the session and closes the database — flushing any attached
+	// WAL — instead of abandoning it mid-write.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGINT, syscall.SIGTERM)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			lines <- strings.TrimSpace(sc.Text())
 		}
-		db, sess = dispatch(db, sess, line)
-		fmt.Print("trac=# ")
+	}()
+
+	fmt.Print("trac=# ")
+	for {
+		select {
+		case sig := <-sigC:
+			fmt.Printf("\n%s: closing session and database\n", sig)
+			shutdown(db, sess)
+			return
+		case line, ok := <-lines:
+			if !ok || line == `\q` {
+				shutdown(db, sess)
+				return
+			}
+			db, sess = dispatch(db, sess, line)
+			fmt.Print("trac=# ")
+		}
+	}
+}
+
+// shutdown drops the session's temp tables and closes the database so an
+// attached WAL is flushed rather than abandoned.
+func shutdown(db *trac.DB, sess *trac.Session) {
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "trac-shell: session close:", err)
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "trac-shell: close:", err)
 	}
 }
 

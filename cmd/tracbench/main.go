@@ -8,6 +8,7 @@
 //	tracbench -aggbench            # aggregation pushdown/parallelism microbench
 //	tracbench -recoverybench       # durable-directory recovery microbench
 //	tracbench -shardbench          # sharded scatter-gather vs single-shard microbench
+//	tracbench -servebench          # wire-protocol serving latency/QPS + overload shedding
 //	tracbench -all                 # everything
 //
 // The sweep defaults to 1,000,000 Activity rows (the paper used 10,000,000
@@ -48,6 +49,10 @@ func main() {
 	shardbench := flag.Bool("shardbench", false, "run the sharded scatter-gather microbenchmarks")
 	shardOut := flag.String("shard-o", "BENCH_shard.json", "output path for the -shardbench report")
 	shardCounts := flag.String("shard-counts", "1,4,8", "comma-separated shard counts for -shardbench (first must be 1)")
+	servebench := flag.Bool("servebench", false, "run the wire-protocol serving benchmarks")
+	serveOut := flag.String("serve-o", "BENCH_serve.json", "output path for the -servebench report")
+	serveClients := flag.String("serve-clients", "1,8,64,256", "comma-separated client counts for -servebench")
+	serveRequests := flag.Int("serve-requests", 0, "requests per -servebench cell (0 = default 1024)")
 	flag.Parse()
 
 	if *all {
@@ -58,8 +63,9 @@ func main() {
 		*aggbench = true
 		*recoverybench = true
 		*shardbench = true
+		*servebench = true
 	}
-	if *figure == 0 && !*fpr && !*execbench && !*storagebench && !*aggbench && !*recoverybench && !*shardbench {
+	if *figure == 0 && !*fpr && !*execbench && !*storagebench && !*aggbench && !*recoverybench && !*shardbench && !*servebench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -231,6 +237,41 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *shardOut)
+		}
+	}
+
+	if *servebench {
+		progress := func(string) {}
+		if !*quiet {
+			progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		var counts []int
+		for _, s := range strings.Split(*serveClients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad client count %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		// The serving workload sizes its own dataset (default 20k rows); the
+		// sweep's -total is the figure-1 scale, far too slow per request here.
+		report, err := benchharness.RunServeBench(0, 0, *serveRequests, counts, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "servebench failed:", err)
+			os.Exit(1)
+		}
+		out, err := benchharness.MarshalServeBench(report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "servebench marshal failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*serveOut, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "servebench write failed:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *serveOut)
 		}
 	}
 

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Scheduler errors. ErrBusy carries the shed decision to the connection
+// layer, which answers with a FrameBusy instead of queueing unboundedly.
+var (
+	ErrBusy     = errors.New("server: busy")
+	ErrDraining = errors.New("server: draining")
+)
+
+// SchedConfig sizes the admission layer.
+type SchedConfig struct {
+	// Workers is the execution pool size; 0 selects GOMAXPROCS. The pool,
+	// not the connection count, bounds how many queries contend for the
+	// morsel-parallel executor at once.
+	Workers int
+	// QueueDepth bounds the admission queue; 0 selects 8×Workers. A full
+	// queue sheds instead of growing, which is what keeps p99 bounded
+	// under overload.
+	QueueDepth int
+	// AdmissionTimeout is how long a request may wait for a queue slot and
+	// the default per-task queueing deadline; 0 selects 100ms. A task that
+	// has not reached a worker by its deadline is shed without running.
+	AdmissionTimeout time.Duration
+}
+
+func (c SchedConfig) withDefaults() SchedConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8 * c.Workers
+	}
+	if c.AdmissionTimeout <= 0 {
+		c.AdmissionTimeout = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Task is one admitted unit of work. Exactly one of Run or Shed is invoked,
+// always from a scheduler goroutine (Run) or the submitting goroutine /
+// a worker (Shed).
+type Task struct {
+	// Deadline is the queueing deadline: a task still queued past it is
+	// shed (BusyExpired) instead of executed late.
+	Deadline time.Time
+	// Run executes the request and delivers its response.
+	Run func()
+	// Shed delivers the busy response; code is one of the Busy* constants.
+	Shed func(code uint8)
+}
+
+// SchedStats is a snapshot of the admission counters.
+type SchedStats struct {
+	Admitted      uint64 // tasks that entered the queue
+	Executed      uint64 // tasks that ran to completion
+	ShedQueueFull uint64 // refused: no queue slot by the admission timeout
+	ShedExpired   uint64 // admitted but expired before a worker freed up
+	ShedDraining  uint64 // refused: scheduler shutting down
+}
+
+// Shed totals every refusal.
+func (s SchedStats) Shed() uint64 { return s.ShedQueueFull + s.ShedExpired + s.ShedDraining }
+
+// Scheduler is the bounded worker pool + bounded admission queue the server
+// pushes every request through. Overload degrades to fast Busy responses
+// and a bounded queueing delay for the requests that do run, rather than
+// collapse: latency for admitted work is capped at roughly
+// QueueDepth/Workers × per-query time + AdmissionTimeout.
+type Scheduler struct {
+	cfg   SchedConfig
+	queue chan *Task
+	wg    sync.WaitGroup
+
+	// mu guards the draining transition: Submit holds it shared around the
+	// queue send so Drain (exclusive) cannot close the queue mid-send.
+	mu       sync.RWMutex
+	draining bool
+
+	admitted      atomic.Uint64
+	executed      atomic.Uint64
+	shedQueueFull atomic.Uint64
+	shedExpired   atomic.Uint64
+	shedDraining  atomic.Uint64
+}
+
+// NewScheduler starts the worker pool.
+func NewScheduler(cfg SchedConfig) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{cfg: cfg, queue: make(chan *Task, cfg.QueueDepth)}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Workers reports the pool size.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// QueueDepth reports the admission-queue bound.
+func (s *Scheduler) QueueDepth() int { return s.cfg.QueueDepth }
+
+// AdmissionTimeout reports the default queueing deadline.
+func (s *Scheduler) AdmissionTimeout() time.Duration { return s.cfg.AdmissionTimeout }
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		if !t.Deadline.IsZero() && time.Now().After(t.Deadline) {
+			s.shedExpired.Add(1)
+			t.Shed(BusyExpired)
+			continue
+		}
+		s.executed.Add(1)
+		t.Run()
+	}
+}
+
+// Submit admits a task or sheds it. A zero task deadline defaults to
+// now+AdmissionTimeout. On a full queue the submitter waits for a slot
+// until the deadline, then sheds — that wait is the per-connection
+// backpressure: it stalls the submitting connection's pipeline, never
+// other sessions. When Submit returns nil, exactly one of t.Run or t.Shed
+// will eventually be invoked; on ErrBusy/ErrDraining, t.Shed has already
+// run.
+func (s *Scheduler) Submit(t *Task) error {
+	if t.Deadline.IsZero() {
+		t.Deadline = time.Now().Add(s.cfg.AdmissionTimeout)
+	}
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		s.shedDraining.Add(1)
+		t.Shed(BusyDraining)
+		return ErrDraining
+	}
+	// Fast path: a free slot admits without a timer.
+	select {
+	case s.queue <- t:
+		s.mu.RUnlock()
+		s.admitted.Add(1)
+		return nil
+	default:
+	}
+	timer := time.NewTimer(time.Until(t.Deadline))
+	defer timer.Stop()
+	select {
+	case s.queue <- t:
+		s.mu.RUnlock()
+		s.admitted.Add(1)
+		return nil
+	case <-timer.C:
+		s.mu.RUnlock()
+		s.shedQueueFull.Add(1)
+		t.Shed(BusyQueueFull)
+		return ErrBusy
+	}
+}
+
+// Drain stops admission and waits for every queued task to finish (or the
+// context to expire). Queued tasks still run — graceful drain completes
+// admitted work; only new submissions are refused.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.wg.Wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the admission counters.
+func (s *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		Admitted:      s.admitted.Load(),
+		Executed:      s.executed.Load(),
+		ShedQueueFull: s.shedQueueFull.Load(),
+		ShedExpired:   s.shedExpired.Load(),
+		ShedDraining:  s.shedDraining.Load(),
+	}
+}

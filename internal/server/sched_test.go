@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSchedulerRunsTasks(t *testing.T) {
+	s := NewScheduler(SchedConfig{Workers: 2})
+	defer s.Drain(context.Background())
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		err := s.Submit(&Task{
+			Run:  func() { ran.Add(1); wg.Done() },
+			Shed: func(uint8) { wg.Done() },
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50", ran.Load())
+	}
+	st := s.Stats()
+	if st.Executed != 50 || st.Admitted != 50 || st.Shed() != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSchedulerDefaults(t *testing.T) {
+	s := NewScheduler(SchedConfig{})
+	defer s.Drain(context.Background())
+	if s.Workers() < 1 {
+		t.Fatalf("workers = %d", s.Workers())
+	}
+	if s.QueueDepth() != 8*s.Workers() {
+		t.Fatalf("queue depth = %d, want %d", s.QueueDepth(), 8*s.Workers())
+	}
+	if s.AdmissionTimeout() != 100*time.Millisecond {
+		t.Fatalf("admission timeout = %v", s.AdmissionTimeout())
+	}
+}
+
+// TestSchedulerShedsOnFullQueue: with the lone worker blocked and the queue
+// full, a submit with an already-tight deadline sheds fast instead of
+// queueing unboundedly — the property that bounds p99 under overload.
+func TestSchedulerShedsOnFullQueue(t *testing.T) {
+	s := NewScheduler(SchedConfig{Workers: 1, QueueDepth: 1, AdmissionTimeout: 10 * time.Millisecond})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := s.Submit(&Task{
+		Deadline: time.Now().Add(time.Minute),
+		Run:      func() { <-release; wg.Done() },
+		Shed:     func(uint8) { wg.Done() },
+	}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	// Fill the single queue slot.
+	wg.Add(1)
+	if err := s.Submit(&Task{
+		Deadline: time.Now().Add(time.Minute),
+		Run:      func() { wg.Done() },
+		Shed:     func(uint8) { wg.Done() },
+	}); err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	// Queue full, worker wedged: this one must shed by its deadline.
+	var code atomic.Uint32
+	shedDone := make(chan struct{})
+	err := s.Submit(&Task{
+		Deadline: time.Now().Add(10 * time.Millisecond),
+		Run:      func() { t.Error("task ran despite full queue"); close(shedDone) },
+		Shed:     func(c uint8) { code.Store(uint32(c)); close(shedDone) },
+	})
+	if err != ErrBusy {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	<-shedDone
+	if uint8(code.Load()) != BusyQueueFull {
+		t.Fatalf("shed code = %d, want BusyQueueFull", code.Load())
+	}
+	close(release)
+	wg.Wait()
+	if st := s.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	s.Drain(context.Background())
+}
+
+// TestSchedulerShedsExpiredInQueue: a task admitted but still queued past
+// its deadline is shed by the worker, not executed late.
+func TestSchedulerShedsExpiredInQueue(t *testing.T) {
+	s := NewScheduler(SchedConfig{Workers: 1, QueueDepth: 4, AdmissionTimeout: time.Minute})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.Submit(&Task{
+		Deadline: time.Now().Add(time.Minute),
+		Run:      func() { <-release; wg.Done() },
+		Shed:     func(uint8) { wg.Done() },
+	})
+	var code atomic.Uint32
+	expired := make(chan struct{})
+	s.Submit(&Task{
+		Deadline: time.Now().Add(5 * time.Millisecond),
+		Run:      func() { t.Error("expired task ran"); close(expired) },
+		Shed:     func(c uint8) { code.Store(uint32(c)); close(expired) },
+	})
+	time.Sleep(20 * time.Millisecond) // let the deadline lapse while queued
+	close(release)
+	<-expired
+	wg.Wait()
+	if uint8(code.Load()) != BusyExpired {
+		t.Fatalf("shed code = %d, want BusyExpired", code.Load())
+	}
+	if st := s.Stats(); st.ShedExpired != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	s.Drain(context.Background())
+}
+
+// TestSchedulerDrainCompletesAdmittedWork: Drain refuses new submissions
+// but runs everything already queued.
+func TestSchedulerDrainCompletesAdmittedWork(t *testing.T) {
+	s := NewScheduler(SchedConfig{Workers: 1, QueueDepth: 8, AdmissionTimeout: time.Minute})
+	release := make(chan struct{})
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.Submit(&Task{
+		Deadline: time.Now().Add(time.Minute),
+		Run:      func() { <-release; ran.Add(1); wg.Done() },
+		Shed:     func(uint8) { wg.Done() },
+	})
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		s.Submit(&Task{
+			Deadline: time.Now().Add(time.Minute),
+			Run:      func() { ran.Add(1); wg.Done() },
+			Shed:     func(uint8) { wg.Done() },
+		})
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+
+	// New work is refused while draining.
+	var code atomic.Uint32
+	if err := s.Submit(&Task{
+		Run:  func() { t.Error("task admitted during drain") },
+		Shed: func(c uint8) { code.Store(uint32(c)) },
+	}); err != ErrDraining {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+	if uint8(code.Load()) != BusyDraining {
+		t.Fatalf("shed code = %d, want BusyDraining", code.Load())
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+	if ran.Load() != 6 {
+		t.Fatalf("drain completed %d of 6 admitted tasks", ran.Load())
+	}
+}
+
+func TestSchedulerDrainContextExpiry(t *testing.T) {
+	s := NewScheduler(SchedConfig{Workers: 1, QueueDepth: 1, AdmissionTimeout: time.Minute})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.Submit(&Task{
+		Deadline: time.Now().Add(time.Minute),
+		Run:      func() { <-release; wg.Done() },
+		Shed:     func(uint8) { wg.Done() },
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	wg.Wait()
+	// Second drain is a no-op.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+// TestSchedulerSubmitDrainRace: concurrent submits racing Drain must never
+// panic (send on closed channel) and every task resolves exactly once.
+func TestSchedulerSubmitDrainRace(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		s := NewScheduler(SchedConfig{Workers: 2, QueueDepth: 2, AdmissionTimeout: 5 * time.Millisecond})
+		var resolved atomic.Int64
+		const n = 40
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Submit(&Task{
+					Run:  func() { resolved.Add(1) },
+					Shed: func(uint8) { resolved.Add(1) },
+				})
+			}()
+		}
+		s.Drain(context.Background())
+		wg.Wait()
+		// Tasks admitted before the queue closed have all run by now
+		// (Drain waits for workers); shed tasks resolved inline.
+		if resolved.Load() != n {
+			t.Fatalf("iter %d: resolved %d of %d", iter, resolved.Load(), n)
+		}
+	}
+}

@@ -83,6 +83,17 @@ func Open(opts ...Opt) *DB {
 	return &DB{eng: engine.New()}
 }
 
+// WrapEngine adopts an existing engine as a public DB handle. It is the
+// bridge for callers that build fixtures against the internal API (e.g.
+// workload.Build) and then want to serve them through the public one.
+func WrapEngine(eng *engine.DB) *DB { return &DB{eng: eng} }
+
+// WrapRouter is WrapEngine for a sharded fixture (e.g.
+// workload.BuildSharded): the router becomes a public DB handle.
+func WrapRouter(r *shard.Router) *DB {
+	return &DB{eng: r.Shard(0), router: r}
+}
+
 // Engine exposes the underlying engine for advanced integration (bulk
 // loading, direct snapshots). For a sharded database this is shard 0; use
 // Router for the full shard set.
